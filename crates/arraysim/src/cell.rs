@@ -1,0 +1,385 @@
+//! Cells and their task programs.
+
+use crate::host::Host;
+use crate::stream::{Bank, Link, StreamDst, StreamSrc};
+use systolic_semiring::Semiring;
+
+/// The G-node role a task executes (see `systolic-transform::ggraph`), plus
+/// the stationary multiply-accumulate roles used by the matrix-product
+/// baseline array (Núñez–Torralba \[22\]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Consume the pivot column, emit it as the pivot stream.
+    PivotHead,
+    /// Fuse one matrix column against the pivot stream; forward the pivot;
+    /// emit the column rotated (head last).
+    Fuse,
+    /// Consume the pivot stream, emit it rotated as a column.
+    DelayTail,
+    /// Pure pass-through of a column stream (used by coalescing baselines
+    /// and unload chains).
+    Pass,
+    /// Load one word into the cell's accumulator (`col_in`, length 1).
+    LoadAcc,
+    /// Stationary multiply-accumulate: per element, consume an `a` word
+    /// (`col_in`) and a `b` word (`pivot_in`), update `acc ← acc ⊕ (a ⊗ b)`
+    /// and forward both operands (`col_out` / `pivot_out`).
+    Mac,
+    /// Emit the accumulator (`col_out`, length 1).
+    EmitAcc,
+}
+
+/// Identifies the G-node a task implements, for tracing and assertions.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskLabel {
+    /// G-graph row (Warshall level).
+    pub k: u32,
+    /// Skewed position `h`.
+    pub h: u32,
+}
+
+/// One streamed G-node execution on a cell.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Role.
+    pub kind: TaskKind,
+    /// Stream length (`n`).
+    pub len: usize,
+    /// Column input (required by `PivotHead`, `Fuse`, `Pass`).
+    pub col_in: Option<StreamSrc>,
+    /// Pivot input (required by `Fuse`, `DelayTail`).
+    pub pivot_in: Option<StreamSrc>,
+    /// Column output (required by `Fuse`, `DelayTail`, `Pass`).
+    pub col_out: Option<StreamDst>,
+    /// Pivot output (required by `PivotHead`; `Fuse` forwards when set).
+    pub pivot_out: Option<StreamDst>,
+    /// Useful primitive operations performed (`n-2` for a fuse G-node).
+    pub useful_ops: u64,
+    /// Traceability label.
+    pub label: TaskLabel,
+}
+
+/// Progress made by a cell in one cycle.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Consumed/produced words this cycle.
+    Worked,
+    /// Required input or output was unavailable.
+    Stalled,
+    /// No tasks remain.
+    Done,
+}
+
+/// Mutable view of the shared fabric a cell interacts with.
+pub struct Fabric<'a, S: Semiring> {
+    /// Neighbor links.
+    pub links: &'a mut [Link<S::Elem>],
+    /// External memory banks.
+    pub banks: &'a mut [Bank<S::Elem>],
+    /// Host R-block memories.
+    pub host: &'a mut Host<S>,
+    /// Output collector streams.
+    pub outputs: &'a mut [Vec<S::Elem>],
+    /// Current cycle.
+    pub now: u64,
+}
+
+impl<S: Semiring> Fabric<'_, S> {
+    fn src_ready(&self, src: &StreamSrc, cell: usize) -> bool {
+        match *src {
+            StreamSrc::Bank { bank, key } => self.banks[bank].can_read(key, self.now),
+            StreamSrc::Link(l) => self.links[l].can_read(),
+            StreamSrc::Host { key } => self.host.can_read(cell, key, self.now),
+        }
+    }
+
+    fn src_take(&mut self, src: &StreamSrc, cell: usize) -> S::Elem {
+        match *src {
+            StreamSrc::Bank { bank, key } => self.banks[bank]
+                .read(key, self.now)
+                .expect("bank readiness checked"),
+            StreamSrc::Link(l) => self.links[l].read().expect("link readiness checked"),
+            StreamSrc::Host { key } => self
+                .host
+                .read(cell, key, self.now)
+                .expect("host readiness checked"),
+        }
+    }
+
+    fn dst_ready(&self, dst: &StreamDst) -> bool {
+        match *dst {
+            StreamDst::Link(l) => self.links[l].can_write(),
+            StreamDst::Bank { .. } | StreamDst::Output { .. } | StreamDst::Sink => true,
+        }
+    }
+
+    fn dst_put(&mut self, dst: &StreamDst, e: S::Elem) {
+        match *dst {
+            StreamDst::Bank { bank, key } => self.banks[bank].write(key, self.now, e),
+            StreamDst::Link(l) => self.links[l].write(e),
+            StreamDst::Output { stream } => self.outputs[stream].push(e),
+            StreamDst::Sink => {}
+        }
+    }
+}
+
+/// A processing element executing its task queue by dataflow firing.
+#[derive(Clone, Debug)]
+pub struct Cell<S: Semiring> {
+    /// Cell index within the array.
+    pub id: usize,
+    tasks: std::collections::VecDeque<Task>,
+    /// Element index within the current task.
+    pos: usize,
+    /// The latched head of the current stream (pivot-row element `q`).
+    latch: Option<S::Elem>,
+    /// Head word awaiting re-emission one cycle after its task's last
+    /// consume cycle (the rotation's trailing slot). Keeps every link at
+    /// one word per cycle; the slack is what the paper's delay column
+    /// absorbs.
+    deferred: Option<(StreamDst, S::Elem)>,
+    /// Cycles in which this cell consumed or produced words.
+    pub busy_cycles: u64,
+    /// Cycles in which this cell had a task but could not fire.
+    pub stall_cycles: u64,
+    /// Useful primitive operations executed.
+    pub useful_ops: u64,
+    /// Task spans recorded when tracing is enabled.
+    pub spans: Option<Vec<crate::trace::TaskSpan>>,
+    cur_start: u64,
+}
+
+impl<S: Semiring> Cell<S> {
+    /// Creates a cell with an empty program.
+    pub fn new(id: usize) -> Self {
+        Self {
+            id,
+            tasks: std::collections::VecDeque::new(),
+            pos: 0,
+            latch: None,
+            deferred: None,
+            busy_cycles: 0,
+            stall_cycles: 0,
+            useful_ops: 0,
+            spans: None,
+            cur_start: 0,
+        }
+    }
+
+    /// Appends a task to the cell's program.
+    pub fn push_task(&mut self, t: Task) {
+        debug_assert!(t.len >= 1, "streams must be non-empty");
+        self.tasks.push_back(t);
+    }
+
+    /// Remaining task count (a pending deferred head counts as work).
+    pub fn pending(&self) -> usize {
+        self.tasks.len() + usize::from(self.deferred.is_some())
+    }
+
+    /// Executes at most one stream element of the current task.
+    pub fn step(&mut self, fab: &mut Fabric<'_, S>) -> Step {
+        // Flush the previous task's trailing head first; it uses the output
+        // port this cycle, so a failed flush stalls the cell.
+        if let Some((dst, _)) = &self.deferred {
+            if fab.dst_ready(dst) {
+                let (dst, e) = self.deferred.take().expect("checked above");
+                fab.dst_put(&dst, e);
+                self.busy_cycles += 1;
+                // The current task's first element may fire in the same
+                // cycle (r = 0 never writes the column port); fall through.
+                if self.tasks.is_empty() {
+                    return Step::Worked;
+                }
+            } else {
+                self.stall_cycles += 1;
+                return Step::Stalled;
+            }
+        }
+        let Some(task) = self.tasks.front() else {
+            return Step::Done;
+        };
+        let cell = self.id;
+        let r = self.pos;
+        let n = task.len;
+        let last = r + 1 == n;
+
+        // Readiness of every lane this element touches.
+        let need_col = matches!(
+            task.kind,
+            TaskKind::PivotHead
+                | TaskKind::Fuse
+                | TaskKind::Pass
+                | TaskKind::LoadAcc
+                | TaskKind::Mac
+        );
+        let need_piv = matches!(
+            task.kind,
+            TaskKind::Fuse | TaskKind::DelayTail | TaskKind::Mac
+        );
+        let emits_col = match task.kind {
+            TaskKind::Fuse | TaskKind::DelayTail => r >= 1, // slot r-1; head deferred
+            TaskKind::Pass | TaskKind::EmitAcc => true,
+            TaskKind::Mac => task.col_out.is_some(),
+            TaskKind::PivotHead | TaskKind::LoadAcc => false,
+        };
+        let emits_piv = match task.kind {
+            TaskKind::PivotHead => true,
+            TaskKind::Fuse | TaskKind::Mac => task.pivot_out.is_some(),
+            _ => false,
+        };
+
+        let col_in = task.col_in;
+        let piv_in = task.pivot_in;
+        let col_out = task.col_out;
+        let piv_out = task.pivot_out;
+
+        let ready = (!need_col || col_in.as_ref().is_some_and(|s| fab.src_ready(s, cell)))
+            && (!need_piv || piv_in.as_ref().is_some_and(|s| fab.src_ready(s, cell)))
+            && (!emits_col || col_out.as_ref().is_none_or(|d| fab.dst_ready(d)))
+            && (!emits_piv || piv_out.as_ref().is_none_or(|d| fab.dst_ready(d)));
+        if !ready {
+            self.stall_cycles += 1;
+            return Step::Stalled;
+        }
+
+        let kind = task.kind;
+        let useful = task.useful_ops;
+        let c = if need_col {
+            Some(fab.src_take(col_in.as_ref().expect("col_in required"), cell))
+        } else {
+            None
+        };
+        let p = if need_piv {
+            Some(fab.src_take(piv_in.as_ref().expect("pivot_in required"), cell))
+        } else {
+            None
+        };
+
+        match kind {
+            TaskKind::PivotHead => {
+                let c = c.expect("pivot head consumes the column");
+                if let Some(d) = &piv_out {
+                    fab.dst_put(d, c);
+                }
+            }
+            TaskKind::Fuse => {
+                let c = c.expect("fuse consumes the column");
+                let p = p.expect("fuse consumes the pivot");
+                if r == 0 {
+                    // Latch the pivot-row element q = x[k][j].
+                    self.latch = Some(c);
+                } else {
+                    let q = self.latch.as_ref().expect("head latched at r=0");
+                    let v = S::fuse(&c, &p, q);
+                    if let Some(d) = &col_out {
+                        fab.dst_put(d, v);
+                    }
+                }
+                if last {
+                    // Re-emit the latched head as the final (rotated) slot,
+                    // one cycle later (deferred write).
+                    let q = self.latch.take().expect("head latched at r=0");
+                    if let Some(d) = &col_out {
+                        self.deferred = Some((*d, q));
+                    }
+                }
+                if let Some(d) = &piv_out {
+                    fab.dst_put(d, p);
+                }
+            }
+            TaskKind::DelayTail => {
+                let p = p.expect("delay tail consumes the pivot");
+                if r == 0 {
+                    self.latch = Some(p);
+                } else if let Some(d) = &col_out {
+                    fab.dst_put(d, p);
+                }
+                if last {
+                    let head = self.latch.take().expect("head latched at r=0");
+                    if let Some(d) = &col_out {
+                        self.deferred = Some((*d, head));
+                    }
+                }
+            }
+            TaskKind::Pass => {
+                let c = c.expect("pass consumes the column");
+                if let Some(d) = &col_out {
+                    fab.dst_put(d, c);
+                }
+            }
+            TaskKind::LoadAcc => {
+                self.latch = Some(c.expect("load consumes one word"));
+            }
+            TaskKind::Mac => {
+                let a = c.expect("mac consumes the a operand");
+                let b = p.expect("mac consumes the b operand");
+                let acc = self.latch.take().unwrap_or_else(S::zero);
+                self.latch = Some(S::fuse(&acc, &a, &b));
+                if let Some(d) = &col_out {
+                    fab.dst_put(d, a);
+                }
+                if let Some(d) = &piv_out {
+                    fab.dst_put(d, b);
+                }
+            }
+            TaskKind::EmitAcc => {
+                let acc = self.latch.take().unwrap_or_else(S::zero);
+                if let Some(d) = &col_out {
+                    fab.dst_put(d, acc);
+                }
+            }
+        }
+
+        self.busy_cycles += 1;
+        let _ = kind;
+        if self.pos == 0 {
+            self.cur_start = fab.now;
+        }
+        self.pos += 1;
+        if self.pos == n {
+            self.useful_ops += useful;
+            if let Some(spans) = &mut self.spans {
+                let label = self.tasks.front().expect("task active").label;
+                spans.push(crate::trace::TaskSpan {
+                    cell: self.id,
+                    start: self.cur_start,
+                    end: fab.now + 1,
+                    label,
+                });
+            }
+            self.pos = 0;
+            self.tasks.pop_front();
+        }
+        Step::Worked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::Bool;
+
+    #[test]
+    fn task_label_default() {
+        let l = TaskLabel::default();
+        assert_eq!((l.k, l.h), (0, 0));
+    }
+
+    #[test]
+    fn cell_done_without_tasks() {
+        let mut cell = Cell::<Bool>::new(0);
+        let mut links: Vec<Link<bool>> = vec![];
+        let mut banks: Vec<Bank<bool>> = vec![];
+        let mut host = Host::<Bool>::new(0, 0);
+        let mut outputs: Vec<Vec<bool>> = vec![];
+        let mut fab = Fabric::<Bool> {
+            links: &mut links,
+            banks: &mut banks,
+            host: &mut host,
+            outputs: &mut outputs,
+            now: 0,
+        };
+        assert_eq!(cell.step(&mut fab), Step::Done);
+    }
+}

@@ -1,0 +1,44 @@
+//! Cycle-level simulator of systolic arrays.
+//!
+//! The paper evaluates its arrays analytically (throughput, utilization,
+//! I/O bandwidth read off the dependence graphs, §4.1). This crate provides
+//! the corresponding *measured* quantities: it simulates an array of cells
+//! connected by single-word neighbor links, backed by external memory banks
+//! and fed by a host through a chain of R-blocks (register + memory,
+//! Fig. 21), one word per cycle.
+//!
+//! The model:
+//!
+//! * A **cell** executes a queue of [`Task`]s. Each task streams `n`
+//!   elements through one G-node role (pivot head / fuse / delay tail),
+//!   consuming at most one word per input lane per cycle and producing at
+//!   most one word per output lane per cycle (the delay-tail/fuse head
+//!   re-emission shares the final cycle, modelling the G-node's latch).
+//! * A **link** is a one-word register between neighbor cells: written at
+//!   cycle `t`, readable at `t+1`, with backpressure.
+//! * A **bank** is an external memory holding streams as FIFOs (written at
+//!   `t`, readable at `t+1`); per-cycle port pressure is recorded.
+//! * The **host** injects one word per cycle into the R-chain; a word bound
+//!   for cell `c` arrives in cell `c`'s R-block memory `c+1` cycles later.
+//!
+//! Firing is pure dataflow: a cell stalls while any required word is
+//! missing or an output register is full, and the simulator detects global
+//! deadlock. All counters needed for the paper's measures are collected in
+//! [`RunStats`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod host;
+pub mod sim;
+pub mod stats;
+pub mod stream;
+pub mod trace;
+
+pub use cell::{Task, TaskKind, TaskLabel};
+pub use host::Host;
+pub use sim::{ArraySim, SimError};
+pub use stats::RunStats;
+pub use stream::{Bank, Link, StreamDst, StreamSrc};
+pub use trace::{occupancy_summary, render_gantt, TaskSpan};

@@ -1,0 +1,443 @@
+//! The simulation driver.
+
+use crate::cell::{Cell, Fabric, Step, Task};
+use crate::host::Host;
+use crate::stats::RunStats;
+use crate::stream::{Bank, Link};
+use systolic_semiring::Semiring;
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// No cell made progress for longer than any in-flight latency while
+    /// tasks remained — the schedule violates a dependence.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: u64,
+        /// Tasks still pending per cell.
+        pending: Vec<usize>,
+    },
+    /// The run exceeded the configured cycle budget.
+    Timeout {
+        /// The configured budget.
+        max_cycles: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, pending } => {
+                write!(f, "deadlock at cycle {cycle}; pending tasks {pending:?}")
+            }
+            SimError::Timeout { max_cycles } => write!(f, "exceeded {max_cycles} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A configured systolic array: cells, links, banks, host and collectors.
+pub struct ArraySim<S: Semiring> {
+    cells: Vec<Cell<S>>,
+    links: Vec<Link<S::Elem>>,
+    banks: Vec<Bank<S::Elem>>,
+    host: Host<S>,
+    outputs: Vec<Vec<S::Elem>>,
+    /// Number of memory banks that count as array↔memory connections.
+    memory_connections: usize,
+    max_cycles: u64,
+    /// Peak external-memory footprint observed during the run.
+    peak_bank_resident: usize,
+}
+
+impl<S: Semiring> ArraySim<S> {
+    /// Creates an array with `cells` cells and a host chain of equal length.
+    pub fn new(cells: usize) -> Self {
+        Self {
+            cells: (0..cells).map(Cell::new).collect(),
+            links: Vec::new(),
+            banks: Vec::new(),
+            host: Host::new(cells, 0),
+            outputs: Vec::new(),
+            memory_connections: 0,
+            max_cycles: u64::MAX,
+            peak_bank_resident: 0,
+        }
+    }
+
+    /// Sets the cycle budget (default: unlimited).
+    pub fn set_max_cycles(&mut self, max: u64) {
+        self.max_cycles = max;
+    }
+
+    /// Declares how many bank connections the structure exposes (reported in
+    /// stats; the paper compares `m+1` vs `2√m`).
+    pub fn set_memory_connections(&mut self, c: usize) {
+        self.memory_connections = c;
+    }
+
+    /// Adds a neighbor link, returning its index.
+    pub fn add_link(&mut self) -> usize {
+        self.links.push(Link::new());
+        self.links.len() - 1
+    }
+
+    /// Adds a link with a multi-cycle latency (a bypass route around faulty
+    /// cells, §5), returning its index.
+    pub fn add_link_with_delay(&mut self, delay: u64) -> usize {
+        self.links.push(Link::with_delay(delay));
+        self.links.len() - 1
+    }
+
+    /// Adds an external memory bank, returning its index.
+    pub fn add_bank(&mut self) -> usize {
+        self.banks.push(Bank::new());
+        self.banks.len() - 1
+    }
+
+    /// Adds `count` output collector streams, returning the first index.
+    pub fn add_outputs(&mut self, count: usize) -> usize {
+        let first = self.outputs.len();
+        self.outputs.extend((0..count).map(|_| Vec::new()));
+        first
+    }
+
+    /// Host feeder access (to enqueue input streams).
+    pub fn host_mut(&mut self) -> &mut Host<S> {
+        &mut self.host
+    }
+
+    /// Bank access (to preload streams).
+    pub fn bank_mut(&mut self, i: usize) -> &mut Bank<S::Elem> {
+        &mut self.banks[i]
+    }
+
+    /// Appends a task to cell `cell`'s program.
+    pub fn push_task(&mut self, cell: usize, t: Task) {
+        self.cells[cell].push_task(t);
+    }
+
+    /// Enables task-span tracing (see [`crate::trace`]).
+    pub fn enable_trace(&mut self) {
+        for c in &mut self.cells {
+            c.spans.get_or_insert_with(Vec::new);
+        }
+    }
+
+    /// All recorded task spans (empty unless tracing was enabled).
+    pub fn spans(&self) -> Vec<crate::trace::TaskSpan> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.spans.as_ref())
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Collected output streams (valid after [`ArraySim::run`]).
+    pub fn outputs(&self) -> &[Vec<S::Elem>] {
+        &self.outputs
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    /// [`SimError::Deadlock`] when dataflow can no longer progress,
+    /// [`SimError::Timeout`] when the cycle budget is exceeded.
+    pub fn run(&mut self) -> Result<RunStats, SimError> {
+        let mut now: u64 = 0;
+        let mut quiet_cycles: u64 = 0;
+        let max_link_delay = self.links.iter().map(Link::delay).max().unwrap_or(1);
+        let grace = self.host.max_latency().max(max_link_delay) + 2;
+
+        loop {
+            let work_left = self.cells.iter().any(|c| c.pending() > 0);
+            if !work_left {
+                break;
+            }
+            if now >= self.max_cycles {
+                return Err(SimError::Timeout {
+                    max_cycles: self.max_cycles,
+                });
+            }
+
+            let injected = self.host.tick(now);
+            let mut any_worked = injected;
+            {
+                let mut fab = Fabric::<S> {
+                    links: &mut self.links,
+                    banks: &mut self.banks,
+                    host: &mut self.host,
+                    outputs: &mut self.outputs,
+                    now,
+                };
+                for cell in &mut self.cells {
+                    if cell.step(&mut fab) == Step::Worked {
+                        any_worked = true;
+                    }
+                }
+            }
+            for l in &mut self.links {
+                l.tick();
+            }
+            for b in &mut self.banks {
+                b.tick();
+            }
+            if any_worked {
+                quiet_cycles = 0;
+            } else {
+                quiet_cycles += 1;
+                if quiet_cycles > grace {
+                    return Err(SimError::Deadlock {
+                        cycle: now,
+                        pending: self.cells.iter().map(Cell::pending).collect(),
+                    });
+                }
+            }
+            now += 1;
+            self.peak_bank_resident = self
+                .peak_bank_resident
+                .max(self.banks.iter().map(Bank::resident).sum());
+        }
+
+        Ok(self.collect_stats(now))
+    }
+
+    fn collect_stats(&self, cycles: u64) -> RunStats {
+        RunStats {
+            cycles,
+            cells: self.cells.len(),
+            busy: self.cells.iter().map(|c| c.busy_cycles).collect(),
+            stalls: self.cells.iter().map(|c| c.stall_cycles).collect(),
+            useful_ops: self.cells.iter().map(|c| c.useful_ops).sum(),
+            host_words: self.host.injected,
+            host_first: self.host.first_injection,
+            host_last: self.host.last_injection,
+            host_peak_resident: self.host.peak_resident,
+            bank_writes: self.banks.iter().map(|b| b.writes).sum(),
+            bank_reads: self.banks.iter().map(|b| b.reads).sum(),
+            max_bank_writes_per_cycle: self
+                .banks
+                .iter()
+                .map(|b| b.max_writes_per_cycle)
+                .max()
+                .unwrap_or(0),
+            peak_bank_resident: self.peak_bank_resident,
+            link_words: self.links.iter().map(|l| l.words).sum(),
+            output_words: self.outputs.iter().map(Vec::len).sum::<usize>() as u64,
+            memory_connections: self.memory_connections,
+            spans: self.spans(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{TaskKind, TaskLabel};
+    use crate::stream::{StreamDst, StreamSrc};
+    use systolic_semiring::{Bool, MinPlus};
+
+    fn task(kind: TaskKind, len: usize) -> Task {
+        Task {
+            kind,
+            len,
+            col_in: None,
+            pivot_in: None,
+            col_out: None,
+            pivot_out: None,
+            useful_ops: 0,
+            label: TaskLabel::default(),
+        }
+    }
+
+    #[test]
+    fn delay_tail_rotates_a_bank_stream() {
+        let mut sim = ArraySim::<MinPlus>::new(1);
+        let b = sim.add_bank();
+        let o = sim.add_outputs(1);
+        for w in [10u64, 20, 30, 40] {
+            sim.bank_mut(b).preload(1, w);
+        }
+        let mut t = task(TaskKind::DelayTail, 4);
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+        t.col_out = Some(StreamDst::Output { stream: o });
+        sim.push_task(0, t);
+        let stats = sim.run().unwrap();
+        assert_eq!(sim.outputs()[0], vec![20, 30, 40, 10]);
+        // 4 consume cycles plus the deferred head-emission cycle.
+        assert_eq!(stats.busy[0], 5);
+        assert_eq!(stats.output_words, 4);
+    }
+
+    #[test]
+    fn pivot_head_feeds_fuse_over_a_link() {
+        // Column streams for a 3-element fuse: pivot head reads col k from a
+        // bank and streams it over a link into a fuse cell processing col j.
+        let mut sim = ArraySim::<Bool>::new(2);
+        let b = sim.add_bank();
+        let l = sim.add_link();
+        let o = sim.add_outputs(1);
+        // pivot column (x[0][k], x[1][k], x[2][k]) = (1, 1, 0)
+        for w in [true, true, false] {
+            sim.bank_mut(b).preload(0, w);
+        }
+        // processed column (x[0][j], x[1][j], x[2][j]) = (1, 0, 0); head q=1
+        for w in [true, false, false] {
+            sim.bank_mut(b).preload(1, w);
+        }
+        let mut head = task(TaskKind::PivotHead, 3);
+        head.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+        head.pivot_out = Some(StreamDst::Link(l));
+        sim.push_task(0, head);
+        let mut fuse = task(TaskKind::Fuse, 3);
+        fuse.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+        fuse.pivot_in = Some(StreamSrc::Link(l));
+        fuse.col_out = Some(StreamDst::Output { stream: o });
+        fuse.useful_ops = 1;
+        sim.push_task(1, fuse);
+        let stats = sim.run().unwrap();
+        // out[r-1] = col[r] OR (piv[r] AND q): r=1: 0 OR (1 AND 1) = 1;
+        // r=2: 0 OR (0 AND 1) = 0; head re-emitted last = 1.
+        assert_eq!(sim.outputs()[0], vec![true, false, true]);
+        assert_eq!(stats.useful_ops, 1);
+        assert!(stats.link_words >= 3);
+    }
+
+    #[test]
+    fn missing_input_deadlocks_with_diagnosis() {
+        let mut sim = ArraySim::<MinPlus>::new(1);
+        let b = sim.add_bank();
+        let mut t = task(TaskKind::DelayTail, 2);
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 9 }); // never filled
+        sim.push_task(0, t);
+        match sim.run() {
+            Err(SimError::Deadlock { pending, .. }) => assert_eq!(pending, vec![1]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let mut sim = ArraySim::<MinPlus>::new(1);
+        let b = sim.add_bank();
+        let mut t = task(TaskKind::DelayTail, 2);
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 9 });
+        sim.push_task(0, t);
+        sim.set_max_cycles(1);
+        assert_eq!(sim.run(), Err(SimError::Timeout { max_cycles: 1 }));
+    }
+
+    #[test]
+    fn host_stream_reaches_cell_through_chain() {
+        let mut sim = ArraySim::<MinPlus>::new(2);
+        let o = sim.add_outputs(1);
+        sim.host_mut().enqueue_stream(1, 3, [5u64, 6, 7]);
+        let mut t = task(TaskKind::Pass, 3);
+        t.col_in = Some(StreamSrc::Host { key: 3 });
+        t.col_out = Some(StreamDst::Output { stream: o });
+        sim.push_task(1, t);
+        let stats = sim.run().unwrap();
+        assert_eq!(sim.outputs()[0], vec![5, 6, 7]);
+        assert_eq!(stats.host_words, 3);
+        assert!(stats.io_bandwidth() <= 1.0);
+    }
+
+    #[test]
+    fn load_mac_emit_computes_dot_product_plus_seed() {
+        // acc ← 100 ⊕ Σ aᵢ ⊗ bᵢ over the counting semiring: 100 + 1·4 +
+        // 2·5 + 3·6 = 132.
+        use systolic_semiring::Counting;
+        let mut sim = ArraySim::<Counting>::new(1);
+        let b = sim.add_bank();
+        let o = sim.add_outputs(1);
+        sim.bank_mut(b).preload(0, 100); // seed
+        for a in [1u64, 2, 3] {
+            sim.bank_mut(b).preload(1, a);
+        }
+        for w in [4u64, 5, 6] {
+            sim.bank_mut(b).preload(2, w);
+        }
+        let mut t = task(TaskKind::LoadAcc, 1);
+        t.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+        sim.push_task(0, t);
+        let mut t = task(TaskKind::Mac, 3);
+        t.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 2 });
+        sim.push_task(0, t);
+        let mut t = task(TaskKind::EmitAcc, 1);
+        t.col_out = Some(StreamDst::Output { stream: o });
+        sim.push_task(0, t);
+        sim.run().unwrap();
+        assert_eq!(sim.outputs()[0], vec![132]);
+    }
+
+    #[test]
+    fn mac_without_seed_starts_at_zero_and_forwards_operands() {
+        use systolic_semiring::Counting;
+        let mut sim = ArraySim::<Counting>::new(1);
+        let b = sim.add_bank();
+        let o = sim.add_outputs(3);
+        for a in [2u64, 3] {
+            sim.bank_mut(b).preload(1, a);
+        }
+        for w in [10u64, 20] {
+            sim.bank_mut(b).preload(2, w);
+        }
+        let mut t = task(TaskKind::Mac, 2);
+        t.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 2 });
+        t.col_out = Some(StreamDst::Output { stream: o });
+        t.pivot_out = Some(StreamDst::Output { stream: o + 1 });
+        sim.push_task(0, t);
+        let mut t = task(TaskKind::EmitAcc, 1);
+        t.col_out = Some(StreamDst::Output { stream: o + 2 });
+        sim.push_task(0, t);
+        sim.run().unwrap();
+        assert_eq!(sim.outputs()[0], vec![2, 3], "a operands forwarded");
+        assert_eq!(sim.outputs()[1], vec![10, 20], "b operands forwarded");
+        assert_eq!(sim.outputs()[2], vec![2 * 10 + 3 * 20]);
+    }
+
+    #[test]
+    fn emit_acc_without_mac_emits_zero() {
+        let mut sim = ArraySim::<MinPlus>::new(1);
+        let o = sim.add_outputs(1);
+        let mut t = task(TaskKind::EmitAcc, 1);
+        t.col_out = Some(StreamDst::Output { stream: o });
+        sim.push_task(0, t);
+        sim.run().unwrap();
+        assert_eq!(sim.outputs()[0], vec![MinPlus::zero()]);
+    }
+
+    #[test]
+    fn delayed_link_adds_bypass_latency() {
+        let mut sim = ArraySim::<MinPlus>::new(2);
+        let l = sim.add_link_with_delay(3);
+        let b = sim.add_bank();
+        let o = sim.add_outputs(1);
+        for w in [1u64, 2, 3, 4] {
+            sim.bank_mut(b).preload(0, w);
+        }
+        let mut t = task(TaskKind::Pass, 4);
+        t.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+        t.col_out = Some(StreamDst::Link(l));
+        sim.push_task(0, t);
+        let mut t = task(TaskKind::Pass, 4);
+        t.col_in = Some(StreamSrc::Link(l));
+        t.col_out = Some(StreamDst::Output { stream: o });
+        sim.push_task(1, t);
+        let stats = sim.run().unwrap();
+        assert_eq!(sim.outputs()[0], vec![1, 2, 3, 4]);
+        // First word crosses 1 cycle of bank latency plus 3 cycles of link
+        // transit; the stream then drains one word per cycle (4 words in 7
+        // cycles), strictly slower than the 1-cycle-link case (6).
+        assert_eq!(stats.cycles, 7);
+    }
+}

@@ -1,0 +1,116 @@
+//! Measured counters of a simulation run and the paper's derived measures.
+
+/// Counters collected by [`crate::ArraySim::run`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Number of cells.
+    pub cells: usize,
+    /// Per-cell cycles in which the cell consumed/produced words.
+    pub busy: Vec<u64>,
+    /// Per-cell cycles in which the cell had a task but could not fire.
+    pub stalls: Vec<u64>,
+    /// Useful primitive operations executed (fuse updates, excluding
+    /// pass-throughs and delays) — the `N` of the utilization formula.
+    pub useful_ops: u64,
+    /// Words injected by the host.
+    pub host_words: u64,
+    /// Cycle of the first host injection.
+    pub host_first: Option<u64>,
+    /// Cycle of the last host injection.
+    pub host_last: Option<u64>,
+    /// Peak words resident in the host R-block memories.
+    pub host_peak_resident: usize,
+    /// Total words written to external banks.
+    pub bank_writes: u64,
+    /// Total words read from external banks.
+    pub bank_reads: u64,
+    /// Largest single-cycle write burst into any one bank.
+    pub max_bank_writes_per_cycle: u64,
+    /// Peak words resident across all banks (external-memory footprint).
+    pub peak_bank_resident: usize,
+    /// Words transported over neighbor links.
+    pub link_words: u64,
+    /// Words delivered to output collectors.
+    pub output_words: u64,
+    /// Number of memory banks attached to the array (the paper's
+    /// "connections to external memories": `m+1` linear, `2√m` grid).
+    pub memory_connections: usize,
+    /// Task spans (populated only when tracing was enabled on the array).
+    pub spans: Vec<crate::trace::TaskSpan>,
+}
+
+impl RunStats {
+    /// Cell-occupancy utilization: fraction of cell-cycles spent streaming
+    /// (includes pass-through cycles — an upper bound on useful utilization).
+    pub fn occupancy(&self) -> f64 {
+        if self.cycles == 0 || self.cells == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.busy.iter().sum();
+        busy as f64 / (self.cycles as f64 * self.cells as f64)
+    }
+
+    /// The paper's utilization `U = N / (m / T)` with `N` the useful
+    /// operation count and `m/T` the total cell-cycles (§4.1).
+    pub fn useful_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.cells == 0 {
+            return 0.0;
+        }
+        self.useful_ops as f64 / (self.cycles as f64 * self.cells as f64)
+    }
+
+    /// Measured host I/O bandwidth in words/cycle — the paper's `D_I/O`.
+    pub fn io_bandwidth(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.host_words as f64 / self.cycles as f64
+    }
+
+    /// Measured throughput for `problems` chained instances: problems per
+    /// cycle (`T` of §4.1).
+    pub fn throughput(&self, problems: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        problems as f64 / self.cycles as f64
+    }
+
+    /// Total stall cycles across cells.
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_measures() {
+        let s = RunStats {
+            cycles: 100,
+            cells: 4,
+            busy: vec![100, 100, 50, 50],
+            stalls: vec![0, 0, 10, 10],
+            useful_ops: 200,
+            host_words: 25,
+            ..Default::default()
+        };
+        assert!((s.occupancy() - 0.75).abs() < 1e-12);
+        assert!((s.useful_utilization() - 0.5).abs() < 1e-12);
+        assert!((s.io_bandwidth() - 0.25).abs() < 1e-12);
+        assert!((s.throughput(2) - 0.02).abs() < 1e-12);
+        assert_eq!(s.total_stalls(), 20);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let s = RunStats::default();
+        assert_eq!(s.occupancy(), 0.0);
+        assert_eq!(s.io_bandwidth(), 0.0);
+        assert_eq!(s.throughput(1), 0.0);
+    }
+}

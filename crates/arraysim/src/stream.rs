@@ -1,0 +1,277 @@
+//! Links, banks and stream endpoints.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A neighbor register chain: a word written at cycle `t` becomes readable
+/// at `t + delay` (default delay 1 — a single register).
+///
+/// Capacity is `delay + 1` words (one per register stage plus the visible
+/// one), which models back-to-back pipelined registers. Writers must check
+/// [`Link::can_write`]; full means backpressure. Delays larger than 1 model
+/// bypass routes around faulty cells (§5's fault-tolerance discussion).
+#[derive(Clone, Debug)]
+pub struct Link<E> {
+    fifo: VecDeque<(u64, E)>,
+    delay: u64,
+    cap: usize,
+    now: u64,
+    /// Total words transported.
+    pub words: u64,
+}
+
+impl<E> Default for Link<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Link<E> {
+    /// Creates an empty single-register link (1-cycle latency).
+    pub fn new() -> Self {
+        Self::with_delay(1)
+    }
+
+    /// Creates a link with the given latency in cycles (`≥ 1`).
+    pub fn with_delay(delay: u64) -> Self {
+        assert!(delay >= 1, "links need at least one register");
+        Self {
+            fifo: VecDeque::new(),
+            delay,
+            cap: delay as usize + 1,
+            now: 0,
+            words: 0,
+        }
+    }
+
+    /// The link's latency in cycles.
+    pub fn delay(&self) -> u64 {
+        self.delay
+    }
+
+    /// True when a word can be written this cycle.
+    #[inline]
+    pub fn can_write(&self) -> bool {
+        self.fifo.len() < self.cap
+    }
+
+    /// Writes a word (must be writable), readable `delay` cycles later.
+    ///
+    /// # Panics
+    /// Panics if the link is full — callers must check [`Link::can_write`].
+    pub fn write(&mut self, e: E) {
+        assert!(self.can_write(), "link overwrite");
+        self.fifo.push_back((self.now + self.delay, e));
+        self.words += 1;
+    }
+
+    /// True when a word is readable this cycle.
+    #[inline]
+    pub fn can_read(&self) -> bool {
+        self.fifo
+            .front()
+            .is_some_and(|(ready, _)| *ready <= self.now)
+    }
+
+    /// Consumes the readable word, if any.
+    pub fn read(&mut self) -> Option<E> {
+        if self.can_read() {
+            self.fifo.pop_front().map(|(_, e)| e)
+        } else {
+            None
+        }
+    }
+
+    /// End-of-cycle clock advance.
+    pub fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    /// True when no word is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+}
+
+/// An external memory bank holding logical streams as FIFOs.
+///
+/// Each write lands with one cycle of latency. The bank records its busiest
+/// write cycle so experiments can check the port-width assumptions.
+#[derive(Clone, Debug)]
+pub struct Bank<E> {
+    fifos: HashMap<u64, VecDeque<(u64, E)>>,
+    /// Total words written.
+    pub writes: u64,
+    /// Total words read.
+    pub reads: u64,
+    writes_this_cycle: u64,
+    /// Maximum words written in any single cycle.
+    pub max_writes_per_cycle: u64,
+}
+
+impl<E> Default for Bank<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Bank<E> {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Self {
+            fifos: HashMap::new(),
+            writes: 0,
+            reads: 0,
+            writes_this_cycle: 0,
+            max_writes_per_cycle: 0,
+        }
+    }
+
+    /// Appends a word to stream `key`; readable from cycle `now + 1`.
+    pub fn write(&mut self, key: u64, now: u64, e: E) {
+        self.fifos.entry(key).or_default().push_back((now + 1, e));
+        self.writes += 1;
+        self.writes_this_cycle += 1;
+    }
+
+    /// Pre-loads a word readable immediately (initial matrix residence).
+    pub fn preload(&mut self, key: u64, e: E) {
+        self.fifos.entry(key).or_default().push_back((0, e));
+    }
+
+    /// True when stream `key` has a word readable at cycle `now`.
+    pub fn can_read(&self, key: u64, now: u64) -> bool {
+        self.fifos
+            .get(&key)
+            .and_then(VecDeque::front)
+            .is_some_and(|(ready, _)| *ready <= now)
+    }
+
+    /// Consumes the next word of stream `key` if readable.
+    pub fn read(&mut self, key: u64, now: u64) -> Option<E> {
+        let fifo = self.fifos.get_mut(&key)?;
+        if fifo.front().is_some_and(|(ready, _)| *ready <= now) {
+            self.reads += 1;
+            fifo.pop_front().map(|(_, e)| e)
+        } else {
+            None
+        }
+    }
+
+    /// End-of-cycle accounting.
+    pub fn tick(&mut self) {
+        self.max_writes_per_cycle = self.max_writes_per_cycle.max(self.writes_this_cycle);
+        self.writes_this_cycle = 0;
+    }
+
+    /// Number of words currently resident (peak external-memory footprint is
+    /// tracked by the simulator).
+    pub fn resident(&self) -> usize {
+        self.fifos.values().map(VecDeque::len).sum()
+    }
+}
+
+/// Where a task's input stream comes from.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StreamSrc {
+    /// Stream `key` of bank `bank`.
+    Bank {
+        /// Bank index.
+        bank: usize,
+        /// Logical stream key within the bank.
+        key: u64,
+    },
+    /// Neighbor link `link`.
+    Link(usize),
+    /// The cell's R-block host memory, stream `key`.
+    Host {
+        /// Logical stream key.
+        key: u64,
+    },
+}
+
+/// Where a task's output stream goes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StreamDst {
+    /// Stream `key` of bank `bank`.
+    Bank {
+        /// Bank index.
+        bank: usize,
+        /// Logical stream key within the bank.
+        key: u64,
+    },
+    /// Neighbor link `link`.
+    Link(usize),
+    /// Result collector stream `stream` (one per output matrix column).
+    Output {
+        /// Output stream index.
+        stream: usize,
+    },
+    /// Discard (used for dangling boundary pivot streams).
+    Sink,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_has_one_cycle_latency() {
+        let mut l = Link::new();
+        assert!(l.can_write());
+        l.write(7u32);
+        assert!(!l.can_read(), "not readable in the write cycle");
+        l.tick();
+        assert!(l.can_read());
+        assert_eq!(l.read(), Some(7));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn link_backpressure() {
+        let mut l = Link::new();
+        l.write(1u32);
+        l.tick();
+        l.write(2);
+        assert!(!l.can_write(), "register pair full");
+        l.tick(); // cur still occupied; next stays
+        assert!(!l.can_write());
+        assert_eq!(l.read(), Some(1));
+        l.tick();
+        assert!(l.can_write());
+        assert_eq!(l.read(), Some(2));
+        assert_eq!(l.words, 2);
+    }
+
+    #[test]
+    fn bank_write_read_latency_and_counters() {
+        let mut b = Bank::new();
+        b.write(5, 10, 'a');
+        assert!(!b.can_read(5, 10), "same-cycle read must fail");
+        assert!(b.can_read(5, 11));
+        assert_eq!(b.read(5, 11), Some('a'));
+        assert_eq!(b.writes, 1);
+        assert_eq!(b.reads, 1);
+        b.tick();
+        assert_eq!(b.max_writes_per_cycle, 1);
+    }
+
+    #[test]
+    fn bank_preload_is_immediately_readable() {
+        let mut b = Bank::new();
+        b.preload(1, 'x');
+        b.preload(1, 'y');
+        assert_eq!(b.read(1, 0), Some('x'));
+        assert_eq!(b.read(1, 0), Some('y'));
+        assert_eq!(b.read(1, 0), None);
+    }
+
+    #[test]
+    fn bank_streams_are_independent() {
+        let mut b = Bank::new();
+        b.preload(1, 1u8);
+        b.preload(2, 2u8);
+        assert_eq!(b.read(2, 0), Some(2));
+        assert_eq!(b.read(1, 0), Some(1));
+        assert_eq!(b.resident(), 0);
+    }
+}

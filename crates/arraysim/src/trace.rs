@@ -1,0 +1,103 @@
+//! Task-span tracing and a text Gantt renderer.
+//!
+//! With tracing enabled, every task records the cycle range it occupied its
+//! cell; [`render_gantt`] draws one row per cell with each span labelled by
+//! its G-graph row `k` — which makes the pipelined G-set schedule of
+//! Fig. 20 directly visible (see `examples/cell_occupancy.rs`).
+
+use crate::cell::TaskLabel;
+
+/// One executed task's occupancy of a cell.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Cell index.
+    pub cell: usize,
+    /// First cycle the task consumed an element.
+    pub start: u64,
+    /// Cycle after the last element was consumed.
+    pub end: u64,
+    /// The G-node the task implemented.
+    pub label: TaskLabel,
+}
+
+/// Renders task spans as a text Gantt chart, one row per cell.
+///
+/// Each busy cycle prints the task's `k mod 10` digit; idle cycles print
+/// `·`. `max_width` truncates long timelines (a `…` marks truncation).
+pub fn render_gantt(spans: &[TaskSpan], cells: usize, cycles: u64, max_width: usize) -> String {
+    let width = (cycles as usize).min(max_width);
+    let mut rows = vec![vec![b'.'; width]; cells];
+    for s in spans {
+        if s.cell >= cells {
+            continue;
+        }
+        let digit = b'0' + (s.label.k % 10) as u8;
+        for t in s.start..s.end.min(width as u64) {
+            rows[s.cell][t as usize] = digit;
+        }
+    }
+    let mut out = String::new();
+    for (c, row) in rows.iter().enumerate() {
+        out.push_str(&format!("cell {c:>2} |"));
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        if (cycles as usize) > max_width {
+            out.push('…');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Summarizes spans into per-cell (busy, span-count) pairs.
+pub fn occupancy_summary(spans: &[TaskSpan], cells: usize) -> Vec<(u64, usize)> {
+    let mut acc = vec![(0u64, 0usize); cells];
+    for s in spans {
+        if let Some(slot) = acc.get_mut(s.cell) {
+            slot.0 += s.end - s.start;
+            slot.1 += 1;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(cell: usize, start: u64, end: u64, k: u32) -> TaskSpan {
+        TaskSpan {
+            cell,
+            start,
+            end,
+            label: TaskLabel { k, h: 0 },
+        }
+    }
+
+    #[test]
+    fn gantt_draws_digits_and_idle_dots() {
+        let spans = vec![span(0, 0, 3, 1), span(1, 2, 4, 12)];
+        let g = render_gantt(&spans, 2, 6, 80);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines[0], "cell  0 |111...");
+        assert_eq!(lines[1], "cell  1 |..22..");
+    }
+
+    #[test]
+    fn gantt_truncates_to_width() {
+        let spans = vec![span(0, 0, 100, 3)];
+        let g = render_gantt(&spans, 1, 100, 10);
+        assert!(g.contains('…'));
+        assert_eq!(
+            g.lines().next().unwrap().len(),
+            "cell  0 |".len() + 10 + "…".len()
+        );
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let spans = vec![span(0, 0, 3, 0), span(0, 5, 9, 1), span(1, 0, 1, 0)];
+        let s = occupancy_summary(&spans, 2);
+        assert_eq!(s[0], (7, 2));
+        assert_eq!(s[1], (1, 1));
+    }
+}

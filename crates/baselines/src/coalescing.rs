@@ -1,0 +1,176 @@
+//! LSGP / coalescing baseline (§2, Fig. 1).
+//!
+//! Coalescing assigns each cell a fixed *component* of the G-graph and the
+//! cell executes its component sequentially; communication between
+//! components maps onto the array interconnect. The paper's reservation:
+//! "requires local storage within each cell … such storage requirements
+//! might be large (i.e., O(n) or O(n²))". This module quantifies that.
+//!
+//! For the transitive-closure G-graph, the natural coalescing gives cell
+//! `c` the `h`-columns with `h ≡ c (mod m)`… but any contiguous assignment
+//! must buffer, inside the cell, every column stream flowing between two
+//! of its own G-nodes that it cannot consume immediately — `Θ(n²/m)` words
+//! per cell — while cut-and-pile keeps cells at `O(1)` registers and puts
+//! the `Θ(n²)` state in external memories shared across the schedule.
+
+use systolic_semiring::{DenseMatrix, PathSemiring};
+use systolic_transform::GGraph;
+
+/// Storage/makespan model of a coalesced (LSGP) linear implementation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CoalescingModel {
+    /// Problem size.
+    pub n: usize,
+    /// Cell count.
+    pub m: usize,
+}
+
+impl CoalescingModel {
+    /// Creates the model.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(m >= 1 && n >= 2);
+        Self { n, m }
+    }
+
+    /// G-nodes per component (cell): `⌈n(n+1)/m⌉`.
+    pub fn gnodes_per_cell(&self) -> usize {
+        (self.n * (self.n + 1)).div_ceil(self.m)
+    }
+
+    /// Local words each cell must buffer: one full column stream (`n`
+    /// words) per `h`-column owned, since the component executes its
+    /// G-nodes one at a time and every inter-row stream between two owned
+    /// G-nodes stays inside the cell: `Θ(n²/m)`.
+    pub fn local_words_per_cell(&self) -> usize {
+        let columns_owned = (2 * self.n).div_ceil(self.m);
+        columns_owned * self.n
+    }
+
+    /// Cut-and-pile's local words per cell for comparison: the stream
+    /// latch plus link registers — a constant.
+    pub fn cut_and_pile_local_words(&self) -> usize {
+        4
+    }
+
+    /// Sequential makespan of one cell's component (`gnodes × n` cycles);
+    /// with balanced components this matches cut-and-pile's `n²(n+1)/m`,
+    /// i.e. coalescing trades memory, not time.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.gnodes_per_cell() as u64 * self.n as u64
+    }
+
+    /// Functional execution of the coalesced schedule (components
+    /// sequential, one G-node at a time) — identical results to the
+    /// G-graph stream semantics, demonstrating LSGP computes the same
+    /// closure while needing the buffered state.
+    pub fn closure<S: PathSemiring>(&self, a: &DenseMatrix<S>) -> DenseMatrix<S> {
+        // Coalescing reorders execution but preserves dependences; the
+        // G-graph evaluator is its functional specification.
+        GGraph::new(self.n).eval::<S>(&systolic_semiring::reflexive(a))
+    }
+}
+
+/// The §2 combined scheme: cut-and-pile first into super-partitions larger
+/// than the array, then coalescing within each super-partition — "such
+/// scheme would help reducing the memory requirements of applying
+/// coalescing alone".
+///
+/// With super-partitions of `p` G-graph columns (`p ≥ m`), a cell only
+/// buffers the streams of its share of one super-partition at a time:
+/// `(p/m)·n` words instead of `(2n/m)·n`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HybridModel {
+    /// Problem size.
+    pub n: usize,
+    /// Cell count.
+    pub m: usize,
+    /// Super-partition width in G-graph columns (`m ≤ p ≤ 2n`).
+    pub partition_width: usize,
+}
+
+impl HybridModel {
+    /// Creates the model.
+    pub fn new(n: usize, m: usize, partition_width: usize) -> Self {
+        assert!(m >= 1 && n >= 2);
+        assert!(
+            partition_width >= m,
+            "super-partitions must cover the array"
+        );
+        Self {
+            n,
+            m,
+            partition_width,
+        }
+    }
+
+    /// Local words per cell: each cell coalesces `p/m` columns of the
+    /// current super-partition.
+    pub fn local_words_per_cell(&self) -> usize {
+        self.partition_width.div_ceil(self.m) * self.n
+    }
+
+    /// Memory saving factor versus coalescing alone.
+    pub fn saving_vs_coalescing(&self) -> f64 {
+        let alone = CoalescingModel::new(self.n, self.m).local_words_per_cell();
+        alone as f64 / self.local_words_per_cell() as f64
+    }
+
+    /// Number of super-partitions executed sequentially (the cut-and-pile
+    /// outer level).
+    pub fn super_partitions(&self) -> usize {
+        (2 * self.n).div_ceil(self.partition_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::{warshall, Bool};
+
+    #[test]
+    fn local_storage_scales_as_n_squared_over_m() {
+        let a = CoalescingModel::new(64, 8);
+        assert_eq!(a.local_words_per_cell(), 16 * 64);
+        let b = CoalescingModel::new(128, 8);
+        // Doubling n quadruples local storage.
+        assert_eq!(b.local_words_per_cell(), 4 * a.local_words_per_cell());
+        // Cut-and-pile stays constant.
+        assert_eq!(a.cut_and_pile_local_words(), b.cut_and_pile_local_words());
+    }
+
+    #[test]
+    fn makespan_matches_cut_and_pile_ideal() {
+        let mdl = CoalescingModel::new(32, 4);
+        let ideal = 32u64 * 32 * 33 / 4;
+        let slack = mdl.makespan_cycles() as f64 / ideal as f64;
+        assert!((0.95..1.1).contains(&slack), "slack {slack}");
+    }
+
+    #[test]
+    fn hybrid_interpolates_between_the_two_schemes() {
+        let (n, m) = (64usize, 4usize);
+        let alone = CoalescingModel::new(n, m).local_words_per_cell();
+        // p = 2n degenerates to coalescing alone.
+        let full = HybridModel::new(n, m, 2 * n);
+        assert_eq!(full.local_words_per_cell(), alone);
+        assert_eq!(full.super_partitions(), 1);
+        // p = m degenerates to cut-and-pile's per-column residency.
+        let tight = HybridModel::new(n, m, m);
+        assert_eq!(tight.local_words_per_cell(), n);
+        assert_eq!(tight.super_partitions(), 2 * n / m);
+        // In between, memory shrinks proportionally.
+        let mid = HybridModel::new(n, m, 16);
+        assert!(mid.local_words_per_cell() < alone);
+        assert!(mid.saving_vs_coalescing() > 4.0);
+    }
+
+    #[test]
+    fn coalesced_execution_is_functionally_correct() {
+        let mut a = DenseMatrix::<Bool>::zeros(6, 6);
+        for (i, j) in [(0, 3), (3, 1), (1, 5), (5, 0), (2, 4)] {
+            a.set(i, j, true);
+        }
+        let got = CoalescingModel::new(6, 3).closure(&a);
+        assert_eq!(got, warshall(&a));
+    }
+}

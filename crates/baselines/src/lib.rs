@@ -1,0 +1,31 @@
+//! Baseline schemes the paper compares against (§1, §2).
+//!
+//! * [`nunez`] — Núñez & Torralba's block-partitioned transitive closure
+//!   \[22\]: the algorithm is *decomposed* into sub-algorithms (sequences of
+//!   matrix multiplications) chained on a fixed-size square array. Both a
+//!   functional implementation (verified against Warshall) and a phase
+//!   cost model (load/compute/unload + chaining control) are provided —
+//!   the paper's criticism is precisely the decomposition's "rather complex
+//!   control to chain the different sub-problems".
+//! * [`kung`] — S.Y. Kung's fixed-size transitive-closure array \[23\],
+//!   modelled by its published operating discipline: data is "first loaded
+//!   in the nodes and then reused for a period of n cycles", i.e. transfer
+//!   and compute do not overlap, unlike the Fig. 17 array.
+//! * [`coalescing`] — the LSGP alternative of §2 (Fig. 1): each cell owns a
+//!   contiguous slice of the G-graph and needs `O(n²/m)` local words,
+//!   versus cut-and-pile's `O(1)` per cell plus boundary memories.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coalescing;
+pub mod kung;
+pub mod matmul_array;
+pub mod nunez;
+pub mod nunez_sim;
+
+pub use coalescing::{CoalescingModel, HybridModel};
+pub use kung::KungArrayModel;
+pub use matmul_array::MatmulArray;
+pub use nunez::{nunez_closure, NunezCost, NunezEngine};
+pub use nunez_sim::{NunezSimEngine, NunezSimStats};

@@ -1,0 +1,253 @@
+//! A cycle-level `s × s` matrix-product systolic array — the execution
+//! substrate of the Núñez–Torralba decomposition \[22\], whose sub-algorithms
+//! are "sequences of matrix multiplications".
+//!
+//! Classic stationary-C organization with **explicit, non-overlapped
+//! phases**, which is exactly the operating discipline the paper holds
+//! against decomposition schemes:
+//!
+//! 1. **Load**: the `C` tile shifts in row-wise from the left boundary
+//!    (`s` cycles plus skew) into per-cell accumulators;
+//! 2. **Compute**: `A` streams in from the left, `B` from the top; each
+//!    cell multiply-accumulates and forwards (`s` cycles plus skew);
+//! 3. **Unload**: accumulators shift out row-wise to the left boundary.
+//!
+//! [`MatmulArray::multiply_acc`] measures the full cycle cost of
+//! `C ⊕ A⊗B` on the simulator, with tile padding for ragged edges.
+
+use systolic_arraysim::{
+    ArraySim, RunStats, SimError, StreamDst, StreamSrc, Task, TaskKind, TaskLabel,
+};
+use systolic_semiring::{DenseMatrix, Semiring};
+
+/// An `s × s` stationary-C matrix-product array.
+#[derive(Copy, Clone, Debug)]
+pub struct MatmulArray {
+    s: usize,
+}
+
+impl MatmulArray {
+    /// Creates an `s × s` array (`s ≥ 1`).
+    pub fn new(s: usize) -> Self {
+        assert!(s >= 1);
+        Self { s }
+    }
+
+    /// Tile side.
+    pub fn side(&self) -> usize {
+        self.s
+    }
+
+    /// Computes `C ⊕ (A ⊗ B)` for `s × s` operands on the simulated array,
+    /// returning the result and the measured run statistics.
+    ///
+    /// # Errors
+    /// Propagates simulator failures (a wiring bug; does not occur for
+    /// well-formed operands).
+    ///
+    /// # Panics
+    /// Panics if operand shapes are not `s × s`.
+    pub fn multiply_acc<S: Semiring>(
+        &self,
+        c: &DenseMatrix<S>,
+        a: &DenseMatrix<S>,
+        b: &DenseMatrix<S>,
+    ) -> Result<(DenseMatrix<S>, RunStats), SimError> {
+        let s = self.s;
+        assert!(
+            c.rows() == s
+                && c.cols() == s
+                && a.rows() == s
+                && a.cols() == s
+                && b.rows() == s
+                && b.cols() == s,
+            "operands must be {s}x{s}"
+        );
+        let cell = |i: usize, j: usize| i * s + j;
+        let mut sim = ArraySim::<S>::new(s * s);
+
+        // Link families: a-links rightward, b-links downward, u-links
+        // leftward (unload).
+        let mut al = vec![usize::MAX; s * s];
+        let mut bl = vec![usize::MAX; s * s];
+        let mut ul = vec![usize::MAX; s * s];
+        for i in 0..s {
+            for j in 0..s {
+                if j + 1 < s {
+                    al[cell(i, j)] = sim.add_link();
+                }
+                if i + 1 < s {
+                    bl[cell(i, j)] = sim.add_link();
+                }
+                if j >= 1 {
+                    ul[cell(i, j)] = sim.add_link();
+                }
+            }
+        }
+        // Banks: row feeders (C then A) 0..s, column feeders (B) s..2s,
+        // result collectors handled as outputs.
+        for _ in 0..2 * s {
+            sim.add_bank();
+        }
+        sim.set_memory_connections(3 * s); // left in, top in, left out
+        let out0 = sim.add_outputs(s);
+
+        for i in 0..s {
+            // Row feeder: C row (reversed: the first word settles at the
+            // rightmost cell) followed by A row in k order.
+            for j in (0..s).rev() {
+                sim.bank_mut(i).preload(0, c.get(i, j).clone());
+            }
+            for k in 0..s {
+                sim.bank_mut(i).preload(0, a.get(i, k).clone());
+            }
+            // Column feeder: B column in k order.
+            for k in 0..s {
+                sim.bank_mut(s + i).preload(0, b.get(k, i).clone());
+            }
+        }
+
+        let mk = |kind: TaskKind, len: usize| Task {
+            kind,
+            len,
+            col_in: None,
+            pivot_in: None,
+            col_out: None,
+            pivot_out: None,
+            useful_ops: 0,
+            label: TaskLabel::default(),
+        };
+
+        for i in 0..s {
+            for j in 0..s {
+                let id = cell(i, j);
+                let from_left = if j == 0 {
+                    StreamSrc::Bank { bank: i, key: 0 }
+                } else {
+                    StreamSrc::Link(al[cell(i, j - 1)])
+                };
+                let to_right = if j + 1 < s {
+                    Some(StreamDst::Link(al[id]))
+                } else {
+                    None
+                };
+                let from_top = if i == 0 {
+                    StreamSrc::Bank {
+                        bank: s + j,
+                        key: 0,
+                    }
+                } else {
+                    StreamSrc::Link(bl[cell(i - 1, j)])
+                };
+                let to_bottom = if i + 1 < s {
+                    Some(StreamDst::Link(bl[id]))
+                } else {
+                    None
+                };
+                let to_unload = if j == 0 {
+                    StreamDst::Output { stream: out0 + i }
+                } else {
+                    StreamDst::Link(ul[id])
+                };
+                let from_unload_right = if j + 1 < s {
+                    Some(StreamSrc::Link(ul[cell(i, j + 1)]))
+                } else {
+                    None
+                };
+
+                // Phase 1: shift the C row in; this cell forwards s-1-j
+                // words and keeps the next.
+                if s - 1 - j > 0 {
+                    let mut t = mk(TaskKind::Pass, s - 1 - j);
+                    t.col_in = Some(from_left);
+                    t.col_out = to_right;
+                    sim.push_task(id, t);
+                }
+                let mut t = mk(TaskKind::LoadAcc, 1);
+                t.col_in = Some(from_left);
+                sim.push_task(id, t);
+
+                // Phase 2: multiply-accumulate over the k dimension.
+                let mut t = mk(TaskKind::Mac, s);
+                t.col_in = Some(from_left);
+                t.pivot_in = Some(from_top);
+                t.col_out = to_right;
+                t.pivot_out = to_bottom;
+                t.useful_ops = s as u64;
+                sim.push_task(id, t);
+
+                // Phase 3: unload leftward; emit own accumulator, then pass
+                // the s-1-j accumulators arriving from the right.
+                let mut t = mk(TaskKind::EmitAcc, 1);
+                t.col_out = Some(to_unload);
+                sim.push_task(id, t);
+                if let Some(src) = from_unload_right {
+                    let mut t = mk(TaskKind::Pass, s - 1 - j);
+                    t.col_in = Some(src);
+                    t.col_out = Some(to_unload);
+                    sim.push_task(id, t);
+                }
+            }
+        }
+
+        sim.set_max_cycles(200 * (s as u64 + 2) + 10_000);
+        let stats = sim.run()?;
+        let mut out = DenseMatrix::<S>::zeros(s, s);
+        for i in 0..s {
+            let row = &sim.outputs()[out0 + i];
+            assert_eq!(row.len(), s, "row {i} incomplete");
+            for (j, v) in row.iter().enumerate() {
+                out.set(i, j, v.clone());
+            }
+        }
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::{matmul, Bool, Counting, MinPlus};
+
+    #[test]
+    fn computes_products_over_counting() {
+        let s = 4;
+        let a = DenseMatrix::<Counting>::from_fn(s, s, |i, j| ((i * 3 + j) % 5) as u64);
+        let b = DenseMatrix::<Counting>::from_fn(s, s, |i, j| ((i + 2 * j) % 4) as u64);
+        let c = DenseMatrix::<Counting>::zeros(s, s);
+        let (got, stats) = MatmulArray::new(s).multiply_acc(&c, &a, &b).unwrap();
+        assert_eq!(got, matmul(&a, &b));
+        // Explicit phases: load + compute + unload ≥ 3s cycles.
+        assert!(stats.cycles >= (3 * s) as u64, "cycles {}", stats.cycles);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let s = 3;
+        let a = DenseMatrix::<MinPlus>::from_fn(s, s, |i, j| (i + j + 1) as u64);
+        let b = DenseMatrix::<MinPlus>::from_fn(s, s, |i, j| (2 * i + j + 1) as u64);
+        let c = DenseMatrix::<MinPlus>::from_fn(s, s, |i, j| ((i * s + j) % 4 + 1) as u64);
+        let (got, _) = MatmulArray::new(s).multiply_acc(&c, &a, &b).unwrap();
+        let want = c.ewise_add(&matmul(&a, &b));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn boolean_products() {
+        let s = 5;
+        let a = DenseMatrix::<Bool>::from_fn(s, s, |i, j| (i + j) % 3 == 0);
+        let b = DenseMatrix::<Bool>::from_fn(s, s, |i, j| (i * j) % 2 == 1);
+        let c = DenseMatrix::<Bool>::zeros(s, s);
+        let (got, _) = MatmulArray::new(s).multiply_acc(&c, &a, &b).unwrap();
+        assert_eq!(got, matmul(&a, &b));
+    }
+
+    #[test]
+    fn single_cell_array() {
+        let a = DenseMatrix::<Counting>::from_fn(1, 1, |_, _| 6);
+        let b = DenseMatrix::<Counting>::from_fn(1, 1, |_, _| 7);
+        let c = DenseMatrix::<Counting>::from_fn(1, 1, |_, _| 1);
+        let (got, _) = MatmulArray::new(1).multiply_acc(&c, &a, &b).unwrap();
+        assert_eq!(*got.get(0, 0), 43);
+    }
+}

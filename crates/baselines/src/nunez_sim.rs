@@ -1,0 +1,237 @@
+//! The Núñez–Torralba decomposition executed *on the simulated array*
+//! (upgrade of the analytic [`crate::nunez`] model): every sub-problem of
+//! the blocked transitive closure is a matrix product run on the
+//! [`crate::MatmulArray`], with the diagonal tile closed by repeated
+//! squaring of `I ⊕ D` — their partitioning reduces everything to
+//! "sequences of matrix multiplications".
+//!
+//! The host performs the chaining: it collects each sub-problem's result,
+//! rebuilds the next sub-problem's operands, and charges one control step
+//! per dispatch. Nothing overlaps across sub-problems — which is precisely
+//! the structural cost the paper's cut-and-pile avoids, and what experiment
+//! E15 measures against the linear partitioned array at equal cell count.
+
+use crate::matmul_array::MatmulArray;
+use systolic_arraysim::SimError;
+use systolic_semiring::{DenseMatrix, PathSemiring};
+
+/// Aggregated measurements of a simulated blocked-closure run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NunezSimStats {
+    /// Tile side (the array is `tile × tile` = `m` cells).
+    pub tile: usize,
+    /// Matrix-product sub-problems dispatched to the array.
+    pub subproblems: usize,
+    /// Host control steps (one per dispatch).
+    pub control_steps: usize,
+    /// Total simulated cycles across all sub-problems (nothing overlaps
+    /// between dispatches).
+    pub total_cycles: u64,
+    /// Cycles spent in multiply-accumulate phases.
+    pub mac_cycles: u64,
+    /// Cycles spent loading/unloading the stationary tile (the
+    /// non-overlapped transfer overhead, zero for cut-and-pile).
+    pub transfer_cycles: u64,
+}
+
+impl NunezSimStats {
+    /// Fraction of array time lost to non-overlapped load/unload phases.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.transfer_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// Blocked transitive closure executed sub-problem by sub-problem on a
+/// simulated `b × b` matrix-product array.
+#[derive(Copy, Clone, Debug)]
+pub struct NunezSimEngine {
+    b: usize,
+}
+
+impl NunezSimEngine {
+    /// Creates an engine backed by a `b × b` array.
+    pub fn new(b: usize) -> Self {
+        assert!(b >= 1);
+        Self { b }
+    }
+
+    /// Computes `A⁺` (reflexive) with all products measured on the array.
+    ///
+    /// # Errors
+    /// Propagates simulator failures.
+    pub fn closure<S: PathSemiring>(
+        &self,
+        a: &DenseMatrix<S>,
+    ) -> Result<(DenseMatrix<S>, NunezSimStats), SimError> {
+        let n = a.rows();
+        let b = self.b;
+        let array = MatmulArray::new(b);
+        let mut x = systolic_semiring::reflexive(a);
+        let tiles = n.div_ceil(b);
+        let mut stats = NunezSimStats {
+            tile: b,
+            ..Default::default()
+        };
+
+        // Padded tile extraction: out-of-range positions read 0̸, except the
+        // diagonal pad of diagonal tiles which reads 1 so that closure of
+        // the padded tile equals the padded closure.
+        let get_tile = |x: &DenseMatrix<S>, r0: usize, c0: usize, diag_pad: bool| {
+            DenseMatrix::<S>::from_fn(b, b, |i, j| {
+                let (r, c) = (r0 + i, c0 + j);
+                if r < n && c < n {
+                    x.get(r, c).clone()
+                } else if diag_pad && r == c {
+                    S::one()
+                } else {
+                    S::zero()
+                }
+            })
+        };
+        let put_tile = |x: &mut DenseMatrix<S>, r0: usize, c0: usize, t: &DenseMatrix<S>| {
+            for i in 0..b {
+                for j in 0..b {
+                    let (r, c) = (r0 + i, c0 + j);
+                    if r < n && c < n {
+                        x.set(r, c, t.get(i, j).clone());
+                    }
+                }
+            }
+        };
+
+        let dispatch = |stats: &mut NunezSimStats,
+                        c: &DenseMatrix<S>,
+                        lhs: &DenseMatrix<S>,
+                        rhs: &DenseMatrix<S>|
+         -> Result<DenseMatrix<S>, SimError> {
+            let (out, run) = array.multiply_acc(c, lhs, rhs)?;
+            stats.subproblems += 1;
+            stats.control_steps += 1;
+            stats.total_cycles += run.cycles;
+            // Mac phase ≈ s cycles of the k dimension plus 2(s-1) skew; the
+            // remainder of the run is load/unload transfer.
+            let mac = (3 * b).saturating_sub(2) as u64;
+            stats.mac_cycles += mac.min(run.cycles);
+            stats.transfer_cycles += run.cycles.saturating_sub(mac);
+            Ok(out)
+        };
+
+        let zeros = DenseMatrix::<S>::zeros(b, b);
+        for t in 0..tiles {
+            let k0 = t * b;
+            // (1) Close the diagonal tile by repeated squaring of (I ⊕ D):
+            // ⌈log₂ b⌉ products on the array.
+            let mut diag = get_tile(&x, k0, k0, true);
+            diag.reflexive_closure();
+            let mut len = 1usize;
+            while len < b {
+                diag = dispatch(&mut stats, &zeros, &diag, &diag)?;
+                len *= 2;
+            }
+            put_tile(&mut x, k0, k0, &diag);
+            // (2) Row and column panels.
+            for u in 0..tiles {
+                if u == t {
+                    continue;
+                }
+                let c0 = u * b;
+                let panel = get_tile(&x, k0, c0, false);
+                let np = dispatch(&mut stats, &panel, &diag, &panel)?;
+                put_tile(&mut x, k0, c0, &np);
+                let cpanel = get_tile(&x, c0, k0, false);
+                let ncp = dispatch(&mut stats, &cpanel, &cpanel, &diag)?;
+                put_tile(&mut x, c0, k0, &ncp);
+            }
+            // (3) Rank update of the remainder.
+            for u in 0..tiles {
+                if u == t {
+                    continue;
+                }
+                let r0 = u * b;
+                let left = get_tile(&x, r0, k0, false);
+                for v in 0..tiles {
+                    if v == t {
+                        continue;
+                    }
+                    let c0 = v * b;
+                    let top = get_tile(&x, k0, c0, false);
+                    let tgt = get_tile(&x, r0, c0, false);
+                    let nt = dispatch(&mut stats, &tgt, &left, &top)?;
+                    put_tile(&mut x, r0, c0, &nt);
+                }
+            }
+        }
+        Ok((x, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::{warshall, Bool, MinPlus};
+
+    fn bool_adj(n: usize, edges: &[(usize, usize)]) -> DenseMatrix<Bool> {
+        let mut a = DenseMatrix::<Bool>::zeros(n, n);
+        for &(i, j) in edges {
+            a.set(i, j, true);
+        }
+        a
+    }
+
+    #[test]
+    fn simulated_blocked_closure_is_exact() {
+        let a = bool_adj(9, &[(0, 4), (4, 8), (8, 2), (2, 6), (6, 0), (1, 5), (5, 3)]);
+        let want = warshall(&a);
+        for b in [2usize, 3, 4, 5] {
+            let (got, stats) = NunezSimEngine::new(b).closure(&a).unwrap();
+            assert_eq!(got, want, "tile {b}");
+            assert!(stats.subproblems > 0);
+            assert!(stats.transfer_cycles > 0, "phases measured");
+        }
+    }
+
+    #[test]
+    fn simulated_blocked_closure_minplus() {
+        let n = 7;
+        let mut a = DenseMatrix::<MinPlus>::zeros(n, n);
+        for (i, j, w) in [
+            (0, 1, 1u64),
+            (1, 2, 1),
+            (2, 3, 1),
+            (3, 4, 1),
+            (4, 5, 1),
+            (5, 6, 1),
+            (0, 6, 9),
+        ] {
+            a.set(i, j, w);
+        }
+        let (got, _) = NunezSimEngine::new(3).closure(&a).unwrap();
+        assert_eq!(got, warshall(&a));
+        assert_eq!(*got.get(0, 6), 6);
+    }
+
+    #[test]
+    fn overhead_is_substantial_and_control_grows_cubically() {
+        let a = bool_adj(16, &[(0, 15), (15, 7), (7, 3), (3, 11)]);
+        let (_, s4) = NunezSimEngine::new(4).closure(&a).unwrap();
+        assert!(s4.overhead_fraction() > 0.3, "{s4:?}");
+        // tiles t = 4: per step 1 closure chain + 2(t-1) panels + (t-1)²
+        // updates → dominated by t³ products.
+        assert!(s4.subproblems >= 4 * ((4 - 1) * (4 - 1) + 2 * 3));
+        assert_eq!(s4.control_steps, s4.subproblems);
+    }
+
+    #[test]
+    fn ragged_sizes_are_padded_correctly() {
+        let a = bool_adj(10, &[(0, 9), (9, 4), (4, 7), (7, 0), (2, 5)]);
+        let want = warshall(&a);
+        for b in [3usize, 4, 6, 7] {
+            let (got, _) = NunezSimEngine::new(b).closure(&a).unwrap();
+            assert_eq!(got, want, "tile {b}");
+        }
+    }
+}

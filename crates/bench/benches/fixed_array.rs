@@ -1,0 +1,31 @@
+//! E06/E07 — the fixed-size arrays of Fig. 17 and §3.2: simulation cost of
+//! one problem instance (the cycle-level results live in EXPERIMENTS.md;
+//! this measures the simulator's wall-clock cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use systolic_closure::gnp;
+use systolic_partition::{ClosureEngine, FixedArrayEngine, FixedLinearEngine};
+use systolic_semiring::Bool;
+
+fn bench_fixed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed_array");
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    for n in [8usize, 16, 24] {
+        let a = gnp(n, 0.15, 3).adjacency_matrix();
+        g.bench_with_input(BenchmarkId::new("fig17_full", n), &a, |b, a| {
+            let eng = FixedArrayEngine::new();
+            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("linear_collapsed", n), &a, |b, a| {
+            let eng = FixedLinearEngine::new();
+            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fixed);
+criterion_main!(benches);

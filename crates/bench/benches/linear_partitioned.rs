@@ -1,0 +1,36 @@
+//! E08 — Fig. 18's linear partitioned array: simulation cost across cell
+//! counts `m` for a fixed problem size (the measured-cycle tables live in
+//! EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use systolic_closure::gnp;
+use systolic_partition::{ClosureEngine, LinearEngine};
+use systolic_semiring::Bool;
+
+fn bench_linear(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linear_partitioned");
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.sample_size(10);
+    let n = 24;
+    let a = gnp(n, 0.15, 11).adjacency_matrix();
+    for m in [2usize, 4, 8, 12] {
+        g.bench_with_input(BenchmarkId::new("cells", m), &a, |b, a| {
+            let eng = LinearEngine::new(m);
+            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        });
+    }
+    // Problem-size sweep at fixed m, the T = m/(n²(n+1)) scaling.
+    for n in [12usize, 24, 36] {
+        let a = gnp(n, 0.15, 12).adjacency_matrix();
+        g.bench_with_input(BenchmarkId::new("n_sweep_m4", n), &a, |b, a| {
+            let eng = LinearEngine::new(4);
+            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_linear);
+criterion_main!(benches);

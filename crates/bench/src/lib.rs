@@ -1,0 +1,720 @@
+//! Experiment implementations regenerating every quantitative claim of the
+//! paper (the E01–E17 index of `DESIGN.md`).
+//!
+//! Each `eNN` function runs its experiment and returns a Markdown section
+//! with paper-vs-measured rows; the `experiments` binary assembles them
+//! into `EXPERIMENTS.md`. Criterion benches under `benches/` wrap the same
+//! workloads for wall-clock measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use systolic_baselines::{CoalescingModel, KungArrayModel, NunezEngine};
+use systolic_closure::{gnp, random_weighted, ClosureSolver};
+use systolic_dgraph::{
+    broadcast_census, closure_full, closure_lean, direction_census, level_histogram, longest_path,
+    superfluous_count,
+};
+use systolic_metrics::{
+    compare_grid_run, compare_linear_run, mapping_utilization, tradeoff_row, FixedLinearModel,
+    FixedModel, LinearModel, MappingKind, MetricRow,
+};
+use systolic_partition::{
+    ClosureEngine, FixedArrayEngine, FixedLinearEngine, GridEngine, GsetSchedule, LinearEngine,
+};
+use systolic_semiring::{warshall, Bool, DenseMatrix};
+use systolic_transform::{lu_time_grid, pipelined, regular, unidirectional, validate_stage};
+
+/// Default problem size for simulation-backed experiments.
+pub const N_SIM: usize = 24;
+/// Default instance count for throughput measurements.
+pub const CHAIN: usize = 6;
+
+fn adj(n: usize, seed: u64) -> DenseMatrix<Bool> {
+    let g = gnp(n, 0.15, seed);
+    g.adjacency_matrix()
+}
+
+fn rows_table(out: &mut String, rows: &[MetricRow]) {
+    let _ = writeln!(out, "| metric | paper | measured | measured/paper |");
+    let _ = writeln!(out, "|---|---:|---:|---:|");
+    for r in rows {
+        let ratio = if r.paper == 0.0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.3}", r.ratio())
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {:.6} | {:.6} | {} |",
+            r.metric, r.paper, r.measured, ratio
+        );
+    }
+}
+
+/// Steady-state cycles per instance: runs a short and a long chained batch
+/// and differences them, eliminating the pipeline fill/drain cost.
+fn marginal_cycles<E: ClosureEngine<Bool>>(
+    eng: &E,
+    n: usize,
+    seed0: u64,
+    k1: usize,
+    k2: usize,
+) -> f64 {
+    let run = |k: usize| -> u64 {
+        let batch: Vec<_> = (0..k).map(|i| adj(n, seed0 + i as u64)).collect();
+        let (res, stats) = eng.closure_many(&batch).unwrap();
+        for (i, r) in res.iter().enumerate() {
+            assert_eq!(*r, warshall(&batch[i]));
+        }
+        stats.cycles
+    };
+    (run(k2) - run(k1)) as f64 / (k2 - k1) as f64
+}
+
+/// E01 — Fig. 10: fully-parallel graph structure.
+pub fn e01() -> String {
+    let mut out = String::from("## E01 — Fully-parallel dependence graph (Fig. 10)\n\n");
+    let _ = writeln!(
+        out,
+        "| n | nodes (paper n³) | levels | longest path (paper n) | max fan-out |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|");
+    for n in [4usize, 8, 16, 24] {
+        let g = closure_full(n);
+        let bc = broadcast_census(&g);
+        let _ = writeln!(
+            out,
+            "| {n} | {} / {} | {} | {} / {n} | {} |",
+            g.compute_node_count(),
+            n * n * n,
+            level_histogram(&g).len(),
+            longest_path(&g),
+            bc.max_fanout
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// E02 — Fig. 11: superfluous-node elimination.
+pub fn e02() -> String {
+    let mut out = String::from("## E02 — Superfluous nodes (Fig. 11, §4.2)\n\n");
+    let _ = writeln!(
+        out,
+        "| n | total n³ | superfluous (paper 3n²−2n) | useful (paper n(n−1)(n−2)) | builder useful |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|");
+    for n in [4usize, 8, 16, 32] {
+        let (total, sup, useful) = superfluous_count(n);
+        let built = closure_lean(n).compute_node_count();
+        let _ = writeln!(out, "| {n} | {total} | {sup} | {useful} | {built} |");
+        assert_eq!(useful, built);
+    }
+    out.push('\n');
+    out
+}
+
+/// E03 — Fig. 12: broadcast removal by pipelining.
+pub fn e03() -> String {
+    let mut out = String::from("## E03 — Broadcast removal (Fig. 12)\n\n");
+    let _ = writeln!(out, "| n | max fan-out before | after pipelining |");
+    let _ = writeln!(out, "|---:|---:|---:|");
+    for n in [8usize, 16, 24] {
+        let before = broadcast_census(&closure_lean(n)).max_fanout;
+        let after = broadcast_census(&pipelined(n)).max_fanout;
+        let _ = writeln!(out, "| {n} | {before} | {after} |");
+    }
+    let _ = writeln!(
+        out,
+        "\nFan-out drops from Θ(n) to a small constant; evaluation of the transformed graph still equals Warshall's (checked by the test suite).\n"
+    );
+    out
+}
+
+/// E04 — Fig. 13–14: bi-directional flow removal.
+pub fn e04() -> String {
+    let mut out = String::from("## E04 — Flipping to uni-directional flow (Fig. 13–14)\n\n");
+    let _ = writeln!(out, "| n | stage | unidirectional x | unidirectional y |");
+    let _ = writeln!(out, "|---:|---|---|---|");
+    for n in [8usize, 16] {
+        let b = direction_census(&pipelined(n));
+        let a = direction_census(&unidirectional(n));
+        let _ = writeln!(
+            out,
+            "| {n} | pipelined (Fig. 12) | {} | {} |",
+            b.unidirectional_x(),
+            b.unidirectional_y()
+        );
+        let _ = writeln!(
+            out,
+            "| {n} | flipped (Fig. 14) | {} | {} |",
+            a.unidirectional_x(),
+            a.unidirectional_y()
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// E05 — Fig. 15–16: communication regularization.
+pub fn e05() -> String {
+    let mut out = String::from("## E05 — Regularization by delay nodes (Fig. 15–16)\n\n");
+    let _ = writeln!(
+        out,
+        "| n | wrap reach before (Θ(n)) | after (O(1)) | inter-strip patterns after |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|");
+    for n in [8usize, 16, 24] {
+        let before = validate_stage(&unidirectional(n));
+        let after = validate_stage(&regular(n));
+        let _ = writeln!(
+            out,
+            "| {n} | {} | {} | {} |",
+            before.inter_max_abs_dx, after.inter_max_abs_dx, after.inter_patterns
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// E06 — Fig. 17: fixed-size array throughput 1/n.
+pub fn e06() -> String {
+    let mut out = String::from("## E06 — Fixed-size array (Fig. 17): throughput 1/n\n\n");
+    let _ = writeln!(
+        out,
+        "| n | steady-state cycles/instance | paper n | measured/paper |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|");
+    for n in [8usize, 16, 24] {
+        let eng = FixedArrayEngine::new();
+        let per = marginal_cycles(&eng, n, 0, CHAIN, 3 * CHAIN);
+        let model = FixedModel { n };
+        let _ = writeln!(
+            out,
+            "| {n} | {per:.1} | {:.0} | {:.3} |",
+            1.0 / model.throughput(),
+            per * model.throughput()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nData transfers overlap computation (no load phase) and instances chain without gaps; compare E14.\n"
+    );
+    out
+}
+
+/// E07 — §3.2: linear fixed-size array, throughput 1/(n(n+1)).
+pub fn e07() -> String {
+    let mut out =
+        String::from("## E07 — Linear fixed-size array (§3.2): throughput 1/(n(n+1))\n\n");
+    let _ = writeln!(
+        out,
+        "| n | steady-state cycles/instance | paper n(n+1) | measured/paper |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|");
+    for n in [6usize, 10, 14] {
+        let eng = FixedLinearEngine::new();
+        let per = marginal_cycles(&eng, n, 10, CHAIN, 3 * CHAIN);
+        let model = FixedLinearModel { n };
+        let _ = writeln!(
+            out,
+            "| {n} | {per:.1} | {:.0} | {:.3} |",
+            1.0 / model.throughput(),
+            per * model.throughput()
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// E08 — Fig. 18 / §4.2: linear partitioned array.
+pub fn e08() -> String {
+    let mut out = String::from("## E08 — Linear partitioned array (Fig. 18, §4.2)\n\n");
+    for (n, m) in [(N_SIM, 4usize), (N_SIM, 8), (32, 4)] {
+        let batch: Vec<_> = (0..3).map(|i| adj(n, 20 + i as u64)).collect();
+        let eng = LinearEngine::new(m);
+        let (res, stats) = ClosureEngine::<Bool>::closure_many(&eng, &batch).unwrap();
+        for (i, r) in res.iter().enumerate() {
+            assert_eq!(*r, warshall(&batch[i]));
+        }
+        let _ = writeln!(
+            out,
+            "### n = {n}, m = {m} ({} chained instances)\n",
+            batch.len()
+        );
+        let mut rows = compare_linear_run(n, m, &stats, batch.len() as u64);
+        rows.push(MetricRow {
+            metric: "steady-state throughput (marginal)".into(),
+            paper: LinearModel { n, m }.throughput(),
+            measured: 1.0 / marginal_cycles(&eng, n, 20, 2, 5),
+        });
+        rows_table(&mut out, &rows);
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "The gap between total and steady-state throughput is pipeline fill; the residual steady-state gap is the paper's acknowledged boundary-set idling (partial G-sets at the parallelogram edges), which vanishes as n/m grows.\n"
+    );
+    out
+}
+
+/// E09 — Fig. 19 / §4.2: 2-D partitioned array.
+pub fn e09() -> String {
+    let mut out = String::from("## E09 — Two-dimensional partitioned array (Fig. 19, §4.2)\n\n");
+    for (n, s) in [(N_SIM, 2usize), (N_SIM, 3), (32, 2)] {
+        let batch: Vec<_> = (0..3).map(|i| adj(n, 30 + i as u64)).collect();
+        let eng = GridEngine::new(s);
+        let (res, stats) = ClosureEngine::<Bool>::closure_many(&eng, &batch).unwrap();
+        for (i, r) in res.iter().enumerate() {
+            assert_eq!(*r, warshall(&batch[i]));
+        }
+        let _ = writeln!(
+            out,
+            "### n = {n}, √m = {s} ({} chained instances)\n",
+            batch.len()
+        );
+        let mut rows = compare_grid_run(n, s, &stats, batch.len() as u64);
+        rows.push(MetricRow {
+            metric: "steady-state throughput (marginal)".into(),
+            paper: LinearModel { n, m: s * s }.throughput(),
+            measured: 1.0 / marginal_cycles(&eng, n, 30, 2, 5),
+        });
+        rows_table(&mut out, &rows);
+        out.push('\n');
+    }
+    out
+}
+
+/// E10 — Fig. 20: G-set scheduling legality and pipelining.
+pub fn e10() -> String {
+    let mut out = String::from("## E10 — G-set schedule (Fig. 20)\n\n");
+    let _ = writeln!(
+        out,
+        "| n | m | mapping | G-sets | paper n(n+1)/m | boundary sets | legal |"
+    );
+    let _ = writeln!(out, "|---:|---:|---|---:|---:|---:|---|");
+    for (n, m, grid) in [
+        (24usize, 4usize, false),
+        (24, 6, false),
+        (24, 2, true),
+        (24, 3, true),
+    ] {
+        let sched = if grid {
+            GsetSchedule::grid(n, m)
+        } else {
+            GsetSchedule::linear(n, m)
+        };
+        let cells = if grid { m * m } else { m };
+        let legal = sched.verify_legal().is_ok();
+        let _ = writeln!(
+            out,
+            "| {n} | {cells} | {} | {} | {:.1} | {} | {legal} |",
+            if grid { "grid" } else { "linear" },
+            sched.len(),
+            (n * (n + 1)) as f64 / cells as f64,
+            sched.boundary_sets()
+        );
+        assert!(legal);
+    }
+    let _ = writeln!(
+        out,
+        "\nEarliest-start tags follow t(k,g) = 2k + g (the Fig. 20 wavefront); G-sets initiate every n cycles.\n"
+    );
+    out
+}
+
+/// E11 — Fig. 21: host I/O bandwidth m/n.
+pub fn e11() -> String {
+    let mut out = String::from("## E11 — Host I/O bandwidth (Fig. 21): D = m/n\n\n");
+    let _ = writeln!(
+        out,
+        "| n | array | cells m | paper m/n | measured words/cycle | ratio |"
+    );
+    let _ = writeln!(out, "|---:|---|---:|---:|---:|---:|");
+    for (n, m) in [(24usize, 4usize), (24, 8), (32, 4)] {
+        let batch: Vec<_> = (0..3).map(|i| adj(n, 40 + i as u64)).collect();
+        let (_, lstats) =
+            ClosureEngine::<Bool>::closure_many(&LinearEngine::new(m), &batch).unwrap();
+        let model = LinearModel { n, m };
+        let _ = writeln!(
+            out,
+            "| {n} | linear | {m} | {:.4} | {:.4} | {:.3} |",
+            model.io_bandwidth(),
+            lstats.io_bandwidth(),
+            lstats.io_bandwidth() / model.io_bandwidth()
+        );
+    }
+    for (n, s) in [(24usize, 2usize), (24, 3)] {
+        let batch: Vec<_> = (0..3).map(|i| adj(n, 50 + i as u64)).collect();
+        let (_, gstats) = ClosureEngine::<Bool>::closure_many(&GridEngine::new(s), &batch).unwrap();
+        let model = LinearModel { n, m: s * s };
+        let _ = writeln!(
+            out,
+            "| {n} | grid | {} | {:.4} | {:.4} | {:.3} |",
+            s * s,
+            model.io_bandwidth(),
+            gstats.io_bandwidth(),
+            gstats.io_bandwidth() / model.io_bandwidth()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nLinear and 2-D arrays draw the same bandwidth from the host, as §3.2 concludes. The R-block chain decouples transfer from compute: for n = 24, m = 4 the host runs strictly below one word/cycle while peak R-block buffering stays bounded (measured peak {} words for a 3-instance run).\n",
+        {
+            let batch: Vec<_> = (0..3).map(|i| adj(24, 40 + i as u64)).collect();
+            let (_, s) = ClosureEngine::<Bool>::closure_many(&LinearEngine::new(4), &batch).unwrap();
+            s.host_peak_resident
+        }
+    );
+    out
+}
+
+/// E12 — §4.2: linear vs 2-D trade-off sweep.
+pub fn e12() -> String {
+    let mut out = String::from("## E12 — Linear vs 2-D trade-off (§4.2)\n\n");
+    let _ = writeln!(
+        out,
+        "| n | m | throughput | utilization | D_io | mem conn linear (m+1) | mem conn grid (2√m) | boundary idle linear | boundary idle grid |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for n in [16usize, 32, 64, 128] {
+        for s in [2usize, 4] {
+            let r = tradeoff_row(n, s);
+            let _ = writeln!(
+                out,
+                "| {n} | {} | {:.2e} | {:.4} | {:.3} | {} | {} | {:.3} | {:.3} |",
+                r.m,
+                r.throughput,
+                r.utilization,
+                r.io_bandwidth,
+                r.linear_mem_connections,
+                r.grid_mem_connections,
+                r.linear_boundary_idle,
+                r.grid_boundary_idle
+            );
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// E13 — Fig. 22 / §4.3: varying G-node computation time.
+pub fn e13() -> String {
+    let mut out =
+        String::from("## E13 — Varying G-node times (Fig. 22, §4.3): LU decomposition\n\n");
+    let _ = writeln!(
+        out,
+        "| n | m | linear interior U | 2-D interior U | linear-packed total U | 2-D total U |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|");
+    for n in [16usize, 32, 64] {
+        for m in [4usize, 16] {
+            let grid = lu_time_grid(n);
+            let lin = mapping_utilization(&grid, m, MappingKind::Linear);
+            let packed = mapping_utilization(&grid, m, MappingKind::LinearPacked);
+            let two = mapping_utilization(&grid, m, MappingKind::TwoDimensional);
+            let _ = writeln!(
+                out,
+                "| {n} | {m} | {:.4} | {:.4} | {:.4} | {:.4} |",
+                lin.interior_utilization(),
+                two.interior_utilization(),
+                packed.utilization,
+                two.utilization
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nEqual-time paths give the linear mapping interior utilization 1.0 while any 2-D G-set mixes times (< 1), the Fig. 22 claim. Note an honest nuance: the 2-D mapping's triangular boundary sets amortize raggedness, so on *total* utilization the path-at-a-time linear mapping can trail; packing paths end-to-end restores the linear win.\n"
+    );
+    out
+}
+
+/// E14 — §3.2 vs \[23\]: Kung's array comparison.
+pub fn e14() -> String {
+    let mut out = String::from("## E14 — Fixed-size array vs S.Y. Kung's array [23]\n\n");
+    let _ = writeln!(out, "| n | ours cycles/instance (measured) | Kung load+reuse (model) | speedup | ours control modes | Kung control modes |");
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|");
+    for n in [8usize, 16, 24] {
+        let per = marginal_cycles(&FixedArrayEngine::new(), n, 60, CHAIN, 3 * CHAIN);
+        let kung = KungArrayModel::new(n);
+        let _ = writeln!(
+            out,
+            "| {n} | {per:.1} | {} | {:.2}× | 1 | {} |",
+            kung.cycles_per_instance(),
+            kung.cycles_per_instance() as f64 / per,
+            kung.control_modes()
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// E15 — §1 vs \[22\]: Núñez–Torralba decomposition overhead, with both
+/// partitioning schemes *measured* on the cycle-level simulator at equal
+/// cell count (`m = b²`).
+pub fn e15() -> String {
+    use systolic_baselines::NunezSimEngine;
+    let mut out = String::from("## E15 — Decomposition baseline (Núñez–Torralba [22])\n\n");
+    let _ = writeln!(out, "### Analytic sub-problem accounting\n");
+    let _ = writeln!(out, "| n | tile b | sub-problems | control steps | transfer overhead fraction | cut-and-pile overhead |");
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|");
+    for (n, b) in [(24usize, 4usize), (24, 8), (32, 8)] {
+        let a = adj(n, 70);
+        let (res, cost) = NunezEngine::new(b).closure(&a);
+        assert_eq!(res, warshall(&a));
+        let _ = writeln!(
+            out,
+            "| {n} | {b} | {} | {} | {:.3} | 0.000 |",
+            cost.diagonal_closures + cost.multiplies,
+            cost.control_steps,
+            cost.overhead_fraction()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n### Measured on the simulator (equal cells m = b²)\n"
+    );
+    let _ = writeln!(
+        out,
+        "| n | cells m | [22] cycles (b×b matmul array) | [22] transfer fraction | cut-and-pile cycles (linear, m cells) | slowdown |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|");
+    for (n, b) in [(16usize, 3usize), (24, 4)] {
+        let a = adj(n, 71);
+        let want = warshall(&a);
+        let (res, nsim) = NunezSimEngine::new(b).closure(&a).unwrap();
+        assert_eq!(res, want);
+        let (res2, lin) = ClosureEngine::<Bool>::closure(&LinearEngine::new(b * b), &a).unwrap();
+        assert_eq!(res2, want);
+        let _ = writeln!(
+            out,
+            "| {n} | {} | {} | {:.3} | {} | {:.2}× |",
+            b * b,
+            nsim.total_cycles,
+            nsim.overhead_fraction(),
+            lin.cycles,
+            nsim.total_cycles as f64 / lin.cycles as f64
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nThe decomposition computes the same closure but chains O((n/b)³) sub-problems with host control and non-overlapped tile load/unload phases; cut-and-pile overlaps every transfer with computation (§4.2), and the measured head-to-head at equal cell count shows the resulting slowdown.\n"
+    );
+    out
+}
+
+/// E16 — §2: coalescing (LSGP) memory requirements.
+pub fn e16() -> String {
+    let mut out = String::from("## E16 — Coalescing (LSGP) memory vs cut-and-pile (§2)\n\n");
+    let _ = writeln!(
+        out,
+        "| n | m | LSGP words/cell (Θ(n²/m)) | cut-and-pile words/cell | LSGP makespan / ideal |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|");
+    for (n, m) in [(32usize, 4usize), (64, 4), (128, 8)] {
+        let c = CoalescingModel::new(n, m);
+        let ideal = (n * n * (n + 1) / m) as f64;
+        let _ = writeln!(
+            out,
+            "| {n} | {m} | {} | {} | {:.3} |",
+            c.local_words_per_cell(),
+            c.cut_and_pile_local_words(),
+            c.makespan_cycles() as f64 / ideal
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// E17 — semiring generality: the same arrays solve the whole algebraic
+/// path family.
+pub fn e17() -> String {
+    use systolic_closure::Backend;
+    let mut out = String::from("## E17 — Semiring generality (methodology extension)\n\n");
+    let _ = writeln!(
+        out,
+        "| problem | semiring | backend | agrees with reference |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|");
+    let g = random_weighted(12, 0.3, 1, 50, 77);
+    let reference = ClosureSolver::new(Backend::Reference);
+    for (name, backend) in [
+        ("linear m=4", Backend::Linear { cells: 4 }),
+        ("grid 2×2", Backend::Grid { side: 2 }),
+        ("fixed array", Backend::FixedArray),
+    ] {
+        let solver = ClosureSolver::new(backend);
+        let sp = solver.shortest_paths(&g).unwrap() == reference.shortest_paths(&g).unwrap();
+        let wp = solver.widest_paths(&g).unwrap() == reference.widest_paths(&g).unwrap();
+        let mm = solver.minimax_paths(&g).unwrap() == reference.minimax_paths(&g).unwrap();
+        let _ = writeln!(out, "| shortest paths | min-plus | {name} | {sp} |");
+        let _ = writeln!(out, "| widest paths | max-min | {name} | {wp} |");
+        let _ = writeln!(out, "| minimax paths | min-max | {name} | {mm} |");
+        assert!(sp && wp && mm);
+    }
+    out.push('\n');
+    out
+}
+
+/// E18 — Fig. 6/Fig. 8: G-node grouping alternatives and their computation
+/// time patterns.
+pub fn e18() -> String {
+    use systolic_transform::{grouping_profile, GroupingAxis};
+    let mut out = String::from("## E18 — Grouping alternatives (Fig. 6, Fig. 8)\n\n");
+    let _ = writeln!(
+        out,
+        "| n | axis | G-nodes | uniform times | rows uniform | max time |"
+    );
+    let _ = writeln!(out, "|---:|---|---:|---|---|---:|");
+    for n in [8usize, 16] {
+        let g = systolic_dgraph::closure_lean(n);
+        for axis in [
+            GroupingAxis::Horizontal,
+            GroupingAxis::Vertical,
+            GroupingAxis::Diagonal,
+            GroupingAxis::Block(4),
+        ] {
+            let grid = grouping_profile(&g, axis);
+            let _ = writeln!(
+                out,
+                "| {n} | {axis:?} | {} | {} | {} | {} |",
+                grid.len(),
+                grid.is_uniform(),
+                grid.rows_uniform(),
+                grid.max_time()
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nFor partitioned execution only the nodes of one G-set need equal time (Fig. 8), which is why the method has freedom the fixed-size design lacks (Fig. 9); the delay-regularized grouping used by the engines achieves fully uniform G-nodes (E06).\n"
+    );
+    out
+}
+
+/// E19 — §5: fault tolerance of linear vs 2-D arrays, measured.
+pub fn e19() -> String {
+    use systolic_partition::{grid_fault_capacity, linear_fault_capacity, FaultyLinearEngine};
+    let mut out = String::from("## E19 — Fault tolerance (§5)\n\n");
+    let n = 16;
+    let m = 8;
+    let a = adj(n, 90);
+    let (_, healthy) = ClosureEngine::<Bool>::closure(&LinearEngine::new(m), &a).unwrap();
+    let _ = writeln!(
+        out,
+        "Linear array, n = {n}, m = {m}, bypass reconfiguration; every degraded run still computes the exact closure.\n"
+    );
+    let _ = writeln!(
+        out,
+        "| faults | cells left | measured slowdown | ideal m/(m−f) |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|");
+    for f in 1..=4usize {
+        let fault_set: Vec<usize> = (0..f).map(|i| 2 * i + 1).collect();
+        let eng = FaultyLinearEngine::new(m, &fault_set).unwrap();
+        let (got, stats) = ClosureEngine::<Bool>::closure(&eng, &a).unwrap();
+        assert_eq!(got, warshall(&a));
+        let _ = writeln!(
+            out,
+            "| {f} | {} | {:.3} | {:.3} |",
+            eng.healthy_cells(),
+            stats.cycles as f64 / healthy.cycles as f64,
+            m as f64 / (m - f) as f64
+        );
+    }
+    let _ = writeln!(out, "\nWorst-case remaining capacity (m = 16 cells):\n");
+    let _ = writeln!(
+        out,
+        "| faults | linear bypass | 4×4 mesh row+column retirement |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|");
+    for f in 0..=4usize {
+        let _ = writeln!(
+            out,
+            "| {f} | {:.3} | {:.3} |",
+            linear_fault_capacity(16, f),
+            grid_fault_capacity(4, f)
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// E20 — §4.3's full algorithm list: varying-time profiles for LU, Faddeev,
+/// Givens and triangular inverse, with linear vs 2-D mapping utilization.
+pub fn e20() -> String {
+    use systolic_transform::{faddeev_time_grid, givens_time_grid, triangular_inverse_time_grid};
+    let mut out = String::from("## E20 — §4.3 algorithm family: varying G-node times\n\n");
+    let _ = writeln!(
+        out,
+        "| algorithm | time pattern | linear interior U | 2-D interior U (m=16) |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|");
+    let cases: Vec<(&str, &str, systolic_transform::TimeGrid)> = vec![
+        ("LU decomposition", "decreasing", lu_time_grid(32)),
+        ("Faddeev", "decreasing (2n wide)", faddeev_time_grid(16)),
+        (
+            "Givens triangularization",
+            "decreasing",
+            givens_time_grid(32),
+        ),
+        (
+            "triangular inverse",
+            "increasing",
+            triangular_inverse_time_grid(32),
+        ),
+    ];
+    for (name, pattern, grid) in cases {
+        let lin = mapping_utilization(&grid, 16, MappingKind::Linear);
+        let two = mapping_utilization(&grid, 16, MappingKind::TwoDimensional);
+        let _ = writeln!(
+            out,
+            "| {name} | {pattern} | {:.4} | {:.4} |",
+            lin.interior_utilization(),
+            two.interior_utilization()
+        );
+        assert!((lin.interior_utilization() - 1.0).abs() < 1e-12);
+        assert!(two.interior_utilization() < 1.0);
+    }
+    let _ = writeln!(
+        out,
+        "\nEvery §4.3 example has equal-time paths (linear mapping: interior utilization 1.0) that no 2-D G-set can match — the paper's closing argument for linear arrays.\n"
+    );
+    out
+}
+
+/// Runs every experiment, returning the full Markdown report body.
+pub fn run_all() -> String {
+    let mut out = String::new();
+    for (i, f) in [
+        e01 as fn() -> String,
+        e02,
+        e03,
+        e04,
+        e05,
+        e06,
+        e07,
+        e08,
+        e09,
+        e10,
+        e11,
+        e12,
+        e13,
+        e14,
+        e15,
+        e16,
+        e17,
+        e18,
+        e19,
+        e20,
+    ]
+    .iter()
+    .enumerate()
+    {
+        eprintln!("running E{:02}…", i + 1);
+        out.push_str(&f());
+    }
+    out
+}

@@ -1,0 +1,150 @@
+//! Strongly-connected-component condensation from a closure matrix.
+//!
+//! `A⁺` answers SCC queries directly: `u` and `v` are in one component iff
+//! both `(u,v)` and `(v,u)` are reachable. [`Condensation`] groups vertices
+//! accordingly and builds the component DAG with topological levels — the
+//! analyses the `program_analysis` example performs, packaged.
+
+use crate::graph::Reachability;
+
+/// SCC condensation of a closed graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Condensation {
+    /// Component id of each vertex.
+    pub component_of: Vec<usize>,
+    /// Vertices of each component (sorted).
+    pub components: Vec<Vec<usize>>,
+    /// Edges of the component DAG (deduplicated, no self-loops).
+    pub dag_edges: Vec<(usize, usize)>,
+    /// Topological level of each component (sources at level 0).
+    pub levels: Vec<usize>,
+}
+
+impl Condensation {
+    /// Builds the condensation from a reachability result.
+    pub fn new(reach: &Reachability) -> Self {
+        let n = reach.bits().n();
+        let mut component_of = vec![usize::MAX; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for u in 0..n {
+            if component_of[u] != usize::MAX {
+                continue;
+            }
+            let id = components.len();
+            let scc = reach.scc_of(u);
+            for &v in &scc {
+                component_of[v] = id;
+            }
+            components.push(scc);
+        }
+        // Component DAG edges: c1 → c2 iff some u∈c1 reaches some v∈c2.
+        // Using closure reachability keeps this O(n²) and transitive; we
+        // reduce to the Hasse-like set of distinct pairs.
+        let mut edge_set = std::collections::BTreeSet::new();
+        for u in 0..n {
+            for v in 0..n {
+                let (cu, cv) = (component_of[u], component_of[v]);
+                if cu != cv && reach.reachable(u, v) {
+                    edge_set.insert((cu, cv));
+                }
+            }
+        }
+        let dag_edges: Vec<(usize, usize)> = edge_set.into_iter().collect();
+        // Longest-path levels over the component DAG.
+        let c = components.len();
+        let mut levels = vec![0usize; c];
+        // The DAG edges derived from a transitive closure are transitively
+        // closed, so level = number of distinct predecessors on the longest
+        // chain; iterate to a fixed point (≤ c rounds).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b) in &dag_edges {
+                if levels[b] < levels[a] + 1 {
+                    levels[b] = levels[a] + 1;
+                    changed = true;
+                }
+            }
+        }
+        Self {
+            component_of,
+            components,
+            dag_edges,
+            levels,
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the graph had no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Components with more than one vertex (cycles / recursion groups).
+    pub fn nontrivial(&self) -> impl Iterator<Item = &Vec<usize>> {
+        self.components.iter().filter(|c| c.len() > 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DiGraph;
+    use crate::solver::{Backend, ClosureSolver};
+
+    fn condense(edges: &[(usize, usize)], n: usize) -> Condensation {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        let reach = ClosureSolver::new(Backend::Reference)
+            .transitive_closure(&g)
+            .unwrap();
+        Condensation::new(&reach)
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // (0,1,2) cycle → (3,4) cycle, 5 isolated.
+        let c = condense(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)], 6);
+        assert_eq!(c.len(), 3);
+        let big: Vec<_> = c.nontrivial().cloned().collect();
+        assert!(big.contains(&vec![0, 1, 2]));
+        assert!(big.contains(&vec![3, 4]));
+        // Levels: the (0,1,2) component precedes (3,4).
+        let c012 = c.component_of[0];
+        let c34 = c.component_of[3];
+        assert!(c.levels[c012] < c.levels[c34]);
+        assert_eq!(c.levels[c.component_of[5]], 0);
+    }
+
+    #[test]
+    fn dag_has_no_self_loops_or_duplicates() {
+        let c = condense(&[(0, 1), (0, 1), (1, 2), (0, 2)], 3);
+        assert_eq!(c.len(), 3);
+        assert!(c.dag_edges.iter().all(|&(a, b)| a != b));
+        let mut sorted = c.dag_edges.clone();
+        sorted.dedup();
+        assert_eq!(sorted, c.dag_edges);
+    }
+
+    #[test]
+    fn single_scc_collapses_to_one_component() {
+        let c = condense(&[(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        assert_eq!(c.len(), 1);
+        assert!(c.dag_edges.is_empty());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn levels_form_valid_topological_order() {
+        let c = condense(&[(0, 1), (1, 2), (2, 3), (1, 3)], 4);
+        for &(a, b) in &c.dag_edges {
+            assert!(c.levels[a] < c.levels[b]);
+        }
+    }
+}

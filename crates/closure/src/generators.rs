@@ -1,0 +1,160 @@
+//! Graph generators for examples, tests and workloads.
+
+use crate::graph::{DiGraph, WeightedDiGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Named deterministic graph families.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Simple directed path `0 → 1 → … → n-1`.
+    Path,
+    /// Directed cycle.
+    Cycle,
+    /// Complete digraph (no self-loops).
+    Complete,
+    /// Star: `0 → v` for all `v ≠ 0`.
+    Star,
+}
+
+/// Builds one of the deterministic families.
+pub fn family(kind: GraphKind, n: usize) -> DiGraph {
+    match kind {
+        GraphKind::Path => path(n),
+        GraphKind::Cycle => cycle(n),
+        GraphKind::Complete => complete(n),
+        GraphKind::Star => star(n),
+    }
+}
+
+/// Directed path.
+pub fn path(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// Directed cycle.
+pub fn cycle(n: usize) -> DiGraph {
+    let mut g = path(n);
+    if n > 1 {
+        g.add_edge(n - 1, 0);
+    }
+    g
+}
+
+/// Complete digraph without self-loops.
+pub fn complete(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Star from vertex 0.
+pub fn star(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v);
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` digraph (no self-loops), seeded.
+pub fn gnp(n: usize, p: f64, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random DAG: edges only from lower to higher vertex indices, density `p`.
+pub fn random_dag(n: usize, p: f64, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random weighted digraph with weights in `[lo, hi]`.
+pub fn random_weighted(n: usize, p: f64, lo: u64, hi: u64, seed: u64) -> WeightedDiGraph {
+    assert!(lo <= hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedDiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v, rng.gen_range(lo..=hi));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_have_expected_edge_counts() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(complete(5).edge_count(), 20);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(family(GraphKind::Cycle, 3).edge_count(), 3);
+    }
+
+    #[test]
+    fn gnp_is_seed_deterministic() {
+        let a = gnp(12, 0.3, 42);
+        let b = gnp(12, 0.3, 42);
+        let c = gnp(12, 0.3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dag_has_no_back_edges() {
+        let g = random_dag(20, 0.4, 7);
+        for u in 0..20 {
+            for &v in g.successors(u) {
+                assert!(v > u);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_respects_bounds() {
+        let g = random_weighted(10, 0.5, 3, 9, 11);
+        assert!(!g.edges().is_empty());
+        for &(_, _, w) in g.edges() {
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(path(0).n(), 0);
+        assert_eq!(cycle(1).edge_count(), 0);
+        assert_eq!(gnp(1, 1.0, 0).edge_count(), 0);
+    }
+}

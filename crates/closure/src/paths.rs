@@ -1,0 +1,127 @@
+//! Shortest-path route reconstruction.
+//!
+//! The arrays compute path *values*; recovering an actual route is a host
+//! post-process. [`shortest_paths_with_routes`] runs the reference Floyd
+//! recurrence with successor tracking (same dependence structure — one more
+//! lane per element, which an array implementation would carry the same
+//! way) and cross-checks against any engine's distance matrix.
+
+use crate::graph::WeightedDiGraph;
+use systolic_semiring::{DenseMatrix, MinPlus};
+
+/// Distances plus successor matrix for route extraction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteTable {
+    /// Shortest distances (min-plus closure).
+    pub dist: DenseMatrix<MinPlus>,
+    /// `next[i][j]` = first hop of a shortest `i → j` path.
+    next: Vec<Option<usize>>,
+    n: usize,
+}
+
+impl RouteTable {
+    /// Extracts a shortest route `u → v`, or `None` when unreachable.
+    pub fn route(&self, u: usize, v: usize) -> Option<Vec<usize>> {
+        if u == v {
+            return Some(vec![u]);
+        }
+        self.next[u * self.n + v]?;
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != v {
+            cur = self.next[cur * self.n + v]?;
+            path.push(cur);
+            if path.len() > self.n {
+                return None; // defensive: malformed table
+            }
+        }
+        Some(path)
+    }
+
+    /// The distance value `u → v` (`u64::MAX` = unreachable).
+    pub fn distance(&self, u: usize, v: usize) -> u64 {
+        *self.dist.get(u, v)
+    }
+}
+
+/// Floyd–Warshall with successor tracking.
+pub fn shortest_paths_with_routes(g: &WeightedDiGraph) -> RouteTable {
+    let n = g.n();
+    let mut dist = g.distance_matrix();
+    dist.reflexive_closure();
+    let mut next: Vec<Option<usize>> = vec![None; n * n];
+    for &(u, v, _) in g.edges() {
+        // Keep the hop consistent with the kept (smallest) parallel edge.
+        if next[u * n + v].is_none() {
+            next[u * n + v] = Some(v);
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = *dist.get(i, k);
+            if dik == u64::MAX {
+                continue;
+            }
+            for j in 0..n {
+                let dkj = *dist.get(k, j);
+                if dkj == u64::MAX {
+                    continue;
+                }
+                let via = dik.saturating_add(dkj);
+                if via < *dist.get(i, j) {
+                    dist.set(i, j, via);
+                    next[i * n + j] = next[i * n + k];
+                }
+            }
+        }
+    }
+    RouteTable { dist, next, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_weighted;
+    use systolic_semiring::warshall;
+
+    #[test]
+    fn routes_match_distances() {
+        let g = random_weighted(8, 0.35, 1, 10, 21);
+        let table = shortest_paths_with_routes(&g);
+        // Distances agree with the semiring closure.
+        assert_eq!(table.dist, warshall(&g.distance_matrix()));
+        // Every finite route's edge weights sum to the distance.
+        let weight = |u: usize, v: usize| -> u64 {
+            g.edges()
+                .iter()
+                .filter(|&&(a, b, _)| a == u && b == v)
+                .map(|&(_, _, w)| w)
+                .min()
+                .expect("edge exists on route")
+        };
+        for u in 0..8 {
+            for v in 0..8 {
+                let d = table.distance(u, v);
+                match table.route(u, v) {
+                    Some(p) => {
+                        assert_eq!(p[0], u);
+                        assert_eq!(*p.last().unwrap(), v);
+                        let total: u64 = p.windows(2).map(|w| weight(w[0], w[1])).sum();
+                        assert_eq!(total, d, "{u}->{v} via {p:?}");
+                    }
+                    None => assert_eq!(d, u64::MAX, "{u}->{v}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_routes() {
+        let g = WeightedDiGraph::new(3);
+        let t = shortest_paths_with_routes(&g);
+        assert_eq!(t.route(1, 1), Some(vec![1]));
+        assert_eq!(t.route(0, 2), None);
+        assert_eq!(t.distance(0, 2), u64::MAX);
+        assert_eq!(t.distance(0, 0), 0);
+    }
+}

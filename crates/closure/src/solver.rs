@@ -1,0 +1,228 @@
+//! The engine-agnostic solver facade.
+
+use crate::graph::{DiGraph, Reachability, WeightedDiGraph};
+use systolic_arraysim::RunStats;
+use systolic_baselines::NunezEngine;
+use systolic_partition::{
+    ClosureEngine, EngineError, FixedArrayEngine, FixedLinearEngine, GridEngine, LinearEngine,
+};
+use systolic_semiring::{warshall, BitMatrix, DenseMatrix, MaxMin, MinMax, MinPlus, PathSemiring};
+
+/// Which implementation computes the closure.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Software Warshall reference (scalar).
+    Reference,
+    /// Bit-parallel software Warshall (Boolean problems only; other
+    /// semirings fall back to the scalar reference).
+    BitParallel,
+    /// Simulated Fig. 17 fixed-size array.
+    FixedArray,
+    /// Simulated §3.2 linear fixed-size array.
+    FixedLinear,
+    /// Simulated linear partitioned array (Fig. 18) with `cells` cells.
+    Linear {
+        /// Cell count `m`.
+        cells: usize,
+    },
+    /// Simulated 2-D partitioned array (Fig. 19) with `side × side` cells.
+    Grid {
+        /// Grid side `√m`.
+        side: usize,
+    },
+    /// Núñez–Torralba blocked decomposition with tile side `tile`.
+    Blocked {
+        /// Tile side `b`.
+        tile: usize,
+    },
+}
+
+/// What a solve cost, when the backend is a simulated array.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SolveReport {
+    /// Simulator counters (zeroed for software backends).
+    pub stats: RunStats,
+    /// Backend description.
+    pub backend: String,
+}
+
+/// Solver facade over all engines.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ClosureSolver {
+    backend: Backend,
+}
+
+impl ClosureSolver {
+    /// Creates a solver with the given backend.
+    pub fn new(backend: Backend) -> Self {
+        Self { backend }
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Generic algebraic path closure of a matrix.
+    ///
+    /// # Errors
+    /// Propagates engine failures (shape errors, simulator deadlock).
+    pub fn closure_matrix<S: PathSemiring>(
+        &self,
+        a: &DenseMatrix<S>,
+    ) -> Result<(DenseMatrix<S>, SolveReport), EngineError> {
+        let run =
+            |eng: &dyn ClosureEngine<S>| -> Result<(DenseMatrix<S>, SolveReport), EngineError> {
+                let (m, stats) = eng.closure(a)?;
+                Ok((
+                    m,
+                    SolveReport {
+                        stats,
+                        backend: eng.name().to_string(),
+                    },
+                ))
+            };
+        match self.backend {
+            Backend::Reference | Backend::BitParallel => Ok((
+                warshall(a),
+                SolveReport {
+                    stats: RunStats::default(),
+                    backend: "software-warshall".into(),
+                },
+            )),
+            Backend::FixedArray => run(&FixedArrayEngine::new()),
+            Backend::FixedLinear => run(&FixedLinearEngine::new()),
+            Backend::Linear { cells } => run(&LinearEngine::new(cells)),
+            Backend::Grid { side } => run(&GridEngine::new(side)),
+            Backend::Blocked { tile } => {
+                let (m, _cost) = NunezEngine::new(tile).closure(a);
+                Ok((
+                    m,
+                    SolveReport {
+                        stats: RunStats::default(),
+                        backend: "nunez-blocked".into(),
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Transitive closure of a directed graph.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn transitive_closure(&self, g: &DiGraph) -> Result<Reachability, EngineError> {
+        // The bit-parallel backend short-circuits to the u64-packed kernel.
+        if self.backend == Backend::BitParallel {
+            let bits = BitMatrix::from_dense(&g.adjacency_matrix()).transitive_closure();
+            return Ok(Reachability::from_matrix(&bits.to_dense()));
+        }
+        let (m, _) = self.closure_matrix(&g.adjacency_matrix())?;
+        Ok(Reachability::from_matrix(&m))
+    }
+
+    /// Transitive closure plus the run report.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn transitive_closure_with_report(
+        &self,
+        g: &DiGraph,
+    ) -> Result<(Reachability, SolveReport), EngineError> {
+        let (m, rep) = self.closure_matrix(&g.adjacency_matrix())?;
+        Ok((Reachability::from_matrix(&m), rep))
+    }
+
+    /// All-pairs shortest path distances (min-plus closure).
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn shortest_paths(&self, g: &WeightedDiGraph) -> Result<DenseMatrix<MinPlus>, EngineError> {
+        Ok(self.closure_matrix(&g.distance_matrix())?.0)
+    }
+
+    /// All-pairs maximum-capacity (widest) path values (max-min closure).
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn widest_paths(&self, g: &WeightedDiGraph) -> Result<DenseMatrix<MaxMin>, EngineError> {
+        Ok(self.closure_matrix(&g.capacity_matrix())?.0)
+    }
+
+    /// All-pairs minimax path values (min-max closure).
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    pub fn minimax_paths(&self, g: &WeightedDiGraph) -> Result<DenseMatrix<MinMax>, EngineError> {
+        Ok(self.closure_matrix(&g.minimax_matrix())?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, gnp, random_weighted};
+
+    fn all_backends(n: usize) -> Vec<Backend> {
+        vec![
+            Backend::Reference,
+            Backend::BitParallel,
+            Backend::FixedArray,
+            Backend::FixedLinear,
+            Backend::Linear { cells: 3 },
+            Backend::Grid { side: 2 },
+            Backend::Blocked {
+                tile: n.div_ceil(2),
+            },
+        ]
+    }
+
+    #[test]
+    fn all_backends_agree_on_reachability() {
+        let g = gnp(7, 0.25, 99);
+        let want = ClosureSolver::new(Backend::Reference)
+            .transitive_closure(&g)
+            .unwrap();
+        for b in all_backends(7) {
+            let got = ClosureSolver::new(b).transitive_closure(&g).unwrap();
+            assert_eq!(got, want, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_shortest_paths() {
+        let g = random_weighted(6, 0.4, 1, 20, 5);
+        let want = ClosureSolver::new(Backend::Reference)
+            .shortest_paths(&g)
+            .unwrap();
+        for b in all_backends(6) {
+            let got = ClosureSolver::new(b).shortest_paths(&g).unwrap();
+            assert_eq!(got, want, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn widest_and_minimax_on_array_backends() {
+        let g = random_weighted(5, 0.5, 1, 9, 8);
+        let reference = ClosureSolver::new(Backend::Reference);
+        let array = ClosureSolver::new(Backend::Linear { cells: 2 });
+        assert_eq!(
+            reference.widest_paths(&g).unwrap(),
+            array.widest_paths(&g).unwrap()
+        );
+        assert_eq!(
+            reference.minimax_paths(&g).unwrap(),
+            array.minimax_paths(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn report_carries_simulator_stats() {
+        let g = cycle(5);
+        let solver = ClosureSolver::new(Backend::Linear { cells: 2 });
+        let (_, rep) = solver.transitive_closure_with_report(&g).unwrap();
+        assert_eq!(rep.backend, "linear-partitioned");
+        assert!(rep.stats.cycles > 0);
+        assert_eq!(rep.stats.memory_connections, 3);
+    }
+}

@@ -1,0 +1,239 @@
+//! Graph analyses quantifying the properties the paper's transformations
+//! target: broadcasting (Fig. 4a / Fig. 12), bi-directional flow (Fig. 13),
+//! and irregular communication patterns (Fig. 15).
+
+use crate::graph::DependenceGraph;
+use crate::ids::{NodeId, OpKind, Port};
+use std::collections::HashMap;
+
+/// Fan-out statistics per output lane — broadcasting shows up as lanes with
+/// fan-out `Θ(n)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BroadcastCensus {
+    /// Largest fan-out of any `(node, output-lane)` pair.
+    pub max_fanout: usize,
+    /// Number of lanes with fan-out ≥ 2 (broadcast sources).
+    pub broadcast_sources: usize,
+    /// Number of driven lanes in total.
+    pub driven_lanes: usize,
+    /// Histogram `fanout → lane count`.
+    pub histogram: HashMap<usize, usize>,
+}
+
+/// Counts edges by the sign of their drawing-plane displacement. The paper's
+/// "bi-directional data flow" is the simultaneous presence of `leftward` and
+/// `rightward` (or `upward` and `downward`) edges among non-`X`-lane
+/// communications of a level.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirectionCensus {
+    /// Intra-level edges with `Δx < 0`.
+    pub intra_leftward: usize,
+    /// Intra-level edges with `Δx > 0`.
+    pub intra_rightward: usize,
+    /// Intra-level edges with `Δy < 0`.
+    pub intra_upward: usize,
+    /// Intra-level edges with `Δy > 0`.
+    pub intra_downward: usize,
+    /// Distinct `(Δx, Δy, src-lane, dst-lane)` patterns over intra-level
+    /// edges (the pipelined chains).
+    pub intra_patterns: usize,
+    /// Distinct `(Δx, Δy, src-lane, dst-lane)` patterns over inter-level
+    /// edges (strip-to-strip communication; small constant = regular).
+    pub inter_patterns: usize,
+    /// Largest horizontal displacement magnitude of any inter-level edge —
+    /// `Θ(n)` when strips communicate through wrap-around (the Fig. 15
+    /// irregularity), `O(1)` after delay-node regularization.
+    pub inter_max_abs_dx: i64,
+}
+
+impl DirectionCensus {
+    /// True when intra-level horizontal flow is uni-directional.
+    pub fn unidirectional_x(&self) -> bool {
+        self.intra_leftward == 0 || self.intra_rightward == 0
+    }
+    /// True when intra-level vertical flow is uni-directional.
+    pub fn unidirectional_y(&self) -> bool {
+        self.intra_upward == 0 || self.intra_downward == 0
+    }
+}
+
+/// Computes the fan-out census over every `(node, output-lane)`.
+pub fn broadcast_census(g: &DependenceGraph) -> BroadcastCensus {
+    let mut fanout: HashMap<(NodeId, Port), usize> = HashMap::new();
+    for e in g.edges() {
+        *fanout.entry((e.src, e.sport)).or_insert(0) += 1;
+    }
+    let mut histogram: HashMap<usize, usize> = HashMap::new();
+    let mut max_fanout = 0;
+    let mut broadcast_sources = 0;
+    for &f in fanout.values() {
+        *histogram.entry(f).or_insert(0) += 1;
+        max_fanout = max_fanout.max(f);
+        if f >= 2 {
+            broadcast_sources += 1;
+        }
+    }
+    BroadcastCensus {
+        max_fanout,
+        broadcast_sources,
+        driven_lanes: fanout.len(),
+        histogram,
+    }
+}
+
+/// Computes the direction census over all edges whose endpoints are both
+/// compute or delay nodes (edges from input terminals are boundary I/O, not
+/// inter-cell communication).
+pub fn direction_census(g: &DependenceGraph) -> DirectionCensus {
+    let mut c = DirectionCensus::default();
+    let mut inter = std::collections::HashSet::new();
+    let mut intra = std::collections::HashSet::new();
+    for e in g.edges() {
+        let s = g.node(e.src);
+        let d = g.node(e.dst);
+        if s.kind == OpKind::Input {
+            continue;
+        }
+        let dx = d.pos.x - s.pos.x;
+        let dy = d.pos.y - s.pos.y;
+        if s.coord.level == d.coord.level {
+            if dx < 0 {
+                c.intra_leftward += 1;
+            } else if dx > 0 {
+                c.intra_rightward += 1;
+            }
+            if dy < 0 {
+                c.intra_upward += 1;
+            } else if dy > 0 {
+                c.intra_downward += 1;
+            }
+            intra.insert((dx, dy, e.sport, e.dport));
+        } else {
+            inter.insert((dx, dy, e.sport, e.dport));
+            c.inter_max_abs_dx = c.inter_max_abs_dx.max(dx.abs());
+        }
+    }
+    c.intra_patterns = intra.len();
+    c.inter_patterns = inter.len();
+    c
+}
+
+/// Longest weighted path through the graph (node costs), i.e. the minimum
+/// possible delay of a fully pipelined implementation (§1: "minimum delay
+/// determined by the longest path in the graph").
+///
+/// # Panics
+/// Panics if the graph is cyclic.
+pub fn longest_path(g: &DependenceGraph) -> u64 {
+    let order = g.topo_order().expect("dependence graph must be acyclic");
+    let mut dist = vec![0u64; g.node_count()];
+    for &u in &order {
+        dist[u.index()] += u64::from(g.node(u).cost);
+    }
+    let adj = g.out_edges();
+    let mut best = 0;
+    for &u in &order {
+        let du = dist[u.index()];
+        best = best.max(du);
+        for e in &adj[u.index()] {
+            let nd = du + u64::from(g.node(e.dst).cost);
+            if nd > dist[e.dst.index()] {
+                dist[e.dst.index()] = nd;
+            }
+        }
+    }
+    best
+}
+
+/// Number of compute nodes per level `k` (Fig. 10 has `n²` per level;
+/// Fig. 11 has `(n-1)(n-2)`; LU-type graphs shrink with `k`).
+pub fn level_histogram(g: &DependenceGraph) -> Vec<(u32, usize)> {
+    let mut h: HashMap<u32, usize> = HashMap::new();
+    for nd in g.nodes() {
+        if nd.kind.is_compute() {
+            *h.entry(nd.coord.level).or_insert(0) += 1;
+        }
+    }
+    let mut v: Vec<_> = h.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Closed-form superfluous-node count for transitive closure of size `n`
+/// (§4.2): total `n³`, superfluous `3n² - 2n`, useful `n(n-1)(n-2)`.
+pub fn superfluous_count(n: usize) -> (usize, usize, usize) {
+    let total = n * n * n;
+    let superfluous = 3 * n * n - 2 * n;
+    let useful = n * (n.saturating_sub(1)) * (n.saturating_sub(2));
+    (total, superfluous, useful)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{closure_full, closure_lean, lu_graph};
+
+    #[test]
+    fn full_graph_broadcasts_order_n() {
+        let n = 6;
+        let c = broadcast_census(&closure_full(n));
+        // A pivot-row element feeds X of its own successor plus Q of a whole
+        // column (n consumers) at the next level.
+        assert!(c.max_fanout >= n, "max fanout {} < n {}", c.max_fanout, n);
+        assert!(c.broadcast_sources > 0);
+    }
+
+    #[test]
+    fn lean_graph_still_broadcasts() {
+        // Removing superfluous nodes does not remove broadcasting — that is
+        // the job of the pipelining transformation (Fig. 12).
+        let c = broadcast_census(&closure_lean(6));
+        assert!(c.max_fanout >= 4);
+    }
+
+    #[test]
+    fn superfluous_closed_form_matches_builders() {
+        for n in [3usize, 4, 5, 9] {
+            let (total, sup, useful) = superfluous_count(n);
+            assert_eq!(total, closure_full(n).compute_node_count());
+            assert_eq!(useful, closure_lean(n).compute_node_count());
+            assert_eq!(total - useful, sup);
+        }
+    }
+
+    #[test]
+    fn level_histogram_shapes() {
+        let n = 5;
+        let h = level_histogram(&closure_full(n));
+        assert_eq!(h.len(), n);
+        assert!(h.iter().all(|&(_, c)| c == n * n));
+        let h = level_histogram(&closure_lean(n));
+        assert!(h.iter().all(|&(_, c)| c == (n - 1) * (n - 2)));
+        let h = level_histogram(&lu_graph(n));
+        // Shrinking trapezoid: (n-k)² + (n-k) … strictly decreasing.
+        for w in h.windows(2) {
+            assert!(w[0].1 > w[1].1);
+        }
+    }
+
+    #[test]
+    fn longest_path_of_full_closure_is_linear_in_n() {
+        // Each level adds ≥1 to the critical path; with unit costs the
+        // X-chain of any element passes through all n levels.
+        for n in [3usize, 5, 8] {
+            let lp = longest_path(&closure_full(n));
+            assert_eq!(lp, n as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn direction_census_sees_long_range_patterns_in_full_graph() {
+        // Broadcast edges reach arbitrarily far within the drawing — the
+        // communication complexity the transformations remove.
+        let c5 = direction_census(&closure_full(5));
+        let c9 = direction_census(&closure_full(9));
+        assert!(c5.inter_max_abs_dx >= 3);
+        assert!(c9.inter_max_abs_dx > c5.inter_max_abs_dx);
+        assert!(c9.inter_patterns > c5.inter_patterns);
+    }
+}

@@ -1,0 +1,268 @@
+//! Functional evaluation of dependence graphs over a semiring.
+//!
+//! Evaluation is the semantic ground truth for the transformation passes:
+//! a pass is correct iff the evaluated output matrix is unchanged. `Fuse`
+//! and `Delay` nodes also *forward* their `P`/`Q`/`X` operands on the
+//! matching output lanes, which is what lets pipelined (broadcast-free)
+//! graphs evaluate with the same machinery.
+
+use crate::graph::DependenceGraph;
+use crate::ids::{OpKind, Port};
+use systolic_semiring::{DenseMatrix, Semiring};
+
+/// Evaluation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The graph contains a cycle.
+    Cyclic,
+    /// A node input lane was required but not driven and had no default.
+    MissingInput {
+        /// Offending node index.
+        node: usize,
+        /// Undriven lane.
+        port: Port,
+    },
+    /// A declared output's producing lane carried no value.
+    MissingOutput {
+        /// Output element row.
+        i: u32,
+        /// Output element column.
+        j: u32,
+    },
+    /// The provided matrix does not match the graph's problem size.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Cyclic => write!(f, "dependence graph has a cycle"),
+            EvalError::MissingInput { node, port } => {
+                write!(f, "node n{node} lane {port:?} is not driven")
+            }
+            EvalError::MissingOutput { i, j } => {
+                write!(f, "output element ({i},{j}) has no value")
+            }
+            EvalError::ShapeMismatch => write!(f, "input matrix shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[inline]
+fn lane_index(p: Port) -> usize {
+    match p {
+        Port::X => 0,
+        Port::P => 1,
+        Port::Q => 2,
+    }
+}
+
+/// Evaluates a transitive-closure-family graph on input matrix `a`.
+///
+/// Input terminals registered as `(i, j)` with `i < n` read `a[i][j]`;
+/// terminals with `i ≥ n` (the matmul builder's B convention) read from `b`
+/// when provided via [`eval_two_operand_graph`]. `Delay` nodes with no
+/// driven lanes act as `0̸` sources.
+///
+/// # Errors
+/// See [`EvalError`].
+pub fn eval_closure_graph<S: Semiring>(
+    g: &DependenceGraph,
+    a: &DenseMatrix<S>,
+) -> Result<DenseMatrix<S>, EvalError> {
+    eval_with_inputs(g, |i, j| {
+        if (i as usize) < a.rows() && (j as usize) < a.cols() {
+            Some(a.get(i as usize, j as usize).clone())
+        } else {
+            None
+        }
+    })
+}
+
+/// Evaluates a two-operand graph (e.g. [`crate::builders::matmul_graph`]):
+/// input `(i, j)` with `i < n` reads `a[i][j]`, input `(n + i, j)` reads
+/// `b[i][j]`.
+///
+/// # Errors
+/// See [`EvalError`].
+pub fn eval_two_operand_graph<S: Semiring>(
+    g: &DependenceGraph,
+    a: &DenseMatrix<S>,
+    b: &DenseMatrix<S>,
+) -> Result<DenseMatrix<S>, EvalError> {
+    if a.rows() != g.n() || b.rows() != g.n() {
+        return Err(EvalError::ShapeMismatch);
+    }
+    let n = g.n() as u32;
+    eval_with_inputs(g, |i, j| {
+        if i < n {
+            Some(a.get(i as usize, j as usize).clone())
+        } else {
+            Some(b.get((i - n) as usize, j as usize).clone())
+        }
+    })
+}
+
+fn eval_with_inputs<S: Semiring>(
+    g: &DependenceGraph,
+    input_value: impl Fn(u32, u32) -> Option<S::Elem>,
+) -> Result<DenseMatrix<S>, EvalError> {
+    let order = g.topo_order().map_err(|_| EvalError::Cyclic)?;
+    // Per node: the three output-lane values.
+    let mut out: Vec<[Option<S::Elem>; 3]> = vec![[None, None, None]; g.node_count()];
+    let inn = g.in_edges();
+
+    // Resolve input terminals first.
+    let mut input_of_node: Vec<Option<(u32, u32)>> = vec![None; g.node_count()];
+    for i in 0..(2 * g.n()) as u32 {
+        for j in 0..g.n() as u32 {
+            if let Some(nd) = g.input(i, j) {
+                input_of_node[nd.index()] = Some((i, j));
+            }
+        }
+    }
+
+    for &u in &order {
+        let node = g.node(u);
+        // Gather driven input lanes.
+        let mut lanes: [Option<S::Elem>; 3] = [None, None, None];
+        for e in &inn[u.index()] {
+            let v =
+                out[e.src.index()][lane_index(e.sport)]
+                    .clone()
+                    .ok_or(EvalError::MissingInput {
+                        node: e.src.index(),
+                        port: e.sport,
+                    })?;
+            lanes[lane_index(e.dport)] = Some(v);
+        }
+        let ui = u.index();
+        match node.kind {
+            OpKind::Input => {
+                let (i, j) = input_of_node[ui].ok_or(EvalError::MissingInput {
+                    node: ui,
+                    port: Port::X,
+                })?;
+                let v = input_value(i, j).ok_or(EvalError::MissingInput {
+                    node: ui,
+                    port: Port::X,
+                })?;
+                out[ui][0] = Some(v);
+            }
+            OpKind::Fuse => {
+                let x = lanes[0].clone().ok_or(EvalError::MissingInput {
+                    node: ui,
+                    port: Port::X,
+                })?;
+                let p = lanes[1].clone().ok_or(EvalError::MissingInput {
+                    node: ui,
+                    port: Port::P,
+                })?;
+                let q = lanes[2].clone().ok_or(EvalError::MissingInput {
+                    node: ui,
+                    port: Port::Q,
+                })?;
+                out[ui][0] = Some(S::fuse(&x, &p, &q));
+                out[ui][1] = Some(p);
+                out[ui][2] = Some(q);
+            }
+            OpKind::Delay => {
+                // Pass every driven lane through; an undriven Delay is a 0̸
+                // source on X (the matmul accumulator seed).
+                if lanes.iter().all(Option::is_none) {
+                    out[ui][0] = Some(S::zero());
+                } else {
+                    out[ui] = lanes;
+                }
+            }
+            // Arithmetic kinds (LU/Faddeev/Givens) are structural-only in
+            // this evaluator; encountering one during semiring evaluation is
+            // a usage error surfaced as a missing output downstream. They
+            // still forward operands so pass-through analyses work.
+            OpKind::Div | OpKind::MulSub | OpKind::Rot | OpKind::ApplyRot => {
+                out[ui] = lanes;
+            }
+        }
+    }
+
+    let n = g.n();
+    let mut result = DenseMatrix::<S>::zeros(n, n);
+    for i in 0..n as u32 {
+        for j in 0..n as u32 {
+            let (nd, port) = g.output(i, j).ok_or(EvalError::MissingOutput { i, j })?;
+            let v = out[nd.index()][lane_index(port)]
+                .clone()
+                .ok_or(EvalError::MissingOutput { i, j })?;
+            result.set(i as usize, j as usize, v);
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{closure_full, closure_lean, matmul_graph};
+    use systolic_semiring::{matmul, reflexive, warshall, Bool, MinPlus};
+
+    fn bool_adj(n: usize, edges: &[(usize, usize)]) -> DenseMatrix<Bool> {
+        let mut m = DenseMatrix::<Bool>::zeros(n, n);
+        for &(i, j) in edges {
+            m.set(i, j, true);
+        }
+        m
+    }
+
+    #[test]
+    fn full_graph_computes_warshall_bool() {
+        let a = bool_adj(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let want = warshall(&a);
+        // The graph expects the reflexive matrix as X⁰ (paper convention).
+        let got = eval_closure_graph::<Bool>(&closure_full(4), &reflexive(&a)).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lean_graph_matches_full_graph() {
+        let a = bool_adj(5, &[(0, 2), (2, 4), (4, 1), (1, 3)]);
+        let ar = reflexive(&a);
+        let full = eval_closure_graph::<Bool>(&closure_full(5), &ar).unwrap();
+        let lean = eval_closure_graph::<Bool>(&closure_lean(5), &ar).unwrap();
+        assert_eq!(full, lean);
+        assert_eq!(full, warshall(&a));
+    }
+
+    #[test]
+    fn graphs_work_over_minplus() {
+        let mut a = DenseMatrix::<MinPlus>::zeros(4, 4);
+        a.set(0, 1, 3);
+        a.set(1, 2, 4);
+        a.set(2, 3, 1);
+        a.set(0, 3, 99);
+        let want = warshall(&a);
+        let got = eval_closure_graph::<MinPlus>(&closure_lean(4), &reflexive(&a)).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(*got.get(0, 3), 8);
+    }
+
+    #[test]
+    fn matmul_graph_evaluates_product() {
+        use systolic_semiring::Counting;
+        let n = 3;
+        let a = DenseMatrix::<Counting>::from_fn(n, n, |i, j| ((i + j) % 3) as u64);
+        let b = DenseMatrix::<Counting>::from_fn(n, n, |i, j| ((2 * i + j) % 4) as u64);
+        let want = matmul(&a, &b);
+        let got = eval_two_operand_graph::<Counting>(&matmul_graph(n), &a, &b).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let a = DenseMatrix::<Bool>::zeros(3, 3);
+        let b = DenseMatrix::<Bool>::zeros(3, 3);
+        let err = eval_two_operand_graph::<Bool>(&matmul_graph(4), &a, &b).unwrap_err();
+        assert_eq!(err, EvalError::ShapeMismatch);
+    }
+}

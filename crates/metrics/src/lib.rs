@@ -1,0 +1,25 @@
+//! Performance evaluation: the paper's closed-form measures (§4.1–§4.2)
+//! and their comparison against simulator measurements.
+//!
+//! * [`models`] — the analytic formulas exactly as derived in the paper:
+//!   throughput `T`, utilization `U`, I/O bandwidth `D_I/O`, overhead, and
+//!   memory-connection counts for the fixed, fixed-linear, linear
+//!   partitioned and 2-D partitioned arrays.
+//! * [`compare`] — model-vs-measured rows built from a
+//!   [`systolic_arraysim::RunStats`].
+//! * [`varying`] — the §4.3 analysis of G-graphs with *varying* G-node
+//!   computation time (Fig. 22): utilization of linear vs 2-D mappings.
+//! * [`tradeoff`] — the §4.2 linear-vs-2-D design-space sweep (E12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod models;
+pub mod tradeoff;
+pub mod varying;
+
+pub use compare::{compare_grid_run, compare_linear_run, MetricRow};
+pub use models::{FixedLinearModel, FixedModel, GridModel, LinearModel};
+pub use tradeoff::{tradeoff_row, TradeoffRow};
+pub use varying::{mapping_utilization, MappingKind, VaryingReport};

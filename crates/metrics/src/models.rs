@@ -1,0 +1,208 @@
+//! The paper's closed-form performance models (§3.2, §4.2).
+
+use serde::Serialize;
+
+/// Linear partitioned array (Fig. 18) for problem size `n` on `m` cells.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct LinearModel {
+    /// Problem size.
+    pub n: usize,
+    /// Cell count.
+    pub m: usize,
+}
+
+impl LinearModel {
+    /// `T = m / (n²(n+1))` — §4.2.
+    pub fn throughput(&self) -> f64 {
+        self.m as f64 / ((self.n * self.n) as f64 * (self.n as f64 + 1.0))
+    }
+
+    /// Cycles for one problem instance, `T⁻¹ = n²(n+1)/m`.
+    pub fn cycles_per_instance(&self) -> f64 {
+        1.0 / self.throughput()
+    }
+
+    /// `U = (n-1)(n-2) / (n(n+1)) → 1` — §4.2.
+    pub fn utilization(&self) -> f64 {
+        ((self.n - 1) * (self.n - 2)) as f64 / (self.n as f64 * (self.n as f64 + 1.0))
+    }
+
+    /// `D_I/O = m/n` — §3.2 (host words per cycle).
+    pub fn io_bandwidth(&self) -> f64 {
+        self.m as f64 / self.n as f64
+    }
+
+    /// Partitioning overhead `d_i` — zero: data transfers are overlapped
+    /// with computation (§4.2).
+    pub fn overhead(&self) -> f64 {
+        0.0
+    }
+
+    /// Connections to external memories: `m + 1` (§3.2).
+    pub fn memory_connections(&self) -> usize {
+        self.m + 1
+    }
+
+    /// Number of G-sets, `n(n+1)/m` (§4.2; fractional when `m ∤ n(n+1)`,
+    /// in which case boundary sets make the true count slightly larger).
+    pub fn gsets(&self) -> f64 {
+        (self.n * (self.n + 1)) as f64 / self.m as f64
+    }
+
+    /// Useful operation count `N = n(n-1)(n-2)` (§4.2).
+    pub fn useful_ops(&self) -> u64 {
+        (self.n * (self.n - 1) * (self.n - 2)) as u64
+    }
+}
+
+/// Two-dimensional partitioned array (Fig. 19), `√m × √m` cells.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct GridModel {
+    /// Problem size.
+    pub n: usize,
+    /// Grid side `√m`.
+    pub s: usize,
+}
+
+impl GridModel {
+    /// Total cells `m = s²`.
+    pub fn cells(&self) -> usize {
+        self.s * self.s
+    }
+
+    fn as_linear(&self) -> LinearModel {
+        LinearModel {
+            n: self.n,
+            m: self.cells(),
+        }
+    }
+
+    /// Same throughput as the linear array with `m = s²` cells (§4.2).
+    pub fn throughput(&self) -> f64 {
+        self.as_linear().throughput()
+    }
+
+    /// Same utilization as the linear array (§4.2).
+    pub fn utilization(&self) -> f64 {
+        self.as_linear().utilization()
+    }
+
+    /// Same host I/O bandwidth as the linear array (§3.2).
+    pub fn io_bandwidth(&self) -> f64 {
+        self.as_linear().io_bandwidth()
+    }
+
+    /// Zero partitioning overhead (§4.2).
+    pub fn overhead(&self) -> f64 {
+        0.0
+    }
+
+    /// Connections to external memories: `2√m` (§3.2).
+    pub fn memory_connections(&self) -> usize {
+        2 * self.s
+    }
+}
+
+/// The Fig. 17 fixed-size array (`n × (n+1)` cells).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct FixedModel {
+    /// Problem size.
+    pub n: usize,
+}
+
+impl FixedModel {
+    /// Throughput `1/n` (§3.2): a new problem instance every `n` cycles.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.n as f64
+    }
+
+    /// Cells: `n(n+1)`.
+    pub fn cells(&self) -> usize {
+        self.n * (self.n + 1)
+    }
+
+    /// Steady-state utilization: every cell streams `n` cycles per `n`-cycle
+    /// initiation interval → occupancy 1; *useful* utilization is
+    /// `(n-1)(n-2)/(n(n+1))` as in the partitioned case.
+    pub fn useful_utilization(&self) -> f64 {
+        ((self.n - 1) * (self.n - 2)) as f64 / (self.n as f64 * (self.n as f64 + 1.0))
+    }
+}
+
+/// §3.2's linear fixed-size array (`n` cells, one G-graph row each).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct FixedLinearModel {
+    /// Problem size.
+    pub n: usize,
+}
+
+impl FixedLinearModel {
+    /// Throughput `1/(n(n+1))` (§3.2).
+    pub fn throughput(&self) -> f64 {
+        1.0 / (self.n as f64 * (self.n as f64 + 1.0))
+    }
+
+    /// Cells: `n`.
+    pub fn cells(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_formulas_match_paper_examples() {
+        let m = LinearModel { n: 10, m: 5 };
+        assert!((m.throughput() - 5.0 / 1100.0).abs() < 1e-12);
+        assert!((m.utilization() - 72.0 / 110.0).abs() < 1e-12);
+        assert!((m.io_bandwidth() - 0.5).abs() < 1e-12);
+        assert_eq!(m.memory_connections(), 6);
+        assert_eq!(m.overhead(), 0.0);
+        assert_eq!(m.useful_ops(), 720);
+        assert!((m.gsets() - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_tends_to_one() {
+        let small = LinearModel { n: 10, m: 2 }.utilization();
+        let large = LinearModel { n: 1000, m: 2 }.utilization();
+        assert!(small < large);
+        assert!(large > 0.99);
+    }
+
+    #[test]
+    fn grid_equals_linear_with_same_cells() {
+        let g = GridModel { n: 64, s: 4 };
+        let l = LinearModel { n: 64, m: 16 };
+        assert_eq!(g.throughput(), l.throughput());
+        assert_eq!(g.utilization(), l.utilization());
+        assert_eq!(g.io_bandwidth(), l.io_bandwidth());
+        // …but more memory connections for the same cell budget when m > 64.
+        assert_eq!(g.memory_connections(), 8);
+        assert_eq!(l.memory_connections(), 17);
+    }
+
+    #[test]
+    fn linear_has_fewer_memory_connections_iff_m_small() {
+        // 2√m < m+1 ⟺ m ≥ 3 (integer cells): the grid wins on connection
+        // count for m ≥ 3, but the paper's preference for linear rests on
+        // simplicity, boundary sets and fault tolerance (§5) — the sweep in
+        // `tradeoff` quantifies the rest.
+        let g = GridModel { n: 32, s: 2 };
+        let l = LinearModel { n: 32, m: 4 };
+        assert_eq!(g.memory_connections(), 4);
+        assert_eq!(l.memory_connections(), 5);
+    }
+
+    #[test]
+    fn fixed_models() {
+        let f = FixedModel { n: 12 };
+        assert!((f.throughput() - 1.0 / 12.0).abs() < 1e-12);
+        assert_eq!(f.cells(), 156);
+        let fl = FixedLinearModel { n: 12 };
+        assert!((fl.throughput() - 1.0 / 156.0).abs() < 1e-12);
+        assert_eq!(fl.cells(), 12);
+    }
+}

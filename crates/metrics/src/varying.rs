@@ -1,0 +1,241 @@
+//! §4.3 / Fig. 22 — G-nodes with different computation time.
+//!
+//! When a G-graph's node times vary monotonically (LU decomposition,
+//! triangular inverse, Givens, Faddeev), a 2-D G-set unavoidably mixes
+//! computation times, so cells with shorter nodes idle until the longest
+//! member finishes; a linear G-set can follow an equal-time path and stay
+//! fully utilized. [`mapping_utilization`] quantifies both mappings for any
+//! [`systolic_transform::TimeGrid`].
+
+use serde::Serialize;
+use systolic_transform::TimeGrid;
+
+/// Which array shape a G-set mapping targets.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum MappingKind {
+    /// G-sets of `m` G-nodes taken along an equal-time path, one path at a
+    /// time (Fig. 22b): zero time mixing, but each path's tail leaves a
+    /// partial boundary set.
+    Linear,
+    /// G-sets of `m` consecutive G-nodes with path tails packed against the
+    /// next path's head: only sets straddling a path boundary mix (adjacent)
+    /// times — the linear array's boundary-free variant.
+    LinearPacked,
+    /// G-sets of `√m × √m` G-nodes spanning adjacent paths (Fig. 22a).
+    TwoDimensional,
+}
+
+/// Utilization report for one mapping of a varying-time G-graph.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct VaryingReport {
+    /// Mapping evaluated.
+    pub kind: MappingKind,
+    /// Cells assumed (`m`).
+    pub cells: usize,
+    /// Total useful G-node time.
+    pub work: u64,
+    /// Total cell-cycles consumed (each G-set holds the array for its
+    /// longest member's time).
+    pub cell_cycles: u64,
+    /// Idle cell-cycles caused by *mixing computation times* within a G-set
+    /// — the §4.3 effect, zero for a mapping along equal-time paths.
+    pub mixing_idle: u64,
+    /// Idle cell-cycles caused by partial boundary sets (the parallelogram
+    /// raggedness, present for both mappings and vanishing as `n/m` grows).
+    pub boundary_idle: u64,
+    /// `work / cell_cycles`.
+    pub utilization: f64,
+}
+
+impl VaryingReport {
+    /// Utilization of the interior (excluding boundary raggedness): the
+    /// quantity Fig. 22 compares — 1.0 iff no G-set mixes computation
+    /// times.
+    pub fn interior_utilization(&self) -> f64 {
+        let denom = self.work + self.mixing_idle;
+        if denom == 0 {
+            0.0
+        } else {
+            self.work as f64 / denom as f64
+        }
+    }
+}
+
+/// Computes the utilization of mapping `grid` onto an array of `m` cells.
+///
+/// Linear mapping: G-sets are `m` consecutive G-nodes within one row of the
+/// time grid (rows of the grid are the equal-time paths of Fig. 22b).
+/// 2-D mapping: G-sets are `√m × √m` blocks spanning `√m` adjacent rows
+/// (`m` must be a perfect square).
+///
+/// # Panics
+/// Panics if `kind` is two-dimensional and `m` is not a perfect square.
+pub fn mapping_utilization(grid: &TimeGrid, m: usize, kind: MappingKind) -> VaryingReport {
+    assert!(m >= 1);
+    let work: u64 = grid.total_time();
+    let mut cell_cycles: u64 = 0;
+    let mut mixing_idle: u64 = 0;
+    let mut boundary_idle: u64 = 0;
+    // Accounts one G-set: `members` are its G-node times, the array holds
+    // all m cells for max(members) cycles.
+    let mut account = |members: &[u64]| {
+        let t = members.iter().copied().max().unwrap_or(0);
+        let sum: u64 = members.iter().sum();
+        cell_cycles += t * m as u64;
+        mixing_idle += t * members.len() as u64 - sum;
+        boundary_idle += t * (m - members.len()) as u64;
+    };
+    match kind {
+        MappingKind::Linear => {
+            for row in &grid.times {
+                for set in row.chunks(m) {
+                    account(set);
+                }
+            }
+        }
+        MappingKind::LinearPacked => {
+            let flat: Vec<u64> = grid.times.iter().flatten().copied().collect();
+            for set in flat.chunks(m) {
+                account(set);
+            }
+        }
+        MappingKind::TwoDimensional => {
+            let s = (m as f64).sqrt().round() as usize;
+            assert_eq!(s * s, m, "2-D mapping needs a square cell count");
+            let rows = grid.times.len();
+            let mut members = Vec::with_capacity(m);
+            let mut br = 0;
+            while br < rows {
+                let band = &grid.times[br..rows.min(br + s)];
+                let widest = band.iter().map(Vec::len).max().unwrap_or(0);
+                let mut bc = 0;
+                while bc < widest {
+                    members.clear();
+                    for row in band {
+                        members.extend(row.iter().skip(bc).take(s).copied());
+                    }
+                    if !members.is_empty() {
+                        account(&members);
+                    }
+                    bc += s;
+                }
+                br += s;
+            }
+        }
+    }
+    VaryingReport {
+        kind,
+        cells: m,
+        work,
+        cell_cycles,
+        mixing_idle,
+        boundary_idle,
+        utilization: if cell_cycles == 0 {
+            0.0
+        } else {
+            work as f64 / cell_cycles as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_transform::lu_time_grid;
+
+    #[test]
+    fn uniform_grid_is_fully_utilized_by_both_mappings() {
+        let grid = TimeGrid {
+            times: vec![vec![4; 8]; 8],
+        };
+        let lin = mapping_utilization(&grid, 4, MappingKind::Linear);
+        let two = mapping_utilization(&grid, 4, MappingKind::TwoDimensional);
+        assert!((lin.utilization - 1.0).abs() < 1e-12);
+        assert!((two.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig22_lu_linear_beats_two_dimensional() {
+        // The Fig. 22 claim: with rows as equal-time paths, the linear
+        // mapping has zero time-mixing idle (interior utilization 1.0)
+        // while the 2-D mapping unavoidably mixes times.
+        let grid = lu_time_grid(16);
+        let lin = mapping_utilization(&grid, 4, MappingKind::Linear);
+        let two = mapping_utilization(&grid, 4, MappingKind::TwoDimensional);
+        assert_eq!(lin.mixing_idle, 0, "equal-time paths never mix");
+        assert!((lin.interior_utilization() - 1.0).abs() < 1e-12);
+        assert!(two.mixing_idle > 0);
+        assert!(
+            two.interior_utilization() < 0.97,
+            "2-D mixes times: {}",
+            two.interior_utilization()
+        );
+        // The gap widens with larger sets relative to the time gradient.
+        let two9 = mapping_utilization(&grid, 9, MappingKind::TwoDimensional);
+        assert!(two9.interior_utilization() < two.interior_utilization());
+        assert_eq!(lin.work, two.work);
+    }
+
+    #[test]
+    fn packed_linear_wins_on_total_utilization() {
+        // The path-at-a-time linear mapping pays boundary raggedness on
+        // every path tail, which a 2-D block can amortize; packing paths
+        // end-to-end removes that penalty while mixing only adjacent
+        // (±1-cycle) times, so the linear array wins outright — the §4.3
+        // conclusion in total-utilization terms.
+        for n in [16usize, 64, 128] {
+            let grid = lu_time_grid(n);
+            let packed = mapping_utilization(&grid, 4, MappingKind::LinearPacked);
+            let two = mapping_utilization(&grid, 4, MappingKind::TwoDimensional);
+            assert!(
+                packed.utilization > two.utilization,
+                "n={n}: packed {} vs 2-D {}",
+                packed.utilization,
+                two.utilization
+            );
+            assert!(packed.boundary_idle <= 4 * grid.max_time());
+        }
+    }
+
+    #[test]
+    fn gap_grows_with_time_variation() {
+        let mild = TimeGrid {
+            times: vec![vec![8; 6], vec![7; 6], vec![8; 6], vec![7; 6]],
+        };
+        let steep = TimeGrid {
+            times: vec![vec![8; 6], vec![2; 6], vec![8; 6], vec![2; 6]],
+        };
+        let mild_u = mapping_utilization(&mild, 4, MappingKind::TwoDimensional).utilization;
+        let steep_u = mapping_utilization(&steep, 4, MappingKind::TwoDimensional).utilization;
+        assert!(steep_u < mild_u);
+    }
+
+    #[test]
+    fn boundary_and_mixing_idle_are_separated() {
+        // A single row of length 5 mapped on m=4: one full set (no idle) and
+        // one boundary set of 1 node (3 cells idle), no time mixing.
+        let grid = TimeGrid {
+            times: vec![vec![6, 6, 6, 6, 6]],
+        };
+        let lin = mapping_utilization(&grid, 4, MappingKind::Linear);
+        assert_eq!(lin.mixing_idle, 0);
+        assert_eq!(lin.boundary_idle, 6 * 3);
+        assert_eq!(lin.cell_cycles, 2 * 6 * 4);
+    }
+
+    #[test]
+    fn single_cell_degenerates_to_full_utilization() {
+        let grid = lu_time_grid(8);
+        let lin = mapping_utilization(&grid, 1, MappingKind::Linear);
+        let two = mapping_utilization(&grid, 1, MappingKind::TwoDimensional);
+        assert!((lin.utilization - 1.0).abs() < 1e-12);
+        assert!((two.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn two_dimensional_requires_square_m() {
+        let grid = lu_time_grid(8);
+        let _ = mapping_utilization(&grid, 6, MappingKind::TwoDimensional);
+    }
+}

@@ -1,0 +1,136 @@
+//! The common engine interface and shared task-construction helpers.
+
+use systolic_arraysim::{RunStats, SimError};
+use systolic_semiring::{reflexive, DenseMatrix, PathSemiring};
+
+/// Engine failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Underlying simulation failed (deadlock/timeout indicates a schedule
+    /// or wiring bug — engines are expected to be deadlock-free).
+    Sim(SimError),
+    /// The input was rejected (shape, size constraints).
+    BadInput(String),
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            EngineError::BadInput(s) => write!(f, "bad input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// An array engine computing algebraic path closures.
+pub trait ClosureEngine<S: PathSemiring> {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of processing cells in the array.
+    fn cells(&self) -> usize;
+
+    /// Computes `A⁺` (with reflexive diagonal) for a batch of equally-sized
+    /// problem instances, chained through the array, returning the results
+    /// and the measured run statistics.
+    ///
+    /// # Errors
+    /// [`EngineError::BadInput`] on shape mismatch;
+    /// [`EngineError::Sim`] if the simulation deadlocks or times out.
+    fn closure_many(
+        &self,
+        mats: &[DenseMatrix<S>],
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError>;
+
+    /// Convenience wrapper for a single instance.
+    ///
+    /// # Errors
+    /// See [`ClosureEngine::closure_many`].
+    fn closure(&self, a: &DenseMatrix<S>) -> Result<(DenseMatrix<S>, RunStats), EngineError> {
+        let (mut v, stats) = self.closure_many(std::slice::from_ref(a))?;
+        Ok((v.pop().expect("one instance in, one out"), stats))
+    }
+}
+
+/// Validates a batch: all square, same size `n ≥ 2`. Returns `n` and the
+/// reflexive copies the arrays consume (the paper's `a_ii = 1` convention).
+pub(crate) fn prepare_batch<S: PathSemiring>(
+    mats: &[DenseMatrix<S>],
+) -> Result<(usize, Vec<DenseMatrix<S>>), EngineError> {
+    let Some(first) = mats.first() else {
+        return Err(EngineError::BadInput("empty batch".into()));
+    };
+    let n = first.rows();
+    if n < 2 {
+        return Err(EngineError::BadInput(format!(
+            "problem size n={n} must be ≥ 2"
+        )));
+    }
+    for (idx, a) in mats.iter().enumerate() {
+        if !a.is_square() || a.rows() != n {
+            return Err(EngineError::BadInput(format!(
+                "instance {idx} is {}x{}, expected {n}x{n}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+    }
+    Ok((n, mats.iter().map(reflexive).collect()))
+}
+
+/// Packs `(instance, k, h)` into a unique stream key.
+#[inline]
+pub(crate) fn stream_key(inst: usize, k: usize, h: usize) -> u64 {
+    debug_assert!(inst < (1 << 16) && k < (1 << 24) && h < (1 << 24));
+    ((inst as u64) << 48) | ((k as u64) << 24) | h as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::Bool;
+
+    #[test]
+    fn prepare_batch_rejects_empty_and_small() {
+        let err = prepare_batch::<Bool>(&[]).unwrap_err();
+        assert!(matches!(err, EngineError::BadInput(_)));
+        let a = DenseMatrix::<Bool>::zeros(1, 1);
+        assert!(prepare_batch::<Bool>(&[a]).is_err());
+    }
+
+    #[test]
+    fn prepare_batch_rejects_mixed_sizes() {
+        let a = DenseMatrix::<Bool>::zeros(3, 3);
+        let b = DenseMatrix::<Bool>::zeros(4, 4);
+        let err = prepare_batch::<Bool>(&[a, b]).unwrap_err();
+        assert!(matches!(err, EngineError::BadInput(_)));
+    }
+
+    #[test]
+    fn prepare_batch_makes_reflexive() {
+        let a = DenseMatrix::<Bool>::zeros(3, 3);
+        let (n, v) = prepare_batch::<Bool>(&[a]).unwrap();
+        assert_eq!(n, 3);
+        assert!(*v[0].get(1, 1));
+    }
+
+    #[test]
+    fn stream_keys_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for inst in 0..3 {
+            for k in 0..9 {
+                for h in 0..19 {
+                    assert!(seen.insert(stream_key(inst, k, h)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Fixed-size arrays derived from the G-graph (§3.2).
+//!
+//! * [`FixedArrayEngine`] — the Fig. 17 G-graph implemented directly: one
+//!   cell per G-node (`n × (n+1)` cells), neighbor links only (pivot
+//!   streams flow right, column streams flow down-left), data transfers
+//!   overlapped with computation, throughput `1/n` with unrestricted
+//!   chaining of problem instances. Inputs enter through `n` parallel
+//!   boundary ports (modelled as preloaded port buffers — the fixed-size
+//!   array is not host-bandwidth-limited, unlike the partitioned arrays of
+//!   Fig. 21).
+//! * [`FixedLinearEngine`] — §3.2's collapse of each G-graph row into a
+//!   single cell: `n` cells, throughput `1/(n(n+1))`, with the row's pivot
+//!   stream recirculating through a per-cell loopback buffer.
+
+use crate::engine::{prepare_batch, stream_key, ClosureEngine, EngineError};
+use systolic_arraysim::{ArraySim, RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
+use systolic_semiring::{DenseMatrix, PathSemiring};
+use systolic_transform::{GGraph, GNodeRole, GnodeId};
+
+/// The Fig. 17 fixed-size array: one cell per G-node.
+#[derive(Clone, Debug, Default)]
+pub struct FixedArrayEngine;
+
+impl FixedArrayEngine {
+    /// Creates the engine (the array size adapts to the problem size).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Cells used for problem size `n`.
+    pub fn cells_for(n: usize) -> usize {
+        n * (n + 1)
+    }
+}
+
+impl<S: PathSemiring> ClosureEngine<S> for FixedArrayEngine {
+    fn name(&self) -> &'static str {
+        "fixed-array"
+    }
+
+    fn cells(&self) -> usize {
+        0 // problem-size dependent; see cells_for
+    }
+
+    fn closure_many(
+        &self,
+        mats: &[DenseMatrix<S>],
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        let (n, batch) = prepare_batch(mats)?;
+        let gg = GGraph::new(n);
+        let w = n + 1;
+        let cell_of = |id: GnodeId| id.k * w + id.g;
+
+        let mut sim = ArraySim::<S>::new(n * w);
+
+        // Pivot links (k,g) → (k,g+1) and column links (k,g) → (k+1,g-1).
+        let mut pl = vec![usize::MAX; n * w];
+        let mut cl = vec![usize::MAX; n * w];
+        for k in 0..n {
+            for g in 0..w {
+                if g + 1 < w {
+                    pl[k * w + g] = sim.add_link();
+                }
+                if k + 1 < n && g >= 1 {
+                    cl[k * w + g] = sim.add_link();
+                }
+            }
+        }
+
+        // n parallel boundary input ports, one per row-0 column cell.
+        let ports: Vec<usize> = (0..n).map(|_| sim.add_bank()).collect();
+        sim.set_memory_connections(0);
+        let out0 = sim.add_outputs(batch.len() * n);
+
+        for (inst, a) in batch.iter().enumerate() {
+            for (g, &port) in ports.iter().enumerate() {
+                for v in a.col(g) {
+                    sim.bank_mut(port).preload(stream_key(inst, 0, g), v);
+                }
+            }
+        }
+
+        for (inst, _) in batch.iter().enumerate() {
+            for id in gg.iter() {
+                let (k, g) = (id.k, id.g);
+                let role = gg.role(id);
+                let kind = match role {
+                    GNodeRole::PivotHead => TaskKind::PivotHead,
+                    GNodeRole::Fuse => TaskKind::Fuse,
+                    GNodeRole::DelayTail => TaskKind::DelayTail,
+                };
+                let col_in = match role {
+                    GNodeRole::DelayTail => None,
+                    _ if k == 0 => Some(StreamSrc::Bank {
+                        bank: ports[g],
+                        key: stream_key(inst, 0, g),
+                    }),
+                    _ => Some(StreamSrc::Link(cl[(k - 1) * w + g + 1])),
+                };
+                let pivot_in = match role {
+                    GNodeRole::PivotHead => None,
+                    _ => Some(StreamSrc::Link(pl[k * w + g - 1])),
+                };
+                let col_out = match role {
+                    GNodeRole::PivotHead => None,
+                    _ if k == n - 1 => Some(StreamDst::Output {
+                        stream: out0 + inst * n + (g - 1),
+                    }),
+                    _ => Some(StreamDst::Link(cl[k * w + g])),
+                };
+                let pivot_out = match role {
+                    GNodeRole::DelayTail => None,
+                    _ => Some(StreamDst::Link(pl[k * w + g])),
+                };
+                sim.push_task(
+                    cell_of(id),
+                    Task {
+                        kind,
+                        len: n,
+                        col_in,
+                        pivot_in,
+                        col_out,
+                        pivot_out,
+                        useful_ops: gg.useful_ops(id) as u64,
+                        label: TaskLabel {
+                            k: k as u32,
+                            h: gg.h_of(id) as u32,
+                        },
+                    },
+                );
+            }
+        }
+
+        sim.set_max_cycles((batch.len() as u64 + 8) * (n as u64) * 40 + 100_000);
+        let stats = sim.run()?;
+        let outs = sim.outputs();
+        let mut results = Vec::with_capacity(batch.len());
+        for inst in 0..batch.len() {
+            let mut r = DenseMatrix::<S>::zeros(n, n);
+            for j in 0..n {
+                let col = &outs[out0 + inst * n + j];
+                assert_eq!(col.len(), n, "output column {j} incomplete");
+                r.set_col(j, col);
+            }
+            results.push(r);
+        }
+        Ok((results, stats))
+    }
+}
+
+/// §3.2's linear fixed-size array: each G-graph row collapsed into one cell.
+#[derive(Clone, Debug, Default)]
+pub struct FixedLinearEngine;
+
+impl FixedLinearEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl<S: PathSemiring> ClosureEngine<S> for FixedLinearEngine {
+    fn name(&self) -> &'static str {
+        "fixed-linear"
+    }
+
+    fn cells(&self) -> usize {
+        0 // n cells for problem size n
+    }
+
+    fn closure_many(
+        &self,
+        mats: &[DenseMatrix<S>],
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        let (n, batch) = prepare_batch(mats)?;
+        let gg = GGraph::new(n);
+
+        let mut sim = ArraySim::<S>::new(n);
+        // Bank k: cell k's pivot loopback; bank n+k: row k → k+1 columns.
+        for _ in 0..2 * n {
+            sim.add_bank();
+        }
+        let loop_bank = |k: usize| k;
+        let col_bank = |k: usize| n + k;
+        sim.set_memory_connections(2 * n);
+        let out0 = sim.add_outputs(batch.len() * n);
+
+        // Host: the collapsed row 0 consumes one column at a time, so the
+        // single-injection host keeps up (rate 1/(n+1) of a word per cycle).
+        for (inst, a) in batch.iter().enumerate() {
+            for g in 0..n {
+                sim.host_mut()
+                    .enqueue_stream(0, stream_key(inst, 0, g), a.col(g));
+            }
+        }
+
+        for (inst, _) in batch.iter().enumerate() {
+            for id in gg.iter() {
+                let (k, g) = (id.k, id.g);
+                let h = gg.h_of(id);
+                let role = gg.role(id);
+                let kind = match role {
+                    GNodeRole::PivotHead => TaskKind::PivotHead,
+                    GNodeRole::Fuse => TaskKind::Fuse,
+                    GNodeRole::DelayTail => TaskKind::DelayTail,
+                };
+                let col_in = match role {
+                    GNodeRole::DelayTail => None,
+                    _ if k == 0 => Some(StreamSrc::Host {
+                        key: stream_key(inst, 0, g),
+                    }),
+                    _ => Some(StreamSrc::Bank {
+                        bank: col_bank(k - 1),
+                        key: stream_key(inst, k - 1, h),
+                    }),
+                };
+                let pivot_in = match role {
+                    GNodeRole::PivotHead => None,
+                    _ => Some(StreamSrc::Bank {
+                        bank: loop_bank(k),
+                        key: stream_key(inst, k, h - 1),
+                    }),
+                };
+                let col_out = match role {
+                    GNodeRole::PivotHead => None,
+                    _ if k == n - 1 => Some(StreamDst::Output {
+                        stream: out0 + inst * n + (h - n),
+                    }),
+                    _ => Some(StreamDst::Bank {
+                        bank: col_bank(k),
+                        key: stream_key(inst, k, h),
+                    }),
+                };
+                let pivot_out = match role {
+                    GNodeRole::DelayTail => None,
+                    _ => Some(StreamDst::Bank {
+                        bank: loop_bank(k),
+                        key: stream_key(inst, k, h),
+                    }),
+                };
+                sim.push_task(
+                    k,
+                    Task {
+                        kind,
+                        len: n,
+                        col_in,
+                        pivot_in,
+                        col_out,
+                        pivot_out,
+                        useful_ops: gg.useful_ops(id) as u64,
+                        label: TaskLabel {
+                            k: k as u32,
+                            h: h as u32,
+                        },
+                    },
+                );
+            }
+        }
+
+        let ideal = (n as u64) * (n as u64) * (n as u64 + 1);
+        sim.set_max_cycles(batch.len() as u64 * ideal * 20 + 100_000);
+        let stats = sim.run()?;
+        let outs = sim.outputs();
+        let mut results = Vec::with_capacity(batch.len());
+        for inst in 0..batch.len() {
+            let mut r = DenseMatrix::<S>::zeros(n, n);
+            for j in 0..n {
+                let col = &outs[out0 + inst * n + j];
+                assert_eq!(col.len(), n, "output column {j} incomplete");
+                r.set_col(j, col);
+            }
+            results.push(r);
+        }
+        Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::{warshall, Bool, MaxMin};
+
+    fn bool_adj(n: usize, edges: &[(usize, usize)]) -> DenseMatrix<Bool> {
+        let mut a = DenseMatrix::<Bool>::zeros(n, n);
+        for &(i, j) in edges {
+            a.set(i, j, true);
+        }
+        a
+    }
+
+    #[test]
+    fn fixed_array_matches_warshall() {
+        for (n, edges) in [
+            (3usize, vec![(0, 1), (1, 2)]),
+            (5, vec![(0, 2), (2, 4), (4, 1), (1, 0), (3, 3)]),
+            (7, vec![(6, 0), (0, 6), (1, 3), (3, 5), (5, 1)]),
+        ] {
+            let a = bool_adj(n, &edges);
+            let eng = FixedArrayEngine::new();
+            let (got, stats) = ClosureEngine::<Bool>::closure(&eng, &a).unwrap();
+            assert_eq!(got, warshall(&a), "n={n}");
+            assert_eq!(stats.cells, n * (n + 1));
+        }
+    }
+
+    #[test]
+    fn fixed_array_throughput_approaches_one_over_n() {
+        // Chain many instances: steady-state initiation interval is n.
+        let n = 6;
+        let a = bool_adj(n, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let insts = 12;
+        let eng = FixedArrayEngine::new();
+        let batch: Vec<_> = (0..insts).map(|_| a.clone()).collect();
+        let (res, stats) = ClosureEngine::<Bool>::closure_many(&eng, &batch).unwrap();
+        assert!(res.iter().all(|r| *r == warshall(&a)));
+        let per_instance = stats.cycles as f64 / insts as f64;
+        // Pipeline fill adds O(n) total; per-instance cost must approach n.
+        assert!(
+            per_instance < 1.6 * n as f64,
+            "per-instance cycles {per_instance} vs n {n}"
+        );
+        assert!(per_instance >= n as f64);
+    }
+
+    #[test]
+    fn fixed_linear_matches_warshall_and_counts() {
+        let n = 5;
+        let a = bool_adj(n, &[(0, 4), (4, 2), (2, 0), (1, 3)]);
+        let eng = FixedLinearEngine::new();
+        let (got, stats) = ClosureEngine::<Bool>::closure(&eng, &a).unwrap();
+        assert_eq!(got, warshall(&a));
+        assert_eq!(stats.cells, n);
+        assert_eq!(stats.host_words, (n * n) as u64);
+    }
+
+    #[test]
+    fn fixed_linear_throughput_is_one_over_n_n_plus_1() {
+        let n = 4;
+        let a = bool_adj(n, &[(0, 1), (1, 2), (2, 3)]);
+        let insts = 6;
+        let eng = FixedLinearEngine::new();
+        let batch: Vec<_> = (0..insts).map(|_| a.clone()).collect();
+        let (_, stats) = ClosureEngine::<Bool>::closure_many(&eng, &batch).unwrap();
+        let per_instance = stats.cycles as f64 / insts as f64;
+        let ideal = (n * (n + 1)) as f64 * 1.0; // (n+1) G-nodes × n cycles / n cells… per row
+                                                // Each cell executes (n+1) tasks of n cycles per instance.
+        let ideal = ideal * n as f64 / n as f64;
+        assert!(
+            per_instance < 1.5 * (n * (n + 1)) as f64,
+            "per-instance {per_instance} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn fixed_array_works_over_maxmin() {
+        let n = 4;
+        let mut a = DenseMatrix::<MaxMin>::zeros(n, n);
+        a.set(0, 1, 5);
+        a.set(1, 2, 3);
+        a.set(0, 2, 2);
+        a.set(2, 3, 9);
+        let eng = FixedArrayEngine::new();
+        let (got, _) = ClosureEngine::<MaxMin>::closure(&eng, &a).unwrap();
+        assert_eq!(got, warshall(&a));
+        assert_eq!(*got.get(0, 3), 3);
+    }
+}

@@ -1,0 +1,283 @@
+//! The two-dimensional partitioned array of Fig. 19.
+//!
+//! `√m × √m` cells. In skewed coordinates, G-node `(k, h)` maps to cell
+//! `(k mod √m, h mod √m)`; a G-set is a `√m × √m` block of `(k, h)` space,
+//! so the parallelogram's slanted edges produce the paper's *triangular
+//! boundary sets* (Fig. 19a), which simply leave some cells idle.
+//!
+//! Streams cross only the block perimeter: column streams leave through the
+//! bottom edge into `√m` column banks and re-enter through the top edge;
+//! pivot streams leave through the right edge into `√m` pivot banks and
+//! re-enter on the left — the paper's `2√m` connections to external
+//! memories. Within a block both stream families ride neighbor links.
+//! Blocks are scheduled by vertical paths: `h`-block-major, `k`-blocks
+//! top-to-bottom inside (the 2-D analogue of Fig. 20b).
+
+use crate::engine::{prepare_batch, stream_key, ClosureEngine, EngineError};
+use systolic_arraysim::{ArraySim, RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
+use systolic_semiring::{DenseMatrix, PathSemiring};
+use systolic_transform::{GGraph, GNodeRole};
+
+/// Cut-and-pile executor on a `√m × √m` grid.
+#[derive(Clone, Debug)]
+pub struct GridEngine {
+    s: usize,
+}
+
+impl GridEngine {
+    /// Creates an engine with an `s × s` grid (`m = s²` cells, `s ≥ 1`).
+    pub fn new(s: usize) -> Self {
+        assert!(s >= 1, "need at least a 1×1 grid");
+        Self { s }
+    }
+
+    /// Creates the engine from a total cell budget `m`, which must be a
+    /// perfect square.
+    ///
+    /// # Errors
+    /// Returns the offending `m` when it is not a perfect square.
+    pub fn from_cells(m: usize) -> Result<Self, usize> {
+        let s = (m as f64).sqrt().round() as usize;
+        if s * s == m && s >= 1 {
+            Ok(Self::new(s))
+        } else {
+            Err(m)
+        }
+    }
+
+    /// Grid side length `√m`.
+    pub fn side(&self) -> usize {
+        self.s
+    }
+}
+
+impl<S: PathSemiring> ClosureEngine<S> for GridEngine {
+    fn name(&self) -> &'static str {
+        "grid-partitioned"
+    }
+
+    fn cells(&self) -> usize {
+        self.s * self.s
+    }
+
+    fn closure_many(
+        &self,
+        mats: &[DenseMatrix<S>],
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        let (n, batch) = prepare_batch(mats)?;
+        let s = self.s;
+        let gg = GGraph::new(n);
+        let bcols = (2 * n).div_ceil(s);
+        let brows = n.div_ceil(s);
+        let cell_id = |ri: usize, ci: usize| ri * s + ci;
+
+        let mut sim = ArraySim::<S>::new(s * s);
+        // Horizontal pivot links (ri,ci) → (ri,ci+1); vertical column links
+        // (ri,ci) → (ri+1,ci).
+        let mut hl = vec![usize::MAX; s * s];
+        let mut vl = vec![usize::MAX; s * s];
+        for ri in 0..s {
+            for ci in 0..s {
+                if ci + 1 < s {
+                    hl[cell_id(ri, ci)] = sim.add_link();
+                }
+                if ri + 1 < s {
+                    vl[cell_id(ri, ci)] = sim.add_link();
+                }
+            }
+        }
+        // Column banks (top/bottom edge) 0..s, pivot banks (left/right edge)
+        // s..2s.
+        for _ in 0..2 * s {
+            sim.add_bank();
+        }
+        let col_bank = |ci: usize| ci;
+        let piv_bank = |ri: usize| s + ri;
+        sim.set_memory_connections(2 * s);
+        let out0 = sim.add_outputs(batch.len() * n);
+
+        // Host demands in schedule order (instance, h-block, cell column).
+        for (inst, a) in batch.iter().enumerate() {
+            for bc in 0..bcols {
+                for ci in 0..s {
+                    let h = bc * s + ci;
+                    if h < n {
+                        sim.host_mut().enqueue_stream(
+                            cell_id(0, ci),
+                            stream_key(inst, 0, h),
+                            a.col(h),
+                        );
+                    }
+                }
+            }
+        }
+
+        for (inst, _) in batch.iter().enumerate() {
+            for bc in 0..bcols {
+                for br in 0..brows {
+                    for ri in 0..s {
+                        for ci in 0..s {
+                            let k = br * s + ri;
+                            let h = bc * s + ci;
+                            if k >= n {
+                                continue;
+                            }
+                            let Some(id) = gg.at_h(k, h) else { continue };
+                            let role = gg.role(id);
+                            let kind = match role {
+                                GNodeRole::PivotHead => TaskKind::PivotHead,
+                                GNodeRole::Fuse => TaskKind::Fuse,
+                                GNodeRole::DelayTail => TaskKind::DelayTail,
+                            };
+                            let col_in = match role {
+                                GNodeRole::DelayTail => None,
+                                _ if k == 0 => Some(StreamSrc::Host {
+                                    key: stream_key(inst, 0, h),
+                                }),
+                                _ if ri > 0 => Some(StreamSrc::Link(vl[cell_id(ri - 1, ci)])),
+                                _ => Some(StreamSrc::Bank {
+                                    bank: col_bank(ci),
+                                    key: stream_key(inst, k - 1, h),
+                                }),
+                            };
+                            let pivot_in = match role {
+                                GNodeRole::PivotHead => None,
+                                _ if ci > 0 => Some(StreamSrc::Link(hl[cell_id(ri, ci - 1)])),
+                                _ => Some(StreamSrc::Bank {
+                                    bank: piv_bank(ri),
+                                    key: stream_key(inst, k, h - 1),
+                                }),
+                            };
+                            let col_out = match role {
+                                GNodeRole::PivotHead => None,
+                                _ if k == n - 1 => Some(StreamDst::Output {
+                                    stream: out0 + inst * n + (h - n),
+                                }),
+                                _ if ri + 1 < s => Some(StreamDst::Link(vl[cell_id(ri, ci)])),
+                                _ => Some(StreamDst::Bank {
+                                    bank: col_bank(ci),
+                                    key: stream_key(inst, k, h),
+                                }),
+                            };
+                            let pivot_out = match role {
+                                GNodeRole::DelayTail => None,
+                                _ if ci + 1 < s => Some(StreamDst::Link(hl[cell_id(ri, ci)])),
+                                _ => Some(StreamDst::Bank {
+                                    bank: piv_bank(ri),
+                                    key: stream_key(inst, k, h),
+                                }),
+                            };
+                            sim.push_task(
+                                cell_id(ri, ci),
+                                Task {
+                                    kind,
+                                    len: n,
+                                    col_in,
+                                    pivot_in,
+                                    col_out,
+                                    pivot_out,
+                                    useful_ops: gg.useful_ops(id) as u64,
+                                    label: TaskLabel {
+                                        k: k as u32,
+                                        h: h as u32,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let m = (s * s) as u64;
+        let ideal = (n as u64).pow(2) * (n as u64 + 1) / m + 1;
+        sim.set_max_cycles(batch.len() as u64 * ideal * 40 + 200_000);
+        let stats = sim.run()?;
+        let outs = sim.outputs();
+        let mut results = Vec::with_capacity(batch.len());
+        for inst in 0..batch.len() {
+            let mut r = DenseMatrix::<S>::zeros(n, n);
+            for j in 0..n {
+                let col = &outs[out0 + inst * n + j];
+                assert_eq!(col.len(), n, "output column {j} incomplete");
+                r.set_col(j, col);
+            }
+            results.push(r);
+        }
+        Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::{warshall, Bool, MinPlus};
+
+    fn bool_adj(n: usize, edges: &[(usize, usize)]) -> DenseMatrix<Bool> {
+        let mut a = DenseMatrix::<Bool>::zeros(n, n);
+        for &(i, j) in edges {
+            a.set(i, j, true);
+        }
+        a
+    }
+
+    #[test]
+    fn matches_warshall_across_grid_sides() {
+        let a = bool_adj(6, &[(0, 3), (3, 5), (5, 1), (1, 4), (4, 0)]);
+        let want = warshall(&a);
+        for s in [1usize, 2, 3, 4] {
+            let eng = GridEngine::new(s);
+            let (got, stats) = ClosureEngine::<Bool>::closure(&eng, &a).unwrap();
+            assert_eq!(got, want, "s={s}");
+            assert_eq!(stats.memory_connections, 2 * s);
+            assert_eq!(stats.cells, s * s);
+        }
+    }
+
+    #[test]
+    fn matches_warshall_minplus() {
+        let n = 7;
+        let mut a = DenseMatrix::<MinPlus>::zeros(n, n);
+        for (i, j, w) in [
+            (0usize, 1usize, 3u64),
+            (1, 4, 2),
+            (4, 6, 8),
+            (6, 2, 1),
+            (2, 0, 5),
+            (3, 5, 7),
+            (5, 3, 7),
+        ] {
+            a.set(i, j, w);
+        }
+        let eng = GridEngine::new(2);
+        let (got, _) = ClosureEngine::<MinPlus>::closure(&eng, &a).unwrap();
+        assert_eq!(got, warshall(&a));
+    }
+
+    #[test]
+    fn from_cells_accepts_squares_only() {
+        assert!(GridEngine::from_cells(9).is_ok());
+        assert_eq!(GridEngine::from_cells(9).unwrap().side(), 3);
+        assert!(GridEngine::from_cells(8).is_err());
+    }
+
+    #[test]
+    fn chained_instances() {
+        let a = bool_adj(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let b = bool_adj(5, &[(4, 0), (0, 2), (2, 4)]);
+        let eng = GridEngine::new(2);
+        let (got, _) = ClosureEngine::<Bool>::closure_many(&eng, &[a.clone(), b.clone()]).unwrap();
+        assert_eq!(got[0], warshall(&a));
+        assert_eq!(got[1], warshall(&b));
+    }
+
+    #[test]
+    fn grid_and_linear_have_same_useful_ops() {
+        use crate::linear::LinearEngine;
+        let a = bool_adj(6, &[(0, 5), (5, 3), (3, 1)]);
+        let (_, gs) = ClosureEngine::<Bool>::closure(&GridEngine::new(2), &a).unwrap();
+        let (_, ls) = ClosureEngine::<Bool>::closure(&LinearEngine::new(4), &a).unwrap();
+        assert_eq!(gs.useful_ops, ls.useful_ops);
+        assert_eq!(gs.useful_ops, (6 * 5 * 4) as u64);
+    }
+}

@@ -1,0 +1,51 @@
+//! Cut-and-pile partitioning of the transitive-closure G-graph onto
+//! fixed-size systolic arrays — the paper's core contribution (§2–§3).
+//!
+//! Four array engines, all generic over a bounded idempotent semiring and
+//! all executing on the cycle-level simulator (`systolic-arraysim`):
+//!
+//! * [`FixedArrayEngine`] — the Fig. 17 G-graph implemented directly as an
+//!   `n × (n+1)` array (fixed-size problems, throughput `1/n`).
+//! * [`FixedLinearEngine`] — each G-graph row collapsed into one cell
+//!   (§3.2's linear fixed array, throughput `1/(n(n+1))`).
+//! * [`LinearEngine`] — cut-and-pile onto `m` cells (Fig. 18): G-sets are
+//!   `m` consecutive skewed positions of one row, scheduled by vertical
+//!   paths (Fig. 20a), one private memory bank per cell plus one pivot
+//!   boundary bank (`m + 1` memory connections).
+//! * [`GridEngine`] — cut-and-pile onto `√m × √m` cells (Fig. 19):
+//!   G-sets are `√m × √m` blocks in `(k, h)` space with triangular
+//!   boundary sets, `2√m` memory connections.
+//!
+//! [`schedule`] exposes the G-set schedule itself (Fig. 20) with a
+//! dependence-legality checker, used by experiment E10.
+//!
+//! ```
+//! use systolic_partition::{ClosureEngine, LinearEngine};
+//! use systolic_semiring::{warshall, Bool, DenseMatrix};
+//!
+//! // A 5-vertex problem partitioned onto 2 cells (m ≪ n).
+//! let mut a = DenseMatrix::<Bool>::zeros(5, 5);
+//! a.set(0, 3, true);
+//! a.set(3, 1, true);
+//! let engine = LinearEngine::new(2);
+//! let (closure, stats) = engine.closure(&a).unwrap();
+//! assert_eq!(closure, warshall(&a));
+//! assert_eq!(stats.memory_connections, 3); // m + 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fault;
+pub mod fixed;
+pub mod grid;
+pub mod linear;
+pub mod schedule;
+
+pub use engine::{ClosureEngine, EngineError};
+pub use fault::{grid_fault_capacity, linear_fault_capacity, FaultyLinearEngine};
+pub use fixed::{FixedArrayEngine, FixedLinearEngine};
+pub use grid::GridEngine;
+pub use linear::LinearEngine;
+pub use schedule::{GsetSchedule, ScheduleEntry};

@@ -1,0 +1,297 @@
+//! The linear partitioned array of Fig. 18.
+//!
+//! `m` cells in a chain. In skewed coordinates `h = g + k` (see
+//! `systolic-transform::ggraph`), cell `c` is responsible for every G-node
+//! whose `h ≡ c (mod m)`; the G-set executed concurrently is `m`
+//! consecutive `h` positions of one G-graph row, and G-sets are scheduled
+//! by vertical paths: block-major over `h`, rows top-to-bottom inside a
+//! block (Fig. 20a).
+//!
+//! Streams:
+//! * the **pivot stream** of a row flows cell-to-cell over neighbor links
+//!   and crosses G-set block boundaries through the single **pivot bank**;
+//! * each cell's **column stream** output is consumed by the *same cell*
+//!   one row later, through the cell's **private memory bank** — hence the
+//!   paper's `m + 1` connections to external memories;
+//! * row 0 reads its columns from the host R-chain (Fig. 21) and row `n-1`
+//!   writes the result columns to the output collectors.
+
+use crate::engine::{prepare_batch, stream_key, ClosureEngine, EngineError};
+use systolic_arraysim::{ArraySim, RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
+use systolic_semiring::{DenseMatrix, PathSemiring};
+use systolic_transform::{GGraph, GNodeRole};
+
+/// Cut-and-pile executor on a linear array of `m` cells.
+#[derive(Clone, Debug)]
+pub struct LinearEngine {
+    m: usize,
+    /// Pivot-link latency between consecutive cells (all 1 in the healthy
+    /// array; larger where faulty cells are bypassed, see
+    /// [`crate::fault::FaultyLinearEngine`]).
+    link_delays: Vec<u64>,
+    trace: bool,
+}
+
+impl LinearEngine {
+    /// Creates an engine with `m ≥ 1` cells.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "need at least one cell");
+        Self {
+            m,
+            link_delays: vec![1; m.saturating_sub(1)],
+            trace: false,
+        }
+    }
+
+    /// Enables task-span tracing; the run's `RunStats::spans` then holds
+    /// the full schedule for Gantt rendering (Fig. 20 visualization).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Creates an engine whose pivot links have the given latencies
+    /// (`delays.len() == m - 1`); used by the fault-bypass reconfiguration.
+    pub fn with_link_delays(m: usize, delays: Vec<u64>) -> Self {
+        assert!(m >= 1, "need at least one cell");
+        assert_eq!(delays.len(), m.saturating_sub(1));
+        assert!(delays.iter().all(|&d| d >= 1));
+        Self {
+            m,
+            link_delays: delays,
+            trace: false,
+        }
+    }
+
+    /// Number of G-set blocks for problem size `n`: `⌈2n / m⌉` (the skewed
+    /// G-graph spans `h ∈ 0..2n`).
+    pub fn blocks(&self, n: usize) -> usize {
+        (2 * n).div_ceil(self.m)
+    }
+}
+
+impl<S: PathSemiring> ClosureEngine<S> for LinearEngine {
+    fn name(&self) -> &'static str {
+        "linear-partitioned"
+    }
+
+    fn cells(&self) -> usize {
+        self.m
+    }
+
+    fn closure_many(
+        &self,
+        mats: &[DenseMatrix<S>],
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        let (n, batch) = prepare_batch(mats)?;
+        let m = self.m;
+        let gg = GGraph::new(n);
+        let blocks = self.blocks(n);
+
+        let mut sim = ArraySim::<S>::new(m);
+        // Pivot links cell c → c+1 (delayed where faulty cells are bypassed).
+        let links: Vec<usize> = self
+            .link_delays
+            .iter()
+            .map(|&d| sim.add_link_with_delay(d))
+            .collect();
+        // Cell banks 0..m, pivot bank m.
+        for _ in 0..=m {
+            sim.add_bank();
+        }
+        let pivot_bank = m;
+        sim.set_memory_connections(m + 1);
+        if self.trace {
+            sim.enable_trace();
+        }
+        let out0 = sim.add_outputs(batch.len() * n);
+
+        // Host demand order mirrors the schedule: instance, block, cell.
+        for (inst, a) in batch.iter().enumerate() {
+            for b in 0..blocks {
+                for c in 0..m {
+                    let h = b * m + c;
+                    if h < n && gg.at_h(0, h).is_some() {
+                        // Row 0 consumes column h in natural row order.
+                        sim.host_mut()
+                            .enqueue_stream(c, stream_key(inst, 0, h), a.col(h));
+                    }
+                }
+            }
+        }
+
+        // Task programs.
+        for (inst, _) in batch.iter().enumerate() {
+            for b in 0..blocks {
+                for k in 0..n {
+                    for c in 0..m {
+                        let h = b * m + c;
+                        let Some(id) = gg.at_h(k, h) else { continue };
+                        let role = gg.role(id);
+                        let kind = match role {
+                            GNodeRole::PivotHead => TaskKind::PivotHead,
+                            GNodeRole::Fuse => TaskKind::Fuse,
+                            GNodeRole::DelayTail => TaskKind::DelayTail,
+                        };
+                        let col_in = match role {
+                            GNodeRole::DelayTail => None,
+                            _ if k == 0 => Some(StreamSrc::Host {
+                                key: stream_key(inst, 0, h),
+                            }),
+                            _ => Some(StreamSrc::Bank {
+                                bank: c,
+                                key: stream_key(inst, k - 1, h),
+                            }),
+                        };
+                        let pivot_in = match role {
+                            GNodeRole::PivotHead => None,
+                            _ if c > 0 => Some(StreamSrc::Link(links[c - 1])),
+                            _ => Some(StreamSrc::Bank {
+                                bank: pivot_bank,
+                                key: stream_key(inst, k, h - 1),
+                            }),
+                        };
+                        let col_out = match role {
+                            GNodeRole::PivotHead => None,
+                            _ if k == n - 1 => Some(StreamDst::Output {
+                                stream: out0 + inst * n + (h - n),
+                            }),
+                            _ => Some(StreamDst::Bank {
+                                bank: c,
+                                key: stream_key(inst, k, h),
+                            }),
+                        };
+                        let pivot_out = match role {
+                            GNodeRole::DelayTail => None,
+                            _ if c < m - 1 => Some(StreamDst::Link(links[c])),
+                            _ => Some(StreamDst::Bank {
+                                bank: pivot_bank,
+                                key: stream_key(inst, k, h),
+                            }),
+                        };
+                        let useful_ops = gg.useful_ops(id) as u64;
+                        sim.push_task(
+                            c,
+                            Task {
+                                kind,
+                                len: n,
+                                col_in,
+                                pivot_in,
+                                col_out,
+                                pivot_out,
+                                useful_ops,
+                                label: TaskLabel {
+                                    k: k as u32,
+                                    h: h as u32,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Generous budget: ideal cycles are ~ n²(n+1)/m per instance.
+        let ideal = (n as u64).pow(2) * (n as u64 + 1) / m as u64 + 1;
+        sim.set_max_cycles(batch.len() as u64 * ideal * 20 + 100_000);
+
+        let stats = sim.run()?;
+        let outs = sim.outputs();
+        let mut results = Vec::with_capacity(batch.len());
+        for inst in 0..batch.len() {
+            let mut r = DenseMatrix::<S>::zeros(n, n);
+            for j in 0..n {
+                let col = &outs[out0 + inst * n + j];
+                assert_eq!(col.len(), n, "output column {j} incomplete");
+                r.set_col(j, col);
+            }
+            results.push(r);
+        }
+        Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::{warshall, Bool, MinPlus};
+
+    fn bool_adj(n: usize, edges: &[(usize, usize)]) -> DenseMatrix<Bool> {
+        let mut a = DenseMatrix::<Bool>::zeros(n, n);
+        for &(i, j) in edges {
+            a.set(i, j, true);
+        }
+        a
+    }
+
+    #[test]
+    fn matches_warshall_across_cell_counts() {
+        let a = bool_adj(6, &[(0, 3), (3, 5), (5, 1), (1, 4), (4, 0), (2, 2)]);
+        let want = warshall(&a);
+        for m in [1usize, 2, 3, 4, 5, 7, 13] {
+            let eng = LinearEngine::new(m);
+            let (got, stats) = ClosureEngine::<Bool>::closure(&eng, &a).unwrap();
+            assert_eq!(got, want, "m={m}");
+            assert_eq!(stats.memory_connections, m + 1);
+            assert_eq!(stats.useful_ops, (6 * 5 * 4) as u64);
+        }
+    }
+
+    #[test]
+    fn matches_warshall_minplus() {
+        let n = 5;
+        let mut a = DenseMatrix::<MinPlus>::zeros(n, n);
+        for (i, j, w) in [
+            (0, 1, 2u64),
+            (1, 2, 3),
+            (2, 3, 1),
+            (3, 4, 4),
+            (4, 0, 9),
+            (0, 4, 99),
+        ] {
+            a.set(i, j, w);
+        }
+        let eng = LinearEngine::new(3);
+        let (got, _) = ClosureEngine::<MinPlus>::closure(&eng, &a).unwrap();
+        assert_eq!(got, warshall(&a));
+        assert_eq!(*got.get(0, 4), 10);
+    }
+
+    #[test]
+    fn chained_instances_share_the_array() {
+        let a = bool_adj(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let b = bool_adj(5, &[(4, 3), (3, 2), (2, 1), (1, 0)]);
+        let eng = LinearEngine::new(3);
+        let (got, stats) =
+            ClosureEngine::<Bool>::closure_many(&eng, &[a.clone(), b.clone()]).unwrap();
+        assert_eq!(got[0], warshall(&a));
+        assert_eq!(got[1], warshall(&b));
+        assert_eq!(stats.output_words, 2 * 25);
+    }
+
+    #[test]
+    fn no_partitioning_overhead_banks_are_single_ported() {
+        // The paper's "no overhead" claim: data transfers overlap compute;
+        // banks never absorb more than one word per cycle.
+        let a = bool_adj(8, &[(0, 7), (7, 2), (2, 5), (5, 0), (1, 6), (6, 1)]);
+        let eng = LinearEngine::new(3);
+        let (_, stats) = ClosureEngine::<Bool>::closure(&eng, &a).unwrap();
+        assert!(stats.max_bank_writes_per_cycle <= 1);
+    }
+
+    #[test]
+    fn io_words_equal_n_squared_per_instance() {
+        let a = bool_adj(6, &[(0, 1), (2, 3)]);
+        let eng = LinearEngine::new(2);
+        let (_, stats) = ClosureEngine::<Bool>::closure(&eng, &a).unwrap();
+        assert_eq!(stats.host_words, 36);
+        assert!(stats.io_bandwidth() < 1.0);
+    }
+
+    #[test]
+    fn rejects_tiny_problems() {
+        let a = DenseMatrix::<Bool>::zeros(1, 1);
+        let eng = LinearEngine::new(2);
+        assert!(ClosureEngine::<Bool>::closure(&eng, &a).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! The G-set schedule (Fig. 20) as a first-class object.
+//!
+//! Engines build their task programs directly, but experiment E10 needs the
+//! schedule itself: the ordered list of G-sets, each G-set's members, and a
+//! proof that every dependence points to an earlier entry. [`GsetSchedule`]
+//! provides both mappings (linear and grid) plus the legality check and the
+//! analytic earliest-start tags.
+
+use systolic_transform::{GGraph, GnodeId};
+
+/// One scheduled G-set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// Execution order index.
+    pub order: usize,
+    /// G-graph row of the set (linear mapping) or block row (grid mapping).
+    pub row: usize,
+    /// `h`-block index.
+    pub block: usize,
+    /// Member G-nodes.
+    pub members: Vec<GnodeId>,
+}
+
+impl ScheduleEntry {
+    /// True when the set uses fewer cells than the array provides — the
+    /// paper's boundary sets ("might not use all cells in the array").
+    pub fn is_boundary(&self, cells: usize) -> bool {
+        self.members.len() < cells
+    }
+}
+
+/// An ordered G-set schedule over a G-graph.
+#[derive(Clone, Debug)]
+pub struct GsetSchedule {
+    n: usize,
+    /// Cells per G-set (m for linear, s² for grid).
+    pub cells: usize,
+    entries: Vec<ScheduleEntry>,
+}
+
+impl GsetSchedule {
+    /// The linear mapping (Fig. 18) scheduled by vertical paths (Fig. 20a):
+    /// G-sets are `m` consecutive `h` positions of one row; blocks advance
+    /// left to right, rows top to bottom within a block.
+    pub fn linear(n: usize, m: usize) -> Self {
+        assert!(m >= 1);
+        let gg = GGraph::new(n);
+        let blocks = (2 * n).div_ceil(m);
+        let mut entries = Vec::new();
+        for b in 0..blocks {
+            for k in 0..n {
+                let members: Vec<GnodeId> = (0..m).filter_map(|c| gg.at_h(k, b * m + c)).collect();
+                if !members.is_empty() {
+                    entries.push(ScheduleEntry {
+                        order: entries.len(),
+                        row: k,
+                        block: b,
+                        members,
+                    });
+                }
+            }
+        }
+        Self {
+            n,
+            cells: m,
+            entries,
+        }
+    }
+
+    /// The grid mapping (Fig. 19) scheduled by vertical block paths:
+    /// G-sets are `s × s` blocks of `(k, h)` space; `h`-blocks advance left
+    /// to right, `k`-blocks top to bottom within an `h`-block.
+    pub fn grid(n: usize, s: usize) -> Self {
+        assert!(s >= 1);
+        let gg = GGraph::new(n);
+        let bcols = (2 * n).div_ceil(s);
+        let brows = n.div_ceil(s);
+        let mut entries = Vec::new();
+        for bc in 0..bcols {
+            for br in 0..brows {
+                let mut members = Vec::new();
+                for ri in 0..s {
+                    for ci in 0..s {
+                        let k = br * s + ri;
+                        if k >= n {
+                            continue;
+                        }
+                        if let Some(id) = gg.at_h(k, bc * s + ci) {
+                            members.push(id);
+                        }
+                    }
+                }
+                if !members.is_empty() {
+                    entries.push(ScheduleEntry {
+                        order: entries.len(),
+                        row: br,
+                        block: bc,
+                        members,
+                    });
+                }
+            }
+        }
+        Self {
+            n,
+            cells: s * s,
+            entries,
+        }
+    }
+
+    /// Problem size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Scheduled entries in execution order.
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// Number of G-sets (the paper's `n(n+1)/m` when boundaries divide
+    /// evenly; slightly more otherwise because boundary sets are partial).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// G-sets that do not fill the array (the boundary sets).
+    pub fn boundary_sets(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.is_boundary(self.cells))
+            .count()
+    }
+
+    /// Total member G-nodes across all sets — must equal `n(n+1)`.
+    pub fn total_gnodes(&self) -> usize {
+        self.entries.iter().map(|e| e.members.len()).sum()
+    }
+
+    /// Verifies that every dependence of every member points to a G-node
+    /// scheduled in an earlier (or the same, for the intra-set pivot chain)
+    /// entry.
+    ///
+    /// # Errors
+    /// Describes the first violated dependence.
+    pub fn verify_legal(&self) -> Result<(), String> {
+        let gg = GGraph::new(self.n);
+        // Map every G-node to its entry order.
+        let mut order_of = std::collections::HashMap::new();
+        for e in &self.entries {
+            for &m in &e.members {
+                order_of.insert(m, e.order);
+            }
+        }
+        if order_of.len() != gg.gnode_count() {
+            return Err(format!(
+                "schedule covers {} of {} G-nodes",
+                order_of.len(),
+                gg.gnode_count()
+            ));
+        }
+        for e in &self.entries {
+            for &m in &e.members {
+                for dep in [gg.column_dep(m), gg.pivot_dep(m)].into_iter().flatten() {
+                    let d = order_of[&dep];
+                    // The intra-set pivot chain rides neighbor links, so a
+                    // same-entry pivot dependence is legal; everything else
+                    // must be strictly earlier.
+                    if d > e.order {
+                        return Err(format!(
+                            "G-node ({},{}) in entry {} depends on ({},{}) in later entry {}",
+                            m.k, m.g, e.order, dep.k, dep.g, d
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Analytic pipelined start times: entry `i` initiates at `i · n`
+    /// cycles (one G-node duration per G-set, the Fig. 20 tags).
+    pub fn analytic_starts(&self) -> Vec<u64> {
+        (0..self.entries.len())
+            .map(|i| (i * self.n) as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_schedule_covers_graph_and_is_legal() {
+        for (n, m) in [(6usize, 2usize), (6, 3), (7, 3), (8, 5), (5, 1), (4, 9)] {
+            let s = GsetSchedule::linear(n, m);
+            assert_eq!(s.total_gnodes(), n * (n + 1), "n={n} m={m}");
+            s.verify_legal()
+                .unwrap_or_else(|e| panic!("n={n} m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn grid_schedule_covers_graph_and_is_legal() {
+        for (n, s) in [(6usize, 2usize), (7, 3), (9, 2), (5, 5)] {
+            let sch = GsetSchedule::grid(n, s);
+            assert_eq!(sch.total_gnodes(), n * (n + 1), "n={n} s={s}");
+            sch.verify_legal()
+                .unwrap_or_else(|e| panic!("n={n} s={s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn gset_count_matches_paper_in_the_divisible_interior() {
+        // n(n+1)/m full sets plus partial boundary sets.
+        let (n, m) = (8usize, 3usize);
+        let s = GsetSchedule::linear(n, m);
+        let full = s.entries().iter().filter(|e| e.members.len() == m).count();
+        let boundary = s.boundary_sets();
+        assert_eq!(
+            full * m
+                + s.entries()
+                    .iter()
+                    .filter(|e| e.is_boundary(m))
+                    .map(|e| e.members.len())
+                    .sum::<usize>(),
+            n * (n + 1)
+        );
+        assert!(boundary > 0, "parallelogram edges produce boundary sets");
+    }
+
+    #[test]
+    fn grid_boundary_sets_are_triangular() {
+        // The first h-block's first k-block is cut by the parallelogram's
+        // left slant: member count is the triangular number s(s+1)/2.
+        let (n, s) = (8usize, 3usize);
+        let sch = GsetSchedule::grid(n, s);
+        let first = &sch.entries()[0];
+        assert_eq!(first.members.len(), s * (s + 1) / 2);
+    }
+
+    #[test]
+    fn analytic_starts_are_pipelined_at_interval_n() {
+        let s = GsetSchedule::linear(5, 2);
+        let starts = s.analytic_starts();
+        assert_eq!(starts[0], 0);
+        assert!(starts.windows(2).all(|w| w[1] - w[0] == 5));
+    }
+}

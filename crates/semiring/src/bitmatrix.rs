@@ -1,0 +1,301 @@
+//! Bit-packed Boolean matrices.
+//!
+//! The reference transitive-closure kernel over [`BitMatrix`] processes 64
+//! matrix elements per instruction (row-OR), which is the fastest *software*
+//! baseline we compare the simulated arrays' operation counts against. It is
+//! also used by the property-test suite to cross-check the scalar kernels.
+
+use crate::instances::Bool;
+use crate::matrix::DenseMatrix;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A square `n × n` Boolean matrix packed into `u64` words, row-major.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// All-zero `n × n` matrix.
+    pub fn zeros(n: usize) -> Self {
+        let words_per_row = n.div_ceil(WORD_BITS);
+        Self {
+            n,
+            words_per_row,
+            words: vec![0; n * words_per_row],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds from a dense Boolean matrix.
+    ///
+    /// # Panics
+    /// Panics if `dense` is not square.
+    pub fn from_dense(dense: &DenseMatrix<Bool>) -> Self {
+        assert!(dense.is_square(), "BitMatrix requires a square matrix");
+        let n = dense.rows();
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if *dense.get(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Expands into a dense Boolean matrix.
+    pub fn to_dense(&self) -> DenseMatrix<Bool> {
+        DenseMatrix::from_fn(self.n, self.n, |i, j| self.get(i, j))
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bit at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        let w = self.words[i * self.words_per_row + j / WORD_BITS];
+        (w >> (j % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: bool) {
+        debug_assert!(i < self.n && j < self.n);
+        let w = &mut self.words[i * self.words_per_row + j / WORD_BITS];
+        let mask = 1u64 << (j % WORD_BITS);
+        if v {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place transitive closure by bit-parallel Warshall:
+    /// for each pivot `k`, every row `i` with `x[i][k] = 1` ORs in row `k`
+    /// word-by-word. `O(n³/64)` word operations.
+    pub fn warshall_in_place(&mut self) {
+        let n = self.n;
+        let wpr = self.words_per_row;
+        for k in 0..n {
+            // Split the storage at row k so we can read row k while writing
+            // other rows without aliasing.
+            let (before, rest) = self.words.split_at_mut(k * wpr);
+            let (pivot, after) = rest.split_at_mut(wpr);
+            let update = |rows: &mut [u64], base: usize| {
+                for (r, chunk) in rows.chunks_exact_mut(wpr).enumerate() {
+                    let i = base + r;
+                    debug_assert_ne!(i, k);
+                    let has = (chunk[k / WORD_BITS] >> (k % WORD_BITS)) & 1 == 1;
+                    if has {
+                        for (dst, src) in chunk.iter_mut().zip(pivot.iter()) {
+                            *dst |= *src;
+                        }
+                    }
+                }
+            };
+            update(before, 0);
+            update(after, k + 1);
+        }
+    }
+
+    /// Transitive closure (reflexive), returning a new matrix.
+    pub fn transitive_closure(&self) -> Self {
+        let mut m = self.clone();
+        for i in 0..self.n {
+            m.set(i, i, true);
+        }
+        m.warshall_in_place();
+        m
+    }
+
+    /// Multi-threaded transitive closure: each pivot iteration snapshots
+    /// the pivot row and updates disjoint row bands on `threads` scoped
+    /// workers. The update of row `k` itself is a no-op (`row |= row`), so
+    /// no row needs special-casing. Worthwhile for `n` in the thousands;
+    /// for small matrices the per-pivot spawn cost dominates and
+    /// [`BitMatrix::transitive_closure`] is faster.
+    pub fn transitive_closure_parallel(&self, threads: usize) -> Self {
+        assert!(threads >= 1);
+        let mut m = self.clone();
+        for i in 0..self.n {
+            m.set(i, i, true);
+        }
+        let n = m.n;
+        let wpr = m.words_per_row;
+        if n == 0 {
+            return m;
+        }
+        let rows_per = n.div_ceil(threads);
+        let mut pivot = vec![0u64; wpr];
+        for k in 0..n {
+            pivot.copy_from_slice(&m.words[k * wpr..(k + 1) * wpr]);
+            let piv = &pivot;
+            crossbeam::thread::scope(|scope| {
+                for (band_idx, band) in m.words.chunks_mut(rows_per * wpr).enumerate() {
+                    let base = band_idx * rows_per;
+                    scope.spawn(move |_| {
+                        for (r, chunk) in band.chunks_exact_mut(wpr).enumerate() {
+                            let _ = base + r;
+                            let has = (chunk[k / WORD_BITS] >> (k % WORD_BITS)) & 1 == 1;
+                            if has {
+                                for (dst, src) in chunk.iter_mut().zip(piv.iter()) {
+                                    *dst |= *src;
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked");
+        }
+        m
+    }
+
+    /// True iff `self ≤ other` element-wise (every set bit also set in
+    /// `other`).
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.n, other.n);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{}", self.n, self.n)?;
+        for i in 0..self.n.min(32) {
+            write!(f, "  ")?;
+            for j in 0..self.n.min(64) {
+                write!(f, "{}", if self.get(i, j) { '1' } else { '.' })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut m = BitMatrix::zeros(70);
+        m.set(3, 63, true);
+        m.set(3, 64, true);
+        m.set(69, 69, true);
+        assert!(m.get(3, 63));
+        assert!(m.get(3, 64));
+        assert!(!m.get(3, 65));
+        assert!(m.get(69, 69));
+        m.set(3, 64, false);
+        assert!(!m.get(3, 64));
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn closure_of_path_graph_is_upper_triangular_full() {
+        // 0 -> 1 -> 2 -> 3
+        let n = 4;
+        let mut m = BitMatrix::zeros(n);
+        for i in 0..n - 1 {
+            m.set(i, i + 1, true);
+        }
+        let c = m.transitive_closure();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(c.get(i, j), i <= j, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_of_cycle_is_complete() {
+        let n = 5;
+        let mut m = BitMatrix::zeros(n);
+        for i in 0..n {
+            m.set(i, (i + 1) % n, true);
+        }
+        let c = m.transitive_closure();
+        assert_eq!(c.count_ones(), n * n);
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let mut m = BitMatrix::zeros(6);
+        m.set(0, 2, true);
+        m.set(2, 4, true);
+        m.set(4, 1, true);
+        m.set(3, 5, true);
+        let c1 = m.transitive_closure();
+        let c2 = c1.transitive_closure();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn parallel_closure_matches_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for n in [1usize, 7, 65, 130] {
+            let mut m = BitMatrix::zeros(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && rng.gen_bool(0.05) {
+                        m.set(i, j, true);
+                    }
+                }
+            }
+            let seq = m.transitive_closure();
+            for threads in [1usize, 2, 4, 7] {
+                assert_eq!(
+                    m.transitive_closure_parallel(threads),
+                    seq,
+                    "n={n} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut m = BitMatrix::zeros(9);
+        m.set(1, 7, true);
+        m.set(8, 0, true);
+        assert_eq!(BitMatrix::from_dense(&m.to_dense()), m);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let mut a = BitMatrix::zeros(4);
+        a.set(1, 2, true);
+        let c = a.transitive_closure();
+        assert!(a.is_subset_of(&c));
+        assert!(!c.is_subset_of(&a));
+    }
+}

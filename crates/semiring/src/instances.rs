@@ -1,0 +1,234 @@
+//! Concrete semiring instances.
+//!
+//! All path-semiring instances here are *exact* (integer arithmetic only) so
+//! that the algebraic laws hold bit-for-bit and property tests can assert
+//! equality rather than tolerance.
+
+use crate::traits::{PathSemiring, SelectiveSemiring, Semiring};
+
+/// The Boolean semiring `({false,true}, OR, AND)` — the paper's instance.
+///
+/// Transitive closure of a directed graph is the algebraic path closure of
+/// its adjacency matrix over this semiring (Warshall's algorithm, §3.1 of the
+/// paper).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bool;
+
+impl Semiring for Bool {
+    type Elem = bool;
+    const NAME: &'static str = "boolean";
+
+    #[inline]
+    fn zero() -> bool {
+        false
+    }
+    #[inline]
+    fn one() -> bool {
+        true
+    }
+    #[inline]
+    fn add(a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    #[inline]
+    fn mul(a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+    #[inline]
+    fn fuse(x: &bool, p: &bool, q: &bool) -> bool {
+        *x || (*p && *q)
+    }
+}
+impl PathSemiring for Bool {}
+impl SelectiveSemiring for Bool {}
+
+/// The tropical (min-plus) semiring over saturating `u64` distances:
+/// `(u64 ∪ {∞}, min, +, ∞, 0)`.
+///
+/// `∞` is represented by `u64::MAX` and `+` saturates so that `∞ + w = ∞`.
+/// The algebraic path closure over this semiring is all-pairs shortest
+/// paths (Floyd–Warshall); it shares the paper's dependence graph exactly.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MinPlus;
+
+/// Infinite distance for [`MinPlus`] / the bottom of [`MinMax`].
+pub const INF: u64 = u64::MAX;
+
+impl Semiring for MinPlus {
+    type Elem = u64;
+    const NAME: &'static str = "min-plus";
+
+    #[inline]
+    fn zero() -> u64 {
+        INF
+    }
+    #[inline]
+    fn one() -> u64 {
+        0
+    }
+    #[inline]
+    fn add(a: &u64, b: &u64) -> u64 {
+        (*a).min(*b)
+    }
+    #[inline]
+    fn mul(a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+}
+impl PathSemiring for MinPlus {}
+impl SelectiveSemiring for MinPlus {}
+
+/// The bottleneck (max-min) semiring `(u64, max, min, 0, u64::MAX)`.
+///
+/// Path closure = maximum-capacity paths: the `⊗` of edges along a path is
+/// the minimum capacity on it, and `⊕` keeps the best path.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaxMin;
+
+impl Semiring for MaxMin {
+    type Elem = u64;
+    const NAME: &'static str = "max-min";
+
+    #[inline]
+    fn zero() -> u64 {
+        0
+    }
+    #[inline]
+    fn one() -> u64 {
+        u64::MAX
+    }
+    #[inline]
+    fn add(a: &u64, b: &u64) -> u64 {
+        (*a).max(*b)
+    }
+    #[inline]
+    fn mul(a: &u64, b: &u64) -> u64 {
+        (*a).min(*b)
+    }
+}
+impl PathSemiring for MaxMin {}
+impl SelectiveSemiring for MaxMin {}
+
+/// The minimax semiring `(u64 ∪ {∞}, min, max, ∞, 0)`.
+///
+/// Path closure = minimax paths (minimize the largest edge weight along a
+/// path) — e.g. the "smoothest route" problem.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MinMax;
+
+impl Semiring for MinMax {
+    type Elem = u64;
+    const NAME: &'static str = "min-max";
+
+    #[inline]
+    fn zero() -> u64 {
+        INF
+    }
+    #[inline]
+    fn one() -> u64 {
+        0
+    }
+    #[inline]
+    fn add(a: &u64, b: &u64) -> u64 {
+        (*a).min(*b)
+    }
+    #[inline]
+    fn mul(a: &u64, b: &u64) -> u64 {
+        (*a).max(*b)
+    }
+}
+impl PathSemiring for MinMax {}
+impl SelectiveSemiring for MinMax {}
+
+/// The counting semiring `(u64, saturating +, saturating ×, 0, 1)`.
+///
+/// Counts walks when used with matrix products. It is **not** idempotent and
+/// therefore deliberately not a [`PathSemiring`]: Warshall's recurrence is
+/// not valid for it, and the type system prevents feeding it to the closure
+/// engines. It is used by matrix-multiply substrates and law tests.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counting;
+
+impl Semiring for Counting {
+    type Elem = u64;
+    const NAME: &'static str = "counting";
+
+    #[inline]
+    fn zero() -> u64 {
+        0
+    }
+    #[inline]
+    fn one() -> u64 {
+        1
+    }
+    #[inline]
+    fn add(a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+    #[inline]
+    fn mul(a: &u64, b: &u64) -> u64 {
+        a.saturating_mul(*b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_truth_tables() {
+        assert!(!Bool::add(&false, &false));
+        assert!(Bool::add(&true, &false));
+        assert!(Bool::add(&false, &true));
+        assert!(!Bool::mul(&true, &false));
+        assert!(Bool::mul(&true, &true));
+    }
+
+    #[test]
+    fn minplus_inf_saturates() {
+        assert_eq!(MinPlus::mul(&INF, &7), INF);
+        assert_eq!(MinPlus::mul(&7, &INF), INF);
+        assert_eq!(MinPlus::add(&INF, &7), 7);
+        assert_eq!(MinPlus::mul(&3, &4), 7);
+    }
+
+    #[test]
+    fn minplus_identities() {
+        assert_eq!(MinPlus::add(&MinPlus::zero(), &42), 42);
+        assert_eq!(MinPlus::mul(&MinPlus::one(), &42), 42);
+        assert_eq!(MinPlus::mul(&MinPlus::zero(), &42), MinPlus::zero());
+    }
+
+    #[test]
+    fn maxmin_behaves_as_bottleneck() {
+        // Two-edge path of capacities 5 and 3 has capacity 3.
+        assert_eq!(MaxMin::mul(&5, &3), 3);
+        // Choosing between capacity-3 and capacity-4 paths keeps 4.
+        assert_eq!(MaxMin::add(&3, &4), 4);
+        assert_eq!(MaxMin::mul(&MaxMin::one(), &9), 9);
+        assert_eq!(MaxMin::mul(&MaxMin::zero(), &9), MaxMin::zero());
+    }
+
+    #[test]
+    fn minmax_behaves_as_minimax() {
+        assert_eq!(MinMax::mul(&5, &3), 5);
+        assert_eq!(MinMax::add(&5, &3), 3);
+        assert_eq!(MinMax::mul(&MinMax::one(), &9), 9);
+    }
+
+    #[test]
+    fn counting_not_idempotent() {
+        assert_eq!(Counting::add(&1, &1), 2);
+        assert_eq!(Counting::add(&u64::MAX, &1), u64::MAX);
+        assert_eq!(Counting::mul(&u64::MAX, &2), u64::MAX);
+    }
+
+    #[test]
+    fn selective_better_is_strict() {
+        use crate::traits::SelectiveSemiring;
+        assert!(MinPlus::better(&3, &5));
+        assert!(!MinPlus::better(&5, &3));
+        assert!(!MinPlus::better(&5, &5));
+        assert!(MaxMin::better(&5, &3));
+    }
+}

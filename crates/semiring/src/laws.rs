@@ -1,0 +1,210 @@
+//! Reusable semiring-law checkers.
+//!
+//! These return `Result<(), String>` describing the first violated law so
+//! both unit tests and the proptest suite can reuse them. Keeping the law
+//! statements in the library (rather than in test code) also documents the
+//! exact algebraic contract each engine relies on.
+
+use crate::traits::{PathSemiring, Semiring};
+
+/// Checks the plain semiring laws on the given sample triple.
+pub fn check_semiring_laws<S: Semiring>(
+    a: &S::Elem,
+    b: &S::Elem,
+    c: &S::Elem,
+) -> Result<(), String> {
+    let zero = S::zero();
+    let one = S::one();
+
+    let eq = |l: &S::Elem, r: &S::Elem, law: &str| -> Result<(), String> {
+        if l == r {
+            Ok(())
+        } else {
+            Err(format!(
+                "{}: {:?} != {:?} (semiring {})",
+                law,
+                l,
+                r,
+                S::NAME
+            ))
+        }
+    };
+
+    // (E, ⊕, 0) commutative monoid.
+    eq(
+        &S::add(&S::add(a, b), c),
+        &S::add(a, &S::add(b, c)),
+        "⊕ associativity",
+    )?;
+    eq(&S::add(a, b), &S::add(b, a), "⊕ commutativity")?;
+    eq(&S::add(a, &zero), a, "⊕ right identity")?;
+    eq(&S::add(&zero, a), a, "⊕ left identity")?;
+
+    // (E, ⊗, 1) monoid.
+    eq(
+        &S::mul(&S::mul(a, b), c),
+        &S::mul(a, &S::mul(b, c)),
+        "⊗ associativity",
+    )?;
+    eq(&S::mul(a, &one), a, "⊗ right identity")?;
+    eq(&S::mul(&one, a), a, "⊗ left identity")?;
+
+    // Distributivity.
+    eq(
+        &S::mul(a, &S::add(b, c)),
+        &S::add(&S::mul(a, b), &S::mul(a, c)),
+        "left distributivity",
+    )?;
+    eq(
+        &S::mul(&S::add(a, b), c),
+        &S::add(&S::mul(a, c), &S::mul(b, c)),
+        "right distributivity",
+    )?;
+
+    // 0 absorbing.
+    eq(&S::mul(a, &zero), &zero, "0 right-absorbing")?;
+    eq(&S::mul(&zero, a), &zero, "0 left-absorbing")?;
+
+    // fuse consistency.
+    eq(
+        &S::fuse(a, b, c),
+        &S::add(a, &S::mul(b, c)),
+        "fuse = a ⊕ (b ⊗ c)",
+    )?;
+
+    Ok(())
+}
+
+/// Checks the extra path-semiring laws (idempotence and boundedness).
+pub fn check_path_laws<S: PathSemiring>(a: &S::Elem) -> Result<(), String> {
+    if S::add(a, a) != *a {
+        return Err(format!(
+            "⊕ idempotence: {:?} ⊕ {:?} != {:?} (semiring {})",
+            a,
+            a,
+            a,
+            S::NAME
+        ));
+    }
+    let one = S::one();
+    if S::add(&one, a) != one {
+        return Err(format!(
+            "boundedness: 1 ⊕ {:?} != 1 (semiring {})",
+            a,
+            S::NAME
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::{Bool, Counting, MaxMin, MinMax, MinPlus, INF};
+
+    #[test]
+    fn bool_laws_exhaustive() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    check_semiring_laws::<Bool>(&a, &b, &c).unwrap();
+                }
+            }
+            check_path_laws::<Bool>(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn minplus_laws_on_samples() {
+        let samples = [0u64, 1, 2, 17, 1 << 40, INF - 1, INF];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    check_semiring_laws::<MinPlus>(&a, &b, &c).unwrap();
+                }
+            }
+            check_path_laws::<MinPlus>(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn maxmin_laws_on_samples() {
+        let samples = [0u64, 1, 5, u64::MAX / 2, u64::MAX];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    check_semiring_laws::<MaxMin>(&a, &b, &c).unwrap();
+                }
+            }
+            check_path_laws::<MaxMin>(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn minmax_laws_on_samples() {
+        let samples = [0u64, 3, 9, INF];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    check_semiring_laws::<MinMax>(&a, &b, &c).unwrap();
+                }
+            }
+            check_path_laws::<MinMax>(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn counting_semiring_laws_small_values() {
+        // Saturating arithmetic is associative/distributive only away from
+        // the saturation boundary; the library documents Counting as a
+        // semiring on the sub-domain where no operation saturates.
+        let samples = [0u64, 1, 2, 3, 10];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    check_semiring_laws::<Counting>(&a, &b, &c).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counting_is_not_idempotent() {
+        // Demonstrates why Counting must not implement PathSemiring.
+        assert_ne!(Counting::add(&1, &1), 1);
+    }
+
+    #[test]
+    fn violation_reports_name_of_law() {
+        // MinPlus ⊕ is min: 1 ⊕ a = 0 ⊕ a... check boundedness holds but a
+        // fabricated failure via Counting's laws is reported with a message.
+        let err = check_path_laws_counting_like();
+        assert!(err.contains("idempotence"));
+    }
+
+    // Helper that simulates what the error text for a non-idempotent ⊕ looks
+    // like using a local impl; we can't call check_path_laws::<Counting>
+    // because Counting (correctly) does not implement PathSemiring.
+    fn check_path_laws_counting_like() -> String {
+        #[derive(Copy, Clone, Debug, Default)]
+        struct BadPath;
+        impl Semiring for BadPath {
+            type Elem = u64;
+            const NAME: &'static str = "bad-path";
+            fn zero() -> u64 {
+                0
+            }
+            fn one() -> u64 {
+                1
+            }
+            fn add(a: &u64, b: &u64) -> u64 {
+                a + b
+            }
+            fn mul(a: &u64, b: &u64) -> u64 {
+                a * b
+            }
+        }
+        impl PathSemiring for BadPath {}
+        check_path_laws::<BadPath>(&1).unwrap_err()
+    }
+}

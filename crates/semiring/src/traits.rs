@@ -1,0 +1,110 @@
+//! Semiring traits.
+//!
+//! Semirings are modelled at the *type level*: an implementor is a zero-sized
+//! tag type and all operations are associated functions. This gives the
+//! simulator and the engines static dispatch (the `⊕`/`⊗` of a cell compile
+//! down to a couple of instructions) with no per-element vtable, in line with
+//! the HPC guidance of keeping hot loops allocation- and indirection-free.
+
+use std::fmt::Debug;
+
+/// A semiring `(E, ⊕, ⊗, 0, 1)`.
+///
+/// Laws (checked by [`crate::laws`] and the property-test suite):
+///
+/// * `(E, ⊕, 0)` is a commutative monoid,
+/// * `(E, ⊗, 1)` is a monoid,
+/// * `⊗` distributes over `⊕` on both sides,
+/// * `0` is absorbing for `⊗`.
+pub trait Semiring: Copy + Clone + Debug + Default + Send + Sync + 'static {
+    /// Element type flowing through matrices, graphs and simulated cells.
+    type Elem: Clone + PartialEq + Debug + Send + Sync + 'static;
+
+    /// Human-readable name used in experiment reports.
+    const NAME: &'static str;
+
+    /// Additive identity (`⊕`-unit), absorbing for `⊗`.
+    fn zero() -> Self::Elem;
+    /// Multiplicative identity (`⊗`-unit).
+    fn one() -> Self::Elem;
+    /// `a ⊕ b`.
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `a ⊗ b`.
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// `a ← a ⊕ b`; override when an in-place form is cheaper.
+    #[inline]
+    fn add_assign(a: &mut Self::Elem, b: &Self::Elem) {
+        *a = Self::add(a, b);
+    }
+
+    /// The fused scalar update of Warshall's recurrence:
+    /// `x ← x ⊕ (p ⊗ q)`. This is exactly the operation one primitive node
+    /// of the paper's dependence graph performs, and the single-cycle ALU
+    /// operation of a simulated cell.
+    #[inline]
+    fn fuse(x: &Self::Elem, p: &Self::Elem, q: &Self::Elem) -> Self::Elem {
+        Self::add(x, &Self::mul(p, q))
+    }
+
+    /// True iff `a` equals the additive identity.
+    #[inline]
+    fn is_zero(a: &Self::Elem) -> bool {
+        *a == Self::zero()
+    }
+}
+
+/// A semiring for which Warshall's recurrence computes the algebraic path
+/// closure `A⁺ = A ⊕ A² ⊕ …` (with reflexive diagonal).
+///
+/// Additional laws:
+///
+/// * **Idempotent addition**: `a ⊕ a = a`.
+/// * **Bounded** (0-closed / "simple"): `1 ⊕ a = 1` for all `a`, which makes
+///   the Kleene star trivial (`a* = 1`) and the recurrence
+///   `x_ij ← x_ij ⊕ x_ik ⊗ x_kj` exact.
+pub trait PathSemiring: Semiring {}
+
+/// Semirings whose elements admit a total order compatible with `⊕ = "best"`.
+///
+/// Used by examples that rank paths (e.g. widest-path routing); `better(a,b)`
+/// is true when `a ⊕ b = a` and `a ≠ b`.
+pub trait SelectiveSemiring: PathSemiring {
+    /// Strictly-better comparison consistent with `⊕`.
+    fn better(a: &Self::Elem, b: &Self::Elem) -> bool {
+        Self::add(a, b) == *a && a != b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::Bool;
+
+    #[test]
+    fn fuse_matches_definition() {
+        for x in [false, true] {
+            for p in [false, true] {
+                for q in [false, true] {
+                    assert_eq!(Bool::fuse(&x, &p, &q), x || (p && q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_default_matches_add() {
+        let mut a = true;
+        Bool::add_assign(&mut a, &false);
+        assert!(a);
+        let mut b = false;
+        Bool::add_assign(&mut b, &false);
+        assert!(!b);
+    }
+
+    #[test]
+    fn is_zero_on_identities() {
+        assert!(Bool::is_zero(&Bool::zero()));
+        assert!(!Bool::is_zero(&Bool::one()));
+    }
+}

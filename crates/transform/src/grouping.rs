@@ -1,0 +1,287 @@
+//! G-node grouping alternatives (Fig. 6) and varying-computation-time
+//! profiles (§4.3, Fig. 22).
+//!
+//! A *grouping* collapses the primitive nodes of a dependence graph into
+//! G-nodes along a chosen family of paths; what the partitioning method
+//! cares about afterwards is only each G-node's **computation time** (the
+//! number of primitive nodes it contains, under the paper's unit-cost
+//! assumption). [`grouping_profile`] computes that time grid for the three
+//! path families of Fig. 6, and [`lu_time_grid`] produces the §4.3
+//! LU-decomposition profile whose monotone variation drives the Fig. 22
+//! linear-vs-2-D utilization analysis in `systolic-metrics`.
+
+use std::collections::HashMap;
+use systolic_dgraph::DependenceGraph;
+
+/// Path family used to group primitive nodes into G-nodes (Fig. 6).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GroupingAxis {
+    /// Group by drawing row (`pos.y`): horizontal paths.
+    Horizontal,
+    /// Group by drawing column (`pos.x`): vertical paths.
+    Vertical,
+    /// Group by anti-diagonal (`pos.x + pos.y`): diagonal paths.
+    Diagonal,
+    /// Group by square blocks of the given side length.
+    Block(usize),
+}
+
+/// A grid of G-node computation times: `times[row][col]`, in the grouping's
+/// own coordinates. Rows/cols with no primitive nodes are absent.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimeGrid {
+    /// `times[r][c]` = computation time of G-node `(r, c)`.
+    pub times: Vec<Vec<u64>>,
+}
+
+impl TimeGrid {
+    /// Total computation time over all G-nodes.
+    pub fn total_time(&self) -> u64 {
+        self.times.iter().flatten().sum()
+    }
+
+    /// Number of G-nodes.
+    pub fn len(&self) -> usize {
+        self.times.iter().map(Vec::len).sum()
+    }
+
+    /// True when the grid has no G-nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when every G-node has the same computation time — the property
+    /// that lets a direct implementation achieve maximal utilization
+    /// (Fig. 8, fixed-size case).
+    pub fn is_uniform(&self) -> bool {
+        let mut it = self.times.iter().flatten();
+        match it.next() {
+            None => true,
+            Some(first) => it.all(|t| t == first),
+        }
+    }
+
+    /// True when each row is internally uniform (all G-nodes in a row share
+    /// one time) even if rows differ — the §4.3 situation where a *linear*
+    /// array can still achieve maximal utilization (Fig. 22b).
+    pub fn rows_uniform(&self) -> bool {
+        self.times
+            .iter()
+            .all(|row| row.windows(2).all(|w| w[0] == w[1]))
+    }
+
+    /// Maximum computation time.
+    pub fn max_time(&self) -> u64 {
+        self.times.iter().flatten().copied().max().unwrap_or(0)
+    }
+}
+
+/// Groups a dependence graph's compute nodes into G-nodes along `axis` and
+/// returns the resulting computation-time grid.
+///
+/// The grouping key is derived from each node's drawing position, per level:
+/// grouping never merges nodes of different levels for the path families
+/// (Fig. 6 groups within the drawing of the graph, which stacks levels).
+pub fn grouping_profile(g: &DependenceGraph, axis: GroupingAxis) -> TimeGrid {
+    // key = (major, minor) → accumulated time.
+    let mut acc: HashMap<(i64, i64), u64> = HashMap::new();
+    for nd in g.nodes() {
+        if !nd.kind.is_compute() {
+            continue;
+        }
+        let (x, y) = (nd.pos.x, nd.pos.y);
+        let key = match axis {
+            GroupingAxis::Horizontal => (y, 0),
+            GroupingAxis::Vertical => (x, i64::from(nd.coord.level)),
+            GroupingAxis::Diagonal => (x + y, 0),
+            GroupingAxis::Block(b) => {
+                let b = b as i64;
+                (y.div_euclid(b), x.div_euclid(b))
+            }
+        };
+        *acc.entry(key).or_insert(0) += u64::from(nd.cost);
+    }
+    // Arrange into a grid sorted by (major, minor).
+    let mut keys: Vec<_> = acc.keys().copied().collect();
+    keys.sort_unstable();
+    let mut times: Vec<Vec<u64>> = Vec::new();
+    let mut cur_major = None;
+    for k in keys {
+        if cur_major != Some(k.0) {
+            times.push(Vec::new());
+            cur_major = Some(k.0);
+        }
+        times.last_mut().unwrap().push(acc[&k]);
+    }
+    TimeGrid { times }
+}
+
+/// The §4.3 LU-decomposition G-node time grid: grouping level `k`'s
+/// trapezoid by columns gives G-nodes of time `n - k - 1` within level `k`
+/// (uniform inside a level, monotonically decreasing across levels) — the
+/// Fig. 22a pattern.
+pub fn lu_time_grid(n: usize) -> TimeGrid {
+    assert!(n >= 2);
+    let mut times = Vec::new();
+    for k in 0..n - 1 {
+        let t = (n - k - 1) as u64;
+        // Columns k..n-1 of level k (multiplier column + updates).
+        times.push(vec![t; n - k]);
+    }
+    TimeGrid { times }
+}
+
+/// §4.3 Faddeev-algorithm time grid (the paper's companion report \[21\]
+/// partitions this algorithm): Gaussian elimination of the `A` block of the
+/// `2n × 2n` compound matrix `[[A, B], [-C, D]]` — level `k ∈ 0..n` touches
+/// a `(2n - k - 1)`-deep trapezoid, so G-node times decrease from `2n - 1`
+/// to `n`, uniform within a level.
+pub fn faddeev_time_grid(n: usize) -> TimeGrid {
+    assert!(n >= 1);
+    let m = 2 * n;
+    let mut times = Vec::new();
+    for k in 0..n {
+        let t = (m - k - 1) as u64;
+        times.push(vec![t; m - k]);
+    }
+    TimeGrid { times }
+}
+
+/// §4.3 Givens-triangularization time grid: rotation wave `k` generates one
+/// rotation and applies it across the remaining `n - k - 1` columns of rows
+/// below the diagonal — uniform-time paths within a wave, shrinking across
+/// waves (the "triangularization by Givens rotations" case).
+pub fn givens_time_grid(n: usize) -> TimeGrid {
+    assert!(n >= 2);
+    let mut times = Vec::new();
+    for k in 0..n - 1 {
+        let t = (n - k - 1) as u64;
+        times.push(vec![t; n - k - 1 + 1]);
+    }
+    TimeGrid { times }
+}
+
+/// §4.3 upper-triangular-inverse time grid: computing `R⁻¹` column by
+/// column, column `j` requires a back-substitution of depth `j`, so G-node
+/// times *increase* across the graph — the monotonically increasing variant
+/// the section mentions.
+pub fn triangular_inverse_time_grid(n: usize) -> TimeGrid {
+    assert!(n >= 2);
+    let mut times = Vec::new();
+    for j in 1..n {
+        times.push(vec![j as u64; n - j]);
+    }
+    TimeGrid { times }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_dgraph::{closure_lean, lu_graph};
+
+    #[test]
+    fn closure_horizontal_grouping_total_matches_node_count() {
+        let n = 6;
+        let g = closure_lean(n);
+        let grid = grouping_profile(&g, GroupingAxis::Horizontal);
+        assert_eq!(grid.total_time(), (n * (n - 1) * (n - 2)) as u64);
+    }
+
+    #[test]
+    fn closure_groupings_preserve_total_across_axes() {
+        let g = closure_lean(5);
+        let total = g.total_compute_time();
+        for axis in [
+            GroupingAxis::Horizontal,
+            GroupingAxis::Vertical,
+            GroupingAxis::Diagonal,
+            GroupingAxis::Block(2),
+            GroupingAxis::Block(3),
+        ] {
+            assert_eq!(grouping_profile(&g, axis).total_time(), total, "{axis:?}");
+        }
+    }
+
+    #[test]
+    fn faddeev_grid_matches_faddeev_graph_totals() {
+        use systolic_dgraph::faddeev_graph;
+        let n = 4;
+        let grid = faddeev_time_grid(n);
+        let g = faddeev_graph(n);
+        assert_eq!(grid.total_time(), g.total_compute_time());
+        assert!(grid.rows_uniform());
+        assert!(!grid.is_uniform());
+    }
+
+    #[test]
+    fn givens_grid_shrinks_and_triangular_inverse_grows() {
+        let g = givens_time_grid(8);
+        for w in g.times.windows(2) {
+            assert!(w[0][0] > w[1][0], "Givens waves shrink");
+        }
+        let t = triangular_inverse_time_grid(8);
+        for w in t.times.windows(2) {
+            assert!(w[0][0] < w[1][0], "back-substitution depth grows");
+        }
+        assert!(g.rows_uniform() && t.rows_uniform());
+    }
+
+    #[test]
+    fn all_varying_grids_defeat_two_dimensional_mappings() {
+        // §4.3's list of algorithms: in every case, equal-time paths exist
+        // (rows_uniform) so a linear mapping avoids time mixing, while a
+        // 2-D G-set cannot.
+        for grid in [
+            lu_time_grid(12),
+            faddeev_time_grid(6),
+            givens_time_grid(12),
+            triangular_inverse_time_grid(12),
+        ] {
+            assert!(grid.rows_uniform());
+            assert!(!grid.is_uniform());
+        }
+    }
+
+    #[test]
+    fn lu_grid_matches_lu_graph_totals() {
+        let n = 6;
+        let grid = lu_time_grid(n);
+        let g = lu_graph(n);
+        assert_eq!(grid.total_time(), g.total_compute_time());
+    }
+
+    #[test]
+    fn lu_grid_rows_uniform_but_not_global() {
+        let grid = lu_time_grid(7);
+        assert!(grid.rows_uniform());
+        assert!(!grid.is_uniform());
+        // Monotonically decreasing across rows (the Fig. 22 tagging).
+        for w in grid.times.windows(2) {
+            assert!(w[0][0] > w[1][0]);
+        }
+    }
+
+    #[test]
+    fn uniform_detection() {
+        let grid = TimeGrid {
+            times: vec![vec![4, 4], vec![4, 4]],
+        };
+        assert!(grid.is_uniform());
+        assert!(grid.rows_uniform());
+        let grid = TimeGrid {
+            times: vec![vec![4, 4], vec![3, 3]],
+        };
+        assert!(!grid.is_uniform());
+        assert!(grid.rows_uniform());
+        assert_eq!(grid.max_time(), 4);
+        assert_eq!(grid.len(), 4);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = TimeGrid::default();
+        assert!(grid.is_empty());
+        assert!(grid.is_uniform());
+        assert_eq!(grid.max_time(), 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! The three graph-transformation stages of §3.2.
+//!
+//! All three build transitive-closure graphs for size `n` whose evaluation
+//! equals Warshall's algorithm; they differ in the *implementation
+//! properties* established (broadcast-freedom, flow direction, communication
+//! regularity), which [`crate::validate`] checks quantitatively.
+
+use systolic_dgraph::{Coord, DependenceGraph, NodeId, OpKind, Port, Pos};
+
+/// Tracks the most recent `(node, port)` producing each matrix element.
+struct LastWriter {
+    n: usize,
+    slots: Vec<(NodeId, Port)>,
+}
+
+impl LastWriter {
+    fn new(n: usize, ids: &[NodeId]) -> Self {
+        Self {
+            n,
+            slots: ids.iter().map(|&id| (id, Port::X)).collect(),
+        }
+    }
+    fn get(&self, i: usize, j: usize) -> (NodeId, Port) {
+        self.slots[i * self.n + j]
+    }
+    fn set(&mut self, i: usize, j: usize, v: (NodeId, Port)) {
+        self.slots[i * self.n + j] = v;
+    }
+}
+
+fn add_inputs(g: &mut DependenceGraph, n: usize) -> Vec<NodeId> {
+    let mut ids = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let id = g.add_node(
+                OpKind::Input,
+                Coord::new(0, i as u32, j as u32),
+                Pos::new(j as i64, i as i64),
+                0,
+            );
+            g.set_input(i as u32, j as u32, id);
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// Common core of the pipelined (Fig. 12) and flipped (Fig. 13–14) stages.
+///
+/// Both replace the two broadcasts of the fully-parallel graph with chains
+/// threaded through the consuming `Fuse` nodes (which forward their `P`/`Q`
+/// operands). They differ only in chain *ordering* and in node layout:
+///
+/// * `flipped = false` (Fig. 12): consumers are chained outward from the
+///   pivot in both directions — bi-directional flow.
+/// * `flipped = true` (Fig. 13–14): consumers below/right of the pivot come
+///   first and those above/left are "flipped" to the far end, giving a
+///   single monotone chain — uni-directional flow. Layout positions are
+///   rotated per level so the census sees the monotone drawing.
+fn build_pipelined(n: usize, flipped: bool) -> DependenceGraph {
+    assert!(n >= 1, "problem size must be at least 1");
+    let mut g = DependenceGraph::new(n);
+    let inputs = add_inputs(&mut g, n);
+    let mut last = LastWriter::new(n, &inputs);
+    let h = n as i64; // level height in the drawing
+
+    for k in 0..n {
+        let level = (k + 1) as u32;
+        let prev: Vec<(NodeId, Port)> = (0..n * n).map(|t| last.get(t / n, t % n)).collect();
+
+        // Layout of element (i, j) at this level.
+        let pos = |i: usize, j: usize| -> Pos {
+            if flipped {
+                let r = (i + n - k - 1) % n;
+                let c = (j + n - k - 1) % n;
+                Pos::new(c as i64, (level as i64) * h + r as i64)
+            } else {
+                Pos::new(j as i64, (level as i64) * h + i as i64)
+            }
+        };
+
+        let computes = |i: usize, j: usize| i != k && j != k && i != j;
+
+        // Create this level's fuse nodes and wire their X lanes.
+        let mut node_at = vec![None; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if !computes(i, j) {
+                    continue;
+                }
+                let id = g.add_node(
+                    OpKind::Fuse,
+                    Coord::new(level, i as u32, j as u32),
+                    pos(i, j),
+                    1,
+                );
+                let (xs, xp) = prev[i * n + j];
+                g.add_edge(xs, xp, id, Port::X);
+                node_at[i * n + j] = Some(id);
+            }
+        }
+
+        // Chain orderings. `down_then_wrap(k, n)` yields k+1, …, n-1, 0, …,
+        // k-1 — the flipped order; the un-flipped variant yields the two
+        // outward chains from the pivot.
+        let chains = |pivot: usize| -> Vec<Vec<usize>> {
+            if flipped {
+                let mut c = Vec::with_capacity(n - 1);
+                for d in 1..n {
+                    c.push((pivot + d) % n);
+                }
+                vec![c]
+            } else {
+                let down: Vec<usize> = (pivot + 1..n).collect();
+                let up: Vec<usize> = (0..pivot).rev().collect();
+                vec![down, up]
+            }
+        };
+
+        // Q chains: value x^k[k][j] threads through column j's fuse nodes.
+        for j in 0..n {
+            if j == k {
+                continue;
+            }
+            let (src, sp) = prev[k * n + j];
+            for chain in chains(k) {
+                let mut from = (src, sp);
+                for i in chain {
+                    if let Some(id) = node_at[i * n + j] {
+                        g.add_edge(from.0, from.1, id, Port::Q);
+                        from = (id, Port::Q);
+                    }
+                }
+            }
+        }
+
+        // P chains: value x^k[i][k] threads through row i's fuse nodes.
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            let (src, sp) = prev[i * n + k];
+            for chain in chains(k) {
+                let mut from = (src, sp);
+                for j in chain {
+                    if let Some(id) = node_at[i * n + j] {
+                        g.add_edge(from.0, from.1, id, Port::P);
+                        from = (id, Port::P);
+                    }
+                }
+            }
+        }
+
+        for i in 0..n {
+            for j in 0..n {
+                if let Some(id) = node_at[i * n + j] {
+                    last.set(i, j, (id, Port::X));
+                }
+            }
+        }
+    }
+
+    for i in 0..n {
+        for j in 0..n {
+            let (nd, p) = last.get(i, j);
+            g.set_output(i as u32, j as u32, nd, p);
+        }
+    }
+    g
+}
+
+/// **Fig. 12** — broadcasting replaced by pipelining: pivot-row values
+/// thread down their column's fuse nodes (Q lane) and pivot-column values
+/// thread along their row's fuse nodes (P lane), in two chains going
+/// outward from the pivot. Maximum fan-out drops from `Θ(n)` to a small
+/// constant, at the cost of bi-directional flow.
+pub fn pipelined(n: usize) -> DependenceGraph {
+    build_pipelined(n, false)
+}
+
+/// **Fig. 13–14** — bi-directional flow removed by flipping: nodes on the
+/// "wrong" side of each broadcast source are moved to the far end of the
+/// chain, so each chain is a single monotone run (rows rotate so the pivot
+/// row is at the top of each level's drawing).
+pub fn unidirectional(n: usize) -> DependenceGraph {
+    build_pipelined(n, true)
+}
+
+/// **Fig. 15–16** — the regular graph: each level `k` is a full
+/// `n × (n+1)` grid of primitive nodes in pivot-rotated strip coordinates
+/// `(r, g)` (matrix row `i = (k+r) mod n`, matrix column `j = (k+g) mod n`
+/// for `g < n`; `g = n` is the inserted **delay column** of Fig. 15c).
+///
+/// Every node now has the same local communication pattern:
+/// * `X` values arrive from strip position `(r+1, g+1)` of the previous
+///   level (the level-`k-1` element one down-right),
+/// * `P` (pivot-column) values flow rightward along strip rows,
+/// * `Q` (pivot-row) values flow downward along strip columns,
+/// * the delay column returns the pivot-column stream to the next level.
+///
+/// Collapsing each strip column into one node yields the G-graph (Fig. 17).
+pub fn regular(n: usize) -> DependenceGraph {
+    assert!(n >= 2, "regular graph needs n ≥ 2");
+    let mut g = DependenceGraph::new(n);
+    let inputs = add_inputs(&mut g, n);
+    let w = n + 1; // strip width including the delay column
+    let h = (n + 1) as i64; // strip height in the drawing (rows + margin)
+
+    // ids[level][r * w + g]
+    let mut ids: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        let level = (k + 1) as u32;
+        let mut lvl = Vec::with_capacity(n * w);
+        for r in 0..n {
+            for gp in 0..w {
+                let i = (k + r) % n;
+                let j = (k + gp) % n; // for gp == n this aliases the pivot column
+                let kind = if r == 0 || gp == 0 || gp == n || r == gp {
+                    OpKind::Delay
+                } else {
+                    OpKind::Fuse
+                };
+                let id = g.add_node(
+                    kind,
+                    Coord::new(level, i as u32, j as u32),
+                    Pos::new(gp as i64, (level as i64) * h + r as i64),
+                    1,
+                );
+                lvl.push(id);
+            }
+        }
+        let at = |r: usize, gp: usize| lvl[r * w + gp];
+
+        // X lanes: from the previous level (or inputs at level 0).
+        for r in 0..n {
+            for gp in 0..n {
+                let dst = at(r, gp);
+                if k == 0 {
+                    // Natural order: strip row r = matrix row r, column gp.
+                    g.add_edge(inputs[r * n + gp], Port::X, dst, Port::X);
+                } else {
+                    let plv = &ids[k - 1];
+                    let pat = |rr: usize, gg: usize| plv[rr * w + gg];
+                    let (src, sp) = if r < n - 1 {
+                        if gp + 1 < n {
+                            // General case: one down-right in the previous strip.
+                            (pat(r + 1, gp + 1), Port::X)
+                        } else {
+                            // Producer is the delay column (pivot-column return).
+                            (pat(r + 1, n), Port::P)
+                        }
+                    } else {
+                        // Element of the previous pivot row: read the bottom of
+                        // the previous strip's Q chain (value emitted last).
+                        if gp + 1 < n {
+                            (pat(n - 1, gp + 1), Port::Q)
+                        } else {
+                            // Corner: previous pivot diagonal rides the row-0 P
+                            // chain into the delay column.
+                            (pat(0, n), Port::P)
+                        }
+                    };
+                    g.add_edge(src, sp, dst, Port::X);
+                }
+            }
+        }
+
+        // Q chains: row 0's X value enters column gp and flows down.
+        for gp in 1..n {
+            let mut from = (at(0, gp), Port::X);
+            for r in 1..n {
+                g.add_edge(from.0, from.1, at(r, gp), Port::Q);
+                from = (at(r, gp), Port::Q);
+            }
+        }
+
+        // P chains: column 0's X value enters row r and flows right into the
+        // delay column.
+        for r in 0..n {
+            let mut from = (at(r, 0), Port::X);
+            for gp in 1..=n {
+                g.add_edge(from.0, from.1, at(r, gp), Port::P);
+                from = (at(r, gp), Port::P);
+            }
+        }
+
+        ids.push(lvl);
+    }
+
+    // Outputs: X^n element (i, j).
+    let klast = n - 1;
+    let last = &ids[klast];
+    let at = |r: usize, gp: usize| last[r * w + gp];
+    for i in 0..n {
+        for j in 0..n {
+            let r = (i + n - klast) % n;
+            let (nd, p) = if j == klast {
+                (at(r, n), Port::P) // pivot column rides the delay column
+            } else {
+                let gp = (j + n - klast) % n;
+                (at(r, gp), Port::X)
+            };
+            g.set_output(i as u32, j as u32, nd, p);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_dgraph::eval_closure_graph;
+    use systolic_semiring::{reflexive, warshall, Bool, DenseMatrix, MinPlus};
+
+    fn bool_adj(n: usize, edges: &[(usize, usize)]) -> DenseMatrix<Bool> {
+        let mut m = DenseMatrix::<Bool>::zeros(n, n);
+        for &(i, j) in edges {
+            m.set(i, j, true);
+        }
+        m
+    }
+
+    fn check_all_stages(a: &DenseMatrix<Bool>) {
+        let n = a.rows();
+        let want = warshall(a);
+        let ar = reflexive(a);
+        for (name, g) in [
+            ("pipelined", pipelined(n)),
+            ("unidirectional", unidirectional(n)),
+            ("regular", regular(n)),
+        ] {
+            g.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let got = eval_closure_graph::<Bool>(&g, &ar).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(got, want, "{name} n={n}");
+        }
+    }
+
+    #[test]
+    fn stages_compute_closure_on_cycle() {
+        let n = 5;
+        let mut edges = vec![];
+        for i in 0..n {
+            edges.push((i, (i + 1) % n));
+        }
+        check_all_stages(&bool_adj(n, &edges));
+    }
+
+    #[test]
+    fn stages_compute_closure_on_dag() {
+        check_all_stages(&bool_adj(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 5)]));
+    }
+
+    #[test]
+    fn stages_compute_closure_on_empty_and_complete() {
+        check_all_stages(&bool_adj(4, &[]));
+        let mut edges = vec![];
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        check_all_stages(&bool_adj(4, &edges));
+    }
+
+    #[test]
+    fn stages_work_over_minplus() {
+        let n = 5;
+        let mut a = DenseMatrix::<MinPlus>::zeros(n, n);
+        a.set(0, 1, 2);
+        a.set(1, 2, 2);
+        a.set(2, 3, 2);
+        a.set(3, 4, 2);
+        a.set(0, 4, 100);
+        let want = warshall(&a);
+        let ar = reflexive(&a);
+        for g in [pipelined(n), unidirectional(n), regular(n)] {
+            assert_eq!(eval_closure_graph::<MinPlus>(&g, &ar).unwrap(), want);
+        }
+        assert_eq!(*want.get(0, 4), 8);
+    }
+
+    #[test]
+    fn regular_graph_node_budget_is_n_levels_of_n_by_n_plus_1() {
+        for n in [3usize, 4, 6] {
+            let g = regular(n);
+            assert_eq!(g.node_count(), n * n + n * n * (n + 1), "n={n}");
+            assert_eq!(g.compute_node_count(), n * (n - 1) * (n - 2), "n={n}");
+        }
+    }
+
+    #[test]
+    fn pipelined_keeps_lean_compute_count() {
+        for n in [3usize, 5] {
+            assert_eq!(
+                pipelined(n).compute_node_count(),
+                n * (n - 1) * (n - 2),
+                "n={n}"
+            );
+            assert_eq!(
+                unidirectional(n).compute_node_count(),
+                n * (n - 1) * (n - 2),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn regular_handles_n_equals_2() {
+        check_all_stages(&bool_adj(2, &[(0, 1)]));
+        check_all_stages(&bool_adj(2, &[(0, 1), (1, 0)]));
+    }
+}

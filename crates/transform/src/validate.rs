@@ -1,0 +1,120 @@
+//! Stage validators: quantitative checks of the properties each
+//! transformation claims to establish (E03–E05 of the experiment index).
+
+use systolic_dgraph::{broadcast_census, direction_census, DependenceGraph};
+
+/// Measured implementation properties of a dependence graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageProperties {
+    /// Largest fan-out of any output lane.
+    pub max_fanout: usize,
+    /// Number of lanes with fan-out ≥ 2.
+    pub broadcast_sources: usize,
+    /// Intra-level (chain) horizontal flow is uni-directional.
+    pub unidirectional_x: bool,
+    /// Intra-level (chain) vertical flow is uni-directional.
+    pub unidirectional_y: bool,
+    /// Distinct inter-level displacement patterns.
+    pub inter_patterns: usize,
+    /// Largest horizontal reach of any inter-level edge (`Θ(n)` before
+    /// regularization — the strip wrap-around — `O(1)` after).
+    pub inter_max_abs_dx: i64,
+    /// Compute node count.
+    pub compute_nodes: usize,
+    /// Delay node count (overhead inserted by regularization).
+    pub delay_nodes: usize,
+}
+
+/// Measures the implementation properties of a graph.
+pub fn validate_stage(g: &DependenceGraph) -> StageProperties {
+    let bc = broadcast_census(g);
+    let dc = direction_census(g);
+    let delay_nodes = g
+        .nodes()
+        .iter()
+        .filter(|nd| nd.kind == systolic_dgraph::OpKind::Delay)
+        .count();
+    StageProperties {
+        max_fanout: bc.max_fanout,
+        broadcast_sources: bc.broadcast_sources,
+        unidirectional_x: dc.unidirectional_x(),
+        unidirectional_y: dc.unidirectional_y(),
+        inter_patterns: dc.inter_patterns,
+        inter_max_abs_dx: dc.inter_max_abs_dx,
+        compute_nodes: g.compute_node_count(),
+        delay_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::{pipelined, regular, unidirectional};
+    use systolic_dgraph::{closure_full, closure_lean};
+
+    #[test]
+    fn e03_pipelining_removes_broadcast() {
+        let n = 8;
+        let before = validate_stage(&closure_full(n));
+        let lean = validate_stage(&closure_lean(n));
+        let after = validate_stage(&pipelined(n));
+        // Fully-parallel and lean graphs broadcast with fan-out Θ(n)…
+        assert!(before.max_fanout >= n);
+        assert!(lean.max_fanout >= n - 3);
+        // …the pipelined graph bounds fan-out by a small constant: an
+        // element's last writer feeds at most its X successor plus the heads
+        // of two P chains and two Q chains.
+        assert!(after.max_fanout <= 5, "max fanout {}", after.max_fanout);
+    }
+
+    #[test]
+    fn e04_flipping_removes_bidirectional_flow() {
+        let n = 8;
+        let before = validate_stage(&pipelined(n));
+        let after = validate_stage(&unidirectional(n));
+        // Fig. 12's chains run outward from the pivot in both directions…
+        assert!(!before.unidirectional_x, "{before:?}");
+        assert!(!before.unidirectional_y, "{before:?}");
+        // …Fig. 14's chains run one way on both axes.
+        assert!(after.unidirectional_x, "{after:?}");
+        assert!(after.unidirectional_y, "{after:?}");
+        // Flipping must not change the amount of work.
+        assert_eq!(before.compute_nodes, after.compute_nodes);
+    }
+
+    #[test]
+    fn e05_regularization_localizes_communication() {
+        // Before regularization, strips communicate through wrap-around
+        // edges whose reach grows with n (Fig. 15's boundary irregularity)…
+        for n in [8usize, 12, 16] {
+            let p = validate_stage(&unidirectional(n));
+            assert!(
+                p.inter_max_abs_dx >= (n as i64) - 3,
+                "n={n}: wrap reach {}",
+                p.inter_max_abs_dx
+            );
+        }
+        // …afterwards every inter-strip edge moves at most one position
+        // horizontally, independent of n (Fig. 16).
+        for n in [8usize, 12, 16] {
+            let r = validate_stage(&regular(n));
+            assert_eq!(r.inter_max_abs_dx, 1, "n={n}: {r:?}");
+        }
+        // And the number of distinct inter-strip patterns is a small
+        // n-independent constant.
+        let p8 = validate_stage(&regular(8)).inter_patterns;
+        let p16 = validate_stage(&regular(16)).inter_patterns;
+        assert_eq!(p8, p16);
+        assert!(p8 <= 8, "patterns {p8}");
+    }
+
+    #[test]
+    fn regular_graph_is_broadcast_free_and_unidirectional() {
+        let p = validate_stage(&regular(9));
+        assert_eq!(p.max_fanout, 1, "{p:?}");
+        assert!(p.unidirectional_x, "{p:?}");
+        assert!(p.unidirectional_y, "{p:?}");
+        assert!(p.delay_nodes > 0);
+        assert_eq!(p.compute_nodes, 9 * 8 * 7);
+    }
+}

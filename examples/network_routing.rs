@@ -1,0 +1,89 @@
+//! Network routing with algebraic path problems on the systolic engines:
+//! the same Fig. 18 array computes shortest-latency routes (min-plus),
+//! widest-bandwidth routes (max-min) and smoothest routes (min-max) for a
+//! small backbone topology — the semiring generality the methodology
+//! affords (§2: "doesn't restrict the algorithm to be of a certain class").
+//!
+//! ```text
+//! cargo run --release --example network_routing
+//! ```
+
+use systolic::closure::{shortest_paths_with_routes, Backend, ClosureSolver, WeightedDiGraph};
+
+const SITES: &[&str] = &["sfo", "sea", "den", "ord", "iad", "jfk"];
+
+fn main() {
+    // (from, to, latency_ms, bandwidth_gbps)
+    let links = [
+        (0usize, 1usize, 18u64, 400u64),
+        (1, 0, 18, 400),
+        (0, 2, 25, 100),
+        (2, 0, 25, 100),
+        (1, 3, 35, 200),
+        (3, 1, 35, 200),
+        (2, 3, 19, 400),
+        (3, 2, 19, 400),
+        (3, 4, 14, 100),
+        (4, 3, 14, 100),
+        (3, 5, 17, 400),
+        (5, 3, 17, 400),
+        (4, 5, 6, 400),
+        (5, 4, 6, 400),
+    ];
+
+    let mut latency = WeightedDiGraph::new(SITES.len());
+    let mut bandwidth = WeightedDiGraph::new(SITES.len());
+    for &(u, v, ms, gbps) in &links {
+        latency.add_edge(u, v, ms);
+        bandwidth.add_edge(u, v, gbps);
+    }
+
+    let solver = ClosureSolver::new(Backend::Grid { side: 2 });
+
+    // Shortest latency (min-plus closure on the array).
+    let dist = solver.shortest_paths(&latency).unwrap();
+    // Widest bandwidth (max-min closure on the same array).
+    let wide = solver.widest_paths(&bandwidth).unwrap();
+    // Smoothest route: minimize the worst single-hop latency (min-max).
+    let smooth = solver.minimax_paths(&latency).unwrap();
+
+    // Routes come from the host-side route table (same recurrence with a
+    // successor lane).
+    let routes = shortest_paths_with_routes(&latency);
+    assert_eq!(routes.dist, dist, "array distances match the route table");
+
+    let (src, dst) = (0usize, 5usize); // sfo → jfk
+    let route: Vec<&str> = routes
+        .route(src, dst)
+        .unwrap()
+        .into_iter()
+        .map(|v| SITES[v])
+        .collect();
+    println!("sfo → jfk");
+    println!(
+        "  shortest latency : {} ms via {:?}",
+        dist.get(src, dst),
+        route
+    );
+    println!("  widest bandwidth : {} Gbps", wide.get(src, dst));
+    println!("  smoothest route  : worst hop {} ms", smooth.get(src, dst));
+
+    // Sanity: sfo→jfk best latency is sfo→den→ord→jfk = 25+19+17 = 61.
+    assert_eq!(*dist.get(src, dst), 61);
+    // Widest path avoids the 100G links: sfo→sea→ord... min(400,200,400)=200.
+    assert_eq!(*wide.get(src, dst), 200);
+
+    println!("\nall-pairs latency matrix (ms):");
+    print!("      ");
+    for s in SITES {
+        print!("{s:>6}");
+    }
+    println!();
+    for (i, s) in SITES.iter().enumerate() {
+        print!("{s:>6}");
+        for j in 0..SITES.len() {
+            print!("{:>6}", dist.get(i, j));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates the paper's dependence-graph figures as Graphviz DOT files
+//! for an arbitrary problem size.
+//!
+//! ```text
+//! cargo run --release --example render_figures [n] [outdir]
+//! # then e.g.:  neato -n -Tsvg figures/fig12_pipelined.dot -o fig12.svg
+//! ```
+
+use systolic::dgraph::{closure_full, closure_lean, to_dot, DotOptions};
+use systolic::transform::{pipelined, regular, unidirectional};
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let outdir = args.next().unwrap_or_else(|| "figures".into());
+    std::fs::create_dir_all(&outdir)?;
+
+    let figures = [
+        (
+            "fig10_fully_parallel",
+            "Fig. 10 — fully-parallel dependence graph",
+            closure_full(n),
+        ),
+        (
+            "fig11_superfluous_removed",
+            "Fig. 11 — superfluous nodes removed",
+            closure_lean(n),
+        ),
+        (
+            "fig12_pipelined",
+            "Fig. 12 — broadcasting replaced by pipelining",
+            pipelined(n),
+        ),
+        (
+            "fig14_unidirectional",
+            "Fig. 14 — uni-directional flow",
+            unidirectional(n),
+        ),
+        (
+            "fig16_regular",
+            "Fig. 16 — regularized with delay nodes",
+            regular(n),
+        ),
+    ];
+
+    for (file, title, graph) in figures {
+        let dot = to_dot(
+            &graph,
+            &DotOptions {
+                title: format!("{title} (n = {n})"),
+                show_inputs: false,
+                ..Default::default()
+            },
+        );
+        let path = format!("{outdir}/{file}.dot");
+        std::fs::write(&path, &dot)?;
+        println!(
+            "{path}: {} nodes, {} edges",
+            graph.node_count(),
+            graph.edge_count()
+        );
+    }
+    println!("\nrender with: neato -n -Tsvg {outdir}/fig16_regular.dot -o fig16.svg");
+    Ok(())
+}

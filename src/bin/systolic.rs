@@ -1,0 +1,277 @@
+//! `systolic` — command-line front end to the reproduction.
+//!
+//! ```text
+//! systolic closure  [--backend B] [--show] <edges-file|->   transitive closure
+//! systolic paths    <weighted-edges-file> <src> <dst>       shortest route
+//! systolic schedule <n> <m> [--grid]                        G-set schedule summary
+//! systolic gantt    <n> <m>                                 cell-occupancy chart
+//! systolic info     <n> [m]                                 paper's analytic measures
+//! ```
+//!
+//! Edge files are whitespace-separated `u v` (or `u v w` for `paths`) pairs
+//! per line, vertices numbered from 0; `-` reads stdin.
+
+use std::io::Read;
+use systolic::arraysim::render_gantt;
+use systolic::closure::{
+    shortest_paths_with_routes, Backend, ClosureSolver, DiGraph, WeightedDiGraph,
+};
+use systolic::metrics::LinearModel;
+use systolic::partition::{ClosureEngine, GsetSchedule, LinearEngine};
+use systolic_semiring::Bool;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("usage:");
+    eprintln!("  systolic closure  [--backend linear:M|grid:S|fixed|fixed-linear|reference|bit|blocked:B] [--show] <file|->");
+    eprintln!("  systolic paths    <file> <src> <dst>");
+    eprintln!("  systolic schedule <n> <m> [--grid]");
+    eprintln!("  systolic gantt    <n> <m>");
+    eprintln!("  systolic info     <n> [m]");
+    std::process::exit(2);
+}
+
+fn read_input(path: &str) -> String {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .unwrap_or_else(|e| fail(&format!("reading stdin: {e}")));
+        s
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")))
+    }
+}
+
+fn parse_edges(text: &str, weighted: bool) -> (usize, Vec<(usize, usize, u64)>) {
+    let mut edges = Vec::new();
+    let mut max_v = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> usize {
+            tok.and_then(|t| t.parse().ok())
+                .unwrap_or_else(|| fail(&format!("line {}: malformed edge", lineno + 1)))
+        };
+        let u = parse(it.next());
+        let v = parse(it.next());
+        let w = if weighted { parse(it.next()) as u64 } else { 1 };
+        max_v = max_v.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    (max_v + 1, edges)
+}
+
+fn parse_backend(spec: &str) -> Backend {
+    let (name, arg) = match spec.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    let num = |d: usize| -> usize {
+        arg.and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+            if arg.is_none() {
+                d
+            } else {
+                fail("bad backend argument")
+            }
+        })
+    };
+    match name {
+        "linear" => Backend::Linear { cells: num(4) },
+        "grid" => Backend::Grid { side: num(2) },
+        "fixed" => Backend::FixedArray,
+        "fixed-linear" => Backend::FixedLinear,
+        "reference" => Backend::Reference,
+        "bit" => Backend::BitParallel,
+        "blocked" => Backend::Blocked { tile: num(4) },
+        _ => fail(&format!("unknown backend `{spec}`")),
+    }
+}
+
+fn cmd_closure(args: &[String]) {
+    let mut backend = Backend::Linear { cells: 4 };
+    let mut show = false;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                i += 1;
+                backend = parse_backend(
+                    args.get(i)
+                        .map(String::as_str)
+                        .unwrap_or_else(|| fail("--backend needs a value")),
+                );
+            }
+            "--show" => show = true,
+            other => file = Some(other.to_string()),
+        }
+        i += 1;
+    }
+    let file = file.unwrap_or_else(|| fail("closure needs an input file (or -)"));
+    let (n, edges) = parse_edges(&read_input(&file), false);
+    let mut g = DiGraph::new(n);
+    for (u, v, _) in edges {
+        g.add_edge(u, v);
+    }
+    let solver = ClosureSolver::new(backend);
+    let (reach, report) = solver
+        .transitive_closure_with_report(&g)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    println!(
+        "{} vertices, {} edges → {} reachable pairs (backend {})",
+        g.n(),
+        g.edge_count(),
+        reach.pair_count(),
+        report.backend
+    );
+    if report.stats.cycles > 0 {
+        println!(
+            "simulated: {} cycles on {} cells, utilization {:.3}, I/O {:.3} words/cycle",
+            report.stats.cycles,
+            report.stats.cells,
+            report.stats.useful_utilization(),
+            report.stats.io_bandwidth()
+        );
+    }
+    if show {
+        for u in 0..g.n() {
+            let row: String = (0..g.n())
+                .map(|v| if reach.reachable(u, v) { '1' } else { '.' })
+                .collect();
+            println!("{row}");
+        }
+    }
+}
+
+fn cmd_paths(args: &[String]) {
+    let [file, src, dst] = args else {
+        fail("paths needs <file> <src> <dst>")
+    };
+    let (n, edges) = parse_edges(&read_input(file), true);
+    let mut g = WeightedDiGraph::new(n);
+    for (u, v, w) in edges {
+        g.add_edge(u, v, w);
+    }
+    let src: usize = src.parse().unwrap_or_else(|_| fail("bad src"));
+    let dst: usize = dst.parse().unwrap_or_else(|_| fail("bad dst"));
+    if src >= n || dst >= n {
+        fail("src/dst out of range");
+    }
+    let table = shortest_paths_with_routes(&g);
+    match table.route(src, dst) {
+        Some(route) => println!("distance {} via {:?}", table.distance(src, dst), route),
+        None => println!("{dst} is unreachable from {src}"),
+    }
+}
+
+fn cmd_schedule(args: &[String]) {
+    let (mut n, mut m, mut grid) = (None, None, false);
+    for a in args {
+        match a.as_str() {
+            "--grid" => grid = true,
+            other => {
+                if n.is_none() {
+                    n = other.parse().ok();
+                } else {
+                    m = other.parse().ok();
+                }
+            }
+        }
+    }
+    let n: usize = n.unwrap_or_else(|| fail("schedule needs n"));
+    let m: usize = m.unwrap_or_else(|| fail("schedule needs m"));
+    let s = if grid {
+        GsetSchedule::grid(n, m)
+    } else {
+        GsetSchedule::linear(n, m)
+    };
+    println!(
+        "{} mapping, n = {n}, {} cells: {} G-sets ({} boundary), {} G-nodes",
+        if grid { "grid" } else { "linear" },
+        s.cells,
+        s.len(),
+        s.boundary_sets(),
+        s.total_gnodes()
+    );
+    match s.verify_legal() {
+        Ok(()) => println!("schedule is dependence-legal ✓"),
+        Err(e) => fail(&format!("ILLEGAL schedule: {e}")),
+    }
+}
+
+fn cmd_gantt(args: &[String]) {
+    let [n, m] = args else {
+        fail("gantt needs <n> <m>")
+    };
+    let n: usize = n.parse().unwrap_or_else(|_| fail("bad n"));
+    let m: usize = m.parse().unwrap_or_else(|_| fail("bad m"));
+    let a = systolic::closure::gnp(n, 0.2, 1).adjacency_matrix();
+    let eng = LinearEngine::new(m).with_trace();
+    let (_, stats) =
+        ClosureEngine::<Bool>::closure(&eng, &a).unwrap_or_else(|e| fail(&e.to_string()));
+    println!(
+        "n = {n}, m = {m}: {} cycles, occupancy {:.3}",
+        stats.cycles,
+        stats.occupancy()
+    );
+    print!("{}", render_gantt(&stats.spans, m, stats.cycles, 160));
+}
+
+fn cmd_info(args: &[String]) {
+    let n: usize = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| fail("info needs n"));
+    let m: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let model = LinearModel { n, m };
+    println!("paper measures for n = {n}, m = {m} (Moreno & Lang 1988, §3–§4):");
+    println!(
+        "  useful operations N = n(n-1)(n-2)  : {}",
+        model.useful_ops()
+    );
+    println!(
+        "  G-sets n(n+1)/m                    : {:.1}",
+        model.gsets()
+    );
+    println!(
+        "  throughput T = m/(n²(n+1))          : {:.3e} problems/cycle",
+        model.throughput()
+    );
+    println!(
+        "  cycles per problem T⁻¹              : {:.0}",
+        model.cycles_per_instance()
+    );
+    println!(
+        "  utilization U = (n-1)(n-2)/(n(n+1)) : {:.4}",
+        model.utilization()
+    );
+    println!(
+        "  host I/O D = m/n                    : {:.4} words/cycle",
+        model.io_bandwidth()
+    );
+    println!(
+        "  memory connections (linear)         : {}",
+        model.memory_connections()
+    );
+    println!("  partitioning overhead               : 0");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "closure" => cmd_closure(rest),
+            "paths" => cmd_paths(rest),
+            "schedule" => cmd_schedule(rest),
+            "gantt" => cmd_gantt(rest),
+            "info" => cmd_info(rest),
+            other => fail(&format!("unknown command `{other}`")),
+        },
+        None => fail("missing command"),
+    }
+}

@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the full systolic partitioning workspace API.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use systolic_arraysim as arraysim;
+pub use systolic_baselines as baselines;
+pub use systolic_closure as closure;
+pub use systolic_dgraph as dgraph;
+pub use systolic_metrics as metrics;
+pub use systolic_partition as partition;
+pub use systolic_semiring as semiring;
+pub use systolic_transform as transform;

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `systolic` command-line binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_systolic"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("systolic-test-{name}-{}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn closure_on_edge_file() {
+    let f = write_temp("edges", "0 1\n1 2\n2 0\n2 3\n");
+    let out = bin()
+        .args(["closure", "--backend", "linear:3", "--show"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("13 reachable pairs"), "{text}");
+    assert!(text.contains("linear-partitioned"), "{text}");
+    // The cycle {0,1,2} reaches everything; 3 reaches only itself.
+    assert!(text.contains("1111"));
+    assert!(text.contains("...1"));
+    std::fs::remove_file(f).ok();
+}
+
+#[test]
+fn closure_reads_stdin() {
+    let mut child = bin()
+        .args(["closure", "--backend", "reference", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"0 1\n1 0\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("4 reachable pairs"));
+}
+
+#[test]
+fn paths_finds_shortest_route() {
+    let f = write_temp("weights", "0 1 5\n1 2 2\n0 2 9\n");
+    let out = bin()
+        .args(["paths"])
+        .arg(&f)
+        .args(["0", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("distance 7"), "{text}");
+    assert!(text.contains("[0, 1, 2]"), "{text}");
+    std::fs::remove_file(f).ok();
+}
+
+#[test]
+fn schedule_reports_legality() {
+    let out = bin().args(["schedule", "10", "3"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dependence-legal"), "{text}");
+    assert!(text.contains("110 G-nodes"), "{text}"); // n(n+1)
+
+    let out = bin()
+        .args(["schedule", "10", "2", "--grid"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("grid mapping"));
+    assert!(out.status.success());
+}
+
+#[test]
+fn info_prints_the_paper_formulas() {
+    let out = bin().args(["info", "100", "8"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("970200"), "{text}"); // 100·99·98
+    assert!(text.contains("0.9606"), "{text}"); // utilization
+    assert!(text.contains("126250"), "{text}"); // cycles per problem
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let out = bin().args(["closure"]).output().unwrap();
+    assert!(!out.status.success());
+}

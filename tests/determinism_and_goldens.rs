@@ -1,0 +1,98 @@
+//! Determinism of the simulator and golden-value checks pinning the exact
+//! measured numbers of key design points (so regressions in cycle counts
+//! are caught, not just correctness).
+
+use systolic::closure::{gnp, DiGraph};
+use systolic::partition::{ClosureEngine, FixedArrayEngine, GridEngine, LinearEngine};
+use systolic_semiring::{Bool, DenseMatrix};
+
+#[test]
+fn simulation_is_deterministic() {
+    let a = gnp(13, 0.22, 3).adjacency_matrix();
+    for _ in 0..2 {
+        let (r1, s1) = ClosureEngine::<Bool>::closure(&LinearEngine::new(4), &a).unwrap();
+        let (r2, s2) = ClosureEngine::<Bool>::closure(&LinearEngine::new(4), &a).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2, "stats must be bit-identical across runs");
+        let (g1, t1) = ClosureEngine::<Bool>::closure(&GridEngine::new(2), &a).unwrap();
+        let (g2, t2) = ClosureEngine::<Bool>::closure(&GridEngine::new(2), &a).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(t1, t2);
+    }
+}
+
+#[test]
+fn golden_fixed_array_makespan() {
+    // Single-instance makespan of the Fig. 17 array: pinned so the timing
+    // model cannot drift silently. Structure-dependent, data-independent.
+    let empty = DenseMatrix::<Bool>::zeros(8, 8);
+    let dense = {
+        let mut m = DenseMatrix::<Bool>::zeros(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                m.set(i, j, i != j);
+            }
+        }
+        m
+    };
+    let (_, s_empty) = ClosureEngine::<Bool>::closure(&FixedArrayEngine::new(), &empty).unwrap();
+    let (_, s_dense) = ClosureEngine::<Bool>::closure(&FixedArrayEngine::new(), &dense).unwrap();
+    assert_eq!(
+        s_empty.cycles, s_dense.cycles,
+        "systolic timing is data-independent"
+    );
+    // Pinned value for n = 8: the makespan is O(n) — wavefront 2k+g over
+    // n(n+1) cells plus per-hop register and rotation slack (DESIGN.md §4).
+    assert_eq!(s_empty.cycles, 38);
+}
+
+#[test]
+fn golden_linear_partitioned_counters() {
+    // n = 12, m = 3, one instance: pin all headline counters.
+    let a = gnp(12, 0.2, 7).adjacency_matrix();
+    let (_, s) = ClosureEngine::<Bool>::closure(&LinearEngine::new(3), &a).unwrap();
+    assert_eq!(s.cells, 3);
+    assert_eq!(s.useful_ops, 12 * 11 * 10);
+    assert_eq!(s.host_words, 144);
+    assert_eq!(s.memory_connections, 4);
+    assert_eq!(s.output_words, 144);
+    assert_eq!(s.max_bank_writes_per_cycle, 1);
+    // Ideal is n²(n+1)/m = 624; measured includes fill and boundary sets.
+    assert!(s.cycles >= 624, "cycles {}", s.cycles);
+    assert!(s.cycles <= 900, "cycles {} drifted", s.cycles);
+}
+
+#[test]
+fn golden_small_closure_matrix() {
+    // Fully pinned end-to-end answer for a hand-checkable graph.
+    let mut g = DiGraph::new(5);
+    for (u, v) in [(0, 1), (1, 2), (2, 1), (2, 3)] {
+        g.add_edge(u, v);
+    }
+    let (res, _) =
+        ClosureEngine::<Bool>::closure(&LinearEngine::new(2), &g.adjacency_matrix()).unwrap();
+    let want = [
+        [true, true, true, true, false],
+        [false, true, true, true, false],
+        [false, true, true, true, false],
+        [false, false, false, true, false],
+        [false, false, false, false, true],
+    ];
+    for (i, row) in want.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate() {
+            assert_eq!(*res.get(i, j), w, "({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn variable_size_problems_reuse_one_engine() {
+    // §1 motivation: "problems of variable size using the same array".
+    let eng = LinearEngine::new(3);
+    for n in [4usize, 9, 14, 6] {
+        let a = gnp(n, 0.3, n as u64).adjacency_matrix();
+        let (res, stats) = ClosureEngine::<Bool>::closure(&eng, &a).unwrap();
+        assert_eq!(res, systolic_semiring::warshall(&a), "n={n}");
+        assert_eq!(stats.cells, 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Failure injection: the simulator and engines must *diagnose* broken
+//! configurations, not hang or silently corrupt results.
+
+use systolic::arraysim::{ArraySim, SimError, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
+use systolic::partition::{ClosureEngine, EngineError, GridEngine, LinearEngine};
+use systolic_semiring::{Bool, DenseMatrix, MinPlus};
+
+fn task(kind: TaskKind, len: usize) -> Task {
+    Task {
+        kind,
+        len,
+        col_in: None,
+        pivot_in: None,
+        col_out: None,
+        pivot_out: None,
+        useful_ops: 0,
+        label: TaskLabel::default(),
+    }
+}
+
+#[test]
+fn missing_stream_is_reported_as_deadlock() {
+    let mut sim = ArraySim::<MinPlus>::new(2);
+    let b = sim.add_bank();
+    let mut t = task(TaskKind::DelayTail, 3);
+    t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 123 });
+    sim.push_task(0, t);
+    match sim.run() {
+        Err(SimError::Deadlock { pending, cycle }) => {
+            assert_eq!(pending, vec![1, 0]);
+            assert!(cycle < 100, "deadlock detected promptly");
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn circular_link_dependency_deadlocks() {
+    // Two fuse tasks each waiting on the other's pivot output.
+    let mut sim = ArraySim::<Bool>::new(2);
+    let b = sim.add_bank();
+    let l01 = sim.add_link();
+    let l10 = sim.add_link();
+    for k in [0u64, 1] {
+        for v in [true, false, true] {
+            sim.bank_mut(b).preload(k, v);
+        }
+    }
+    let mut t0 = task(TaskKind::Fuse, 3);
+    t0.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+    t0.pivot_in = Some(StreamSrc::Link(l10));
+    t0.pivot_out = Some(StreamDst::Link(l01));
+    sim.push_task(0, t0);
+    let mut t1 = task(TaskKind::Fuse, 3);
+    t1.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+    t1.pivot_in = Some(StreamSrc::Link(l01));
+    t1.pivot_out = Some(StreamDst::Link(l10));
+    sim.push_task(1, t1);
+    assert!(matches!(sim.run(), Err(SimError::Deadlock { .. })));
+}
+
+#[test]
+fn timeout_budget_is_honored() {
+    let mut sim = ArraySim::<Bool>::new(1);
+    let b = sim.add_bank();
+    let mut t = task(TaskKind::Pass, 4);
+    t.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+    sim.push_task(0, t);
+    sim.set_max_cycles(2);
+    assert_eq!(sim.run(), Err(SimError::Timeout { max_cycles: 2 }));
+}
+
+#[test]
+fn engines_reject_bad_shapes() {
+    let eng = LinearEngine::new(3);
+    // Too small.
+    let a = DenseMatrix::<Bool>::zeros(1, 1);
+    assert!(matches!(
+        ClosureEngine::<Bool>::closure(&eng, &a),
+        Err(EngineError::BadInput(_))
+    ));
+    // Mixed batch sizes.
+    let a = DenseMatrix::<Bool>::zeros(3, 3);
+    let b = DenseMatrix::<Bool>::zeros(4, 4);
+    assert!(matches!(
+        ClosureEngine::<Bool>::closure_many(&eng, &[a, b]),
+        Err(EngineError::BadInput(_))
+    ));
+    // Empty batch.
+    assert!(matches!(
+        ClosureEngine::<Bool>::closure_many(&eng, &[]),
+        Err(EngineError::BadInput(_))
+    ));
+    // Grid with the same constraints.
+    let g = GridEngine::new(2);
+    let a = DenseMatrix::<Bool>::zeros(0, 0);
+    assert!(ClosureEngine::<Bool>::closure(&g, &a).is_err());
+}
+
+#[test]
+fn engine_error_messages_are_informative() {
+    let eng = LinearEngine::new(2);
+    let a = DenseMatrix::<Bool>::zeros(1, 1);
+    let err = ClosureEngine::<Bool>::closure(&eng, &a).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("n=1"), "{msg}");
+    let fmt = format!("{}", SimError::Timeout { max_cycles: 7 });
+    assert!(fmt.contains('7'));
+}
+
+#[test]
+fn pass_through_chain_preserves_order_under_backpressure() {
+    // A three-cell pass chain with single-word links: output must preserve
+    // stream order even though every link backpressures.
+    let mut sim = ArraySim::<MinPlus>::new(3);
+    let b = sim.add_bank();
+    let l0 = sim.add_link();
+    let l1 = sim.add_link();
+    let o = sim.add_outputs(1);
+    let n = 16;
+    for v in 0..n {
+        sim.bank_mut(b).preload(0, v as u64);
+    }
+    let mut t0 = task(TaskKind::Pass, n);
+    t0.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+    t0.col_out = Some(StreamDst::Link(l0));
+    sim.push_task(0, t0);
+    let mut t1 = task(TaskKind::Pass, n);
+    t1.col_in = Some(StreamSrc::Link(l0));
+    t1.col_out = Some(StreamDst::Link(l1));
+    sim.push_task(1, t1);
+    let mut t2 = task(TaskKind::Pass, n);
+    t2.col_in = Some(StreamSrc::Link(l1));
+    t2.col_out = Some(StreamDst::Output { stream: o });
+    sim.push_task(2, t2);
+    let stats = sim.run().unwrap();
+    let want: Vec<u64> = (0..n as u64).collect();
+    assert_eq!(sim.outputs()[0], want);
+    // Pipeline: total ≈ n + chain depth, not 3n.
+    assert!(stats.cycles < (n + 8) as u64, "cycles {}", stats.cycles);
+}

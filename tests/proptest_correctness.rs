@@ -1,0 +1,152 @@
+//! Property-based correctness: random problems through every layer.
+
+use proptest::prelude::*;
+use systolic::partition::{ClosureEngine, GridEngine, LinearEngine};
+use systolic::transform::GGraph;
+use systolic_semiring::{
+    closure_by_squaring, reflexive, warshall, warshall_blocked, BitMatrix, Bool, DenseMatrix,
+    MaxMin, MinPlus,
+};
+
+fn arb_bool_matrix(max_n: usize) -> impl Strategy<Value = DenseMatrix<Bool>> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::bool::weighted(0.25), n * n)
+            .prop_map(move |v| DenseMatrix::from_vec(n, n, v))
+    })
+}
+
+fn arb_weight_matrix(max_n: usize) -> impl Strategy<Value = DenseMatrix<MinPlus>> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(prop_oneof![4 => Just(u64::MAX), 6 => 1u64..100], n * n)
+            .prop_map(move |v| DenseMatrix::from_vec(n, n, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn software_kernels_agree(a in arb_bool_matrix(12)) {
+        let w = warshall(&a);
+        prop_assert_eq!(&w, &closure_by_squaring(&a));
+        prop_assert_eq!(&w, &warshall_blocked(&a, 3));
+        let bits = BitMatrix::from_dense(&a).transitive_closure();
+        prop_assert_eq!(BitMatrix::from_dense(&w), bits);
+    }
+
+    #[test]
+    fn ggraph_stream_semantics_equal_warshall(a in arb_bool_matrix(12)) {
+        let got = GGraph::new(a.rows()).eval::<Bool>(&reflexive(&a));
+        prop_assert_eq!(got, warshall(&a));
+    }
+
+    #[test]
+    fn closure_is_monotone_and_idempotent(a in arb_bool_matrix(10)) {
+        let c = warshall(&a);
+        let n = a.rows();
+        for i in 0..n {
+            for j in 0..n {
+                if *a.get(i, j) {
+                    prop_assert!(*c.get(i, j), "A ≤ A⁺ at ({i},{j})");
+                }
+            }
+            prop_assert!(*c.get(i, i), "reflexive diagonal");
+        }
+        prop_assert_eq!(warshall(&c), c);
+    }
+
+    #[test]
+    fn minplus_closure_satisfies_triangle_inequality(d in arb_weight_matrix(10)) {
+        let c = warshall(&d);
+        let n = d.rows();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let via = c.get(i, k).saturating_add(*c.get(k, j));
+                    prop_assert!(*c.get(i, j) <= via, "({i},{j}) via {k}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn transformation_stages_preserve_semantics(a in arb_bool_matrix(9)) {
+        use systolic::transform::{pipelined, regular, unidirectional};
+        use systolic::dgraph::eval_closure_graph;
+        let n = a.rows();
+        let want = warshall(&a);
+        let ar = reflexive(&a);
+        for g in [pipelined(n), unidirectional(n), regular(n)] {
+            prop_assert_eq!(eval_closure_graph::<Bool>(&g, &ar).unwrap(), want.clone());
+        }
+    }
+
+    #[test]
+    fn blocked_baselines_match(a in arb_bool_matrix(10), b in 1usize..6) {
+        use systolic::baselines::nunez_closure;
+        prop_assert_eq!(nunez_closure(&a, b), warshall(&a));
+    }
+}
+
+proptest! {
+    // Simulation-backed cases are heavier; fewer cases, smaller n.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn linear_engine_matches_reference(
+        a in arb_bool_matrix(9),
+        m in 1usize..6,
+    ) {
+        let (got, stats) = LinearEngine::new(m).closure(&a).unwrap();
+        prop_assert_eq!(got, warshall(&a));
+        prop_assert_eq!(stats.memory_connections, m + 1);
+    }
+
+    #[test]
+    fn grid_engine_matches_reference(
+        a in arb_bool_matrix(9),
+        s in 1usize..4,
+    ) {
+        let (got, stats) = GridEngine::new(s).closure(&a).unwrap();
+        prop_assert_eq!(got, warshall(&a));
+        prop_assert_eq!(stats.memory_connections, 2 * s);
+    }
+
+    #[test]
+    fn degraded_arrays_stay_exact(
+        a in arb_bool_matrix(8),
+        physical in 3usize..7,
+        fault_bits in 0u32..64,
+    ) {
+        use systolic::partition::FaultyLinearEngine;
+        let faults: Vec<usize> = (0..physical)
+            .filter(|c| fault_bits & (1 << c) != 0)
+            .collect();
+        prop_assume!(faults.len() < physical);
+        let eng = FaultyLinearEngine::new(physical, &faults).unwrap();
+        let (got, stats) = eng.closure(&a).unwrap();
+        prop_assert_eq!(got, warshall(&a));
+        prop_assert_eq!(stats.cells, physical - faults.len());
+    }
+
+    #[test]
+    fn engines_agree_over_maxmin(
+        n in 3usize..8,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = DenseMatrix::<MaxMin>::from_fn(n, n, |i, j| {
+            if i != j && rng.gen_bool(0.4) { rng.gen_range(1..50) } else { 0 }
+        });
+        let want = warshall(&a);
+        let (lin, _) = LinearEngine::new(2).closure(&a).unwrap();
+        let (grd, _) = GridEngine::new(2).closure(&a).unwrap();
+        prop_assert_eq!(&lin, &want);
+        prop_assert_eq!(&grd, &want);
+    }
+}

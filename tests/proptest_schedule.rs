@@ -1,0 +1,57 @@
+//! Property-based scheduling: legality and coverage for arbitrary shapes,
+//! plus the earliest-start invariant of Fig. 20.
+
+use proptest::prelude::*;
+use systolic::partition::GsetSchedule;
+use systolic::transform::GGraph;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linear_schedules_legal(n in 2usize..28, m in 1usize..12) {
+        let s = GsetSchedule::linear(n, m);
+        prop_assert_eq!(s.total_gnodes(), n * (n + 1));
+        s.verify_legal().unwrap();
+        // No G-set exceeds the array size.
+        for e in s.entries() {
+            prop_assert!(e.members.len() <= m);
+        }
+    }
+
+    #[test]
+    fn grid_schedules_legal(n in 2usize..24, s in 1usize..6) {
+        let sched = GsetSchedule::grid(n, s);
+        prop_assert_eq!(sched.total_gnodes(), n * (n + 1));
+        sched.verify_legal().unwrap();
+        for e in sched.entries() {
+            prop_assert!(e.members.len() <= s * s);
+        }
+    }
+
+    #[test]
+    fn earliest_start_tags_respect_dependences(n in 2usize..40) {
+        let gg = GGraph::new(n);
+        for id in gg.iter() {
+            let t = gg.earliest_start(id);
+            if let Some(c) = gg.column_dep(id) {
+                prop_assert!(gg.earliest_start(c) < t);
+            }
+            if let Some(p) = gg.pivot_dep(id) {
+                prop_assert!(gg.earliest_start(p) < t);
+            }
+        }
+    }
+
+    #[test]
+    fn h_coordinates_roundtrip(n in 2usize..40) {
+        let gg = GGraph::new(n);
+        for id in gg.iter() {
+            let h = gg.h_of(id);
+            prop_assert_eq!(gg.at_h(id.k, h), Some(id));
+        }
+        // Outside the parallelogram: nothing.
+        prop_assert_eq!(gg.at_h(0, n + 1), None);
+        prop_assert_eq!(gg.at_h(n - 1, n - 2), None);
+    }
+}
