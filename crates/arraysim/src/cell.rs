@@ -177,6 +177,32 @@ impl<S: Semiring> Cell<S> {
         self.tasks.len() + usize::from(self.deferred.is_some())
     }
 
+    /// Describes what this cell is waiting on, for deadlock reports.
+    /// `None` when the cell has no remaining work.
+    pub fn describe_blocked(&self) -> Option<String> {
+        if let Some((dst, _)) = &self.deferred {
+            return Some(format!(
+                "cell {}: deferred head write to {dst:?} blocked",
+                self.id
+            ));
+        }
+        let t = self.tasks.front()?;
+        Some(format!(
+            "cell {}: {:?} (k={}, h={}) stalled at element {}/{}; \
+             col_in={:?} pivot_in={:?} col_out={:?} pivot_out={:?}",
+            self.id,
+            t.kind,
+            t.label.k,
+            t.label.h,
+            self.pos,
+            t.len,
+            t.col_in,
+            t.pivot_in,
+            t.col_out,
+            t.pivot_out
+        ))
+    }
+
     /// Executes at most one stream element of the current task.
     pub fn step(&mut self, fab: &mut Fabric<'_, S>) -> Step {
         // Flush the previous task's trailing head first; it uses the output

@@ -39,6 +39,6 @@ pub mod trace;
 pub use cell::{Task, TaskKind, TaskLabel};
 pub use host::Host;
 pub use sim::{ArraySim, SimError};
-pub use stats::RunStats;
+pub use stats::{PhaseStats, RunStats, BUSY_HISTOGRAM_BUCKETS};
 pub use stream::{Bank, Link, StreamDst, StreamSrc};
 pub use trace::{occupancy_summary, render_gantt, TaskSpan};

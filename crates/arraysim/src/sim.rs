@@ -2,7 +2,7 @@
 
 use crate::cell::{Cell, Fabric, Step, Task};
 use crate::host::Host;
-use crate::stats::RunStats;
+use crate::stats::{PhaseStats, RunStats, BUSY_HISTOGRAM_BUCKETS};
 use crate::stream::{Bank, Link};
 use systolic_semiring::Semiring;
 
@@ -16,6 +16,9 @@ pub enum SimError {
         cycle: u64,
         /// Tasks still pending per cell.
         pending: Vec<usize>,
+        /// One line per blocked cell naming its stalled task and the
+        /// streams it is waiting on.
+        blocked: Vec<String>,
     },
     /// The run exceeded the configured cycle budget.
     Timeout {
@@ -27,8 +30,16 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Deadlock { cycle, pending } => {
-                write!(f, "deadlock at cycle {cycle}; pending tasks {pending:?}")
+            SimError::Deadlock {
+                cycle,
+                pending,
+                blocked,
+            } => {
+                write!(f, "deadlock at cycle {cycle}; pending tasks {pending:?}")?;
+                for line in blocked {
+                    write!(f, "\n  {line}")?;
+                }
+                Ok(())
             }
             SimError::Timeout { max_cycles } => write!(f, "exceeded {max_cycles} cycles"),
         }
@@ -151,8 +162,11 @@ impl<S: Semiring> ArraySim<S> {
     /// [`SimError::Deadlock`] when dataflow can no longer progress,
     /// [`SimError::Timeout`] when the cycle budget is exceeded.
     pub fn run(&mut self) -> Result<RunStats, SimError> {
+        let started = std::time::Instant::now();
         let mut now: u64 = 0;
         let mut quiet_cycles: u64 = 0;
+        let mut first_fire: Option<u64> = None;
+        let mut last_fire: Option<u64> = None;
         let max_link_delay = self.links.iter().map(Link::delay).max().unwrap_or(1);
         let grace = self.host.max_latency().max(max_link_delay) + 2;
 
@@ -169,6 +183,7 @@ impl<S: Semiring> ArraySim<S> {
 
             let injected = self.host.tick(now);
             let mut any_worked = injected;
+            let mut cell_fired = false;
             {
                 let mut fab = Fabric::<S> {
                     links: &mut self.links,
@@ -180,8 +195,13 @@ impl<S: Semiring> ArraySim<S> {
                 for cell in &mut self.cells {
                     if cell.step(&mut fab) == Step::Worked {
                         any_worked = true;
+                        cell_fired = true;
                     }
                 }
+            }
+            if cell_fired {
+                first_fire.get_or_insert(now);
+                last_fire = Some(now);
             }
             for l in &mut self.links {
                 l.tick();
@@ -197,6 +217,11 @@ impl<S: Semiring> ArraySim<S> {
                     return Err(SimError::Deadlock {
                         cycle: now,
                         pending: self.cells.iter().map(Cell::pending).collect(),
+                        blocked: self
+                            .cells
+                            .iter()
+                            .filter_map(Cell::describe_blocked)
+                            .collect(),
                     });
                 }
             }
@@ -206,14 +231,38 @@ impl<S: Semiring> ArraySim<S> {
                 .max(self.banks.iter().map(Bank::resident).sum());
         }
 
-        Ok(self.collect_stats(now))
+        let phases = match (first_fire, last_fire) {
+            (Some(f), Some(l)) => PhaseStats {
+                load_cycles: f,
+                compute_cycles: l - f + 1,
+                drain_cycles: now - l - 1,
+            },
+            _ => PhaseStats {
+                load_cycles: now,
+                compute_cycles: 0,
+                drain_cycles: 0,
+            },
+        };
+        Ok(self.collect_stats(now, phases, started.elapsed().as_nanos() as u64))
     }
 
-    fn collect_stats(&self, cycles: u64) -> RunStats {
+    fn collect_stats(&self, cycles: u64, phases: PhaseStats, wall_nanos: u64) -> RunStats {
+        let busy: Vec<u64> = self.cells.iter().map(|c| c.busy_cycles).collect();
+        let mut busy_histogram = [0u64; BUSY_HISTOGRAM_BUCKETS];
+        for &b in &busy {
+            let frac = if cycles == 0 {
+                0.0
+            } else {
+                b as f64 / cycles as f64
+            };
+            let bucket = ((frac * BUSY_HISTOGRAM_BUCKETS as f64) as usize)
+                .min(BUSY_HISTOGRAM_BUCKETS - 1);
+            busy_histogram[bucket] += 1;
+        }
         RunStats {
             cycles,
             cells: self.cells.len(),
-            busy: self.cells.iter().map(|c| c.busy_cycles).collect(),
+            busy,
             stalls: self.cells.iter().map(|c| c.stall_cycles).collect(),
             useful_ops: self.cells.iter().map(|c| c.useful_ops).sum(),
             host_words: self.host.injected,
@@ -232,6 +281,9 @@ impl<S: Semiring> ArraySim<S> {
             link_words: self.links.iter().map(|l| l.words).sum(),
             output_words: self.outputs.iter().map(Vec::len).sum::<usize>() as u64,
             memory_connections: self.memory_connections,
+            phases,
+            busy_histogram,
+            wall_nanos,
             spans: self.spans(),
         }
     }

@@ -1,7 +1,51 @@
 //! Measured counters of a simulation run and the paper's derived measures.
 
+/// Number of buckets in the per-cell busy-fraction histogram.
+pub const BUSY_HISTOGRAM_BUCKETS: usize = 10;
+
+/// Cycle breakdown of a run into load / compute / drain phases.
+///
+/// The boundaries are the first and last cycle in which any cell fired:
+/// before that the array is filling from the host and banks, after it the
+/// collectors are draining in-flight words.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Cycles before the first cell firing (array fill).
+    pub load_cycles: u64,
+    /// Cycles from the first through the last cell firing, inclusive.
+    pub compute_cycles: u64,
+    /// Cycles after the last cell firing (pipeline drain).
+    pub drain_cycles: u64,
+}
+
+impl PhaseStats {
+    /// Total cycles across the three phases.
+    pub fn total(&self) -> u64 {
+        self.load_cycles + self.compute_cycles + self.drain_cycles
+    }
+
+    /// Fraction of the run spent in the compute phase (0 when empty).
+    pub fn compute_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.compute_cycles as f64 / t as f64
+    }
+
+    fn merge(&mut self, other: &PhaseStats) {
+        self.load_cycles += other.load_cycles;
+        self.compute_cycles += other.compute_cycles;
+        self.drain_cycles += other.drain_cycles;
+    }
+}
+
 /// Counters collected by [`crate::ArraySim::run`].
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Equality ignores [`RunStats::wall_nanos`]: two runs of the same
+/// simulation are bit-identical in every *measured* counter, while host
+/// wall time is inherently noisy.
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Total cycles simulated.
     pub cycles: u64,
@@ -37,8 +81,42 @@ pub struct RunStats {
     /// Number of memory banks attached to the array (the paper's
     /// "connections to external memories": `m+1` linear, `2√m` grid).
     pub memory_connections: usize,
+    /// Load / compute / drain cycle breakdown.
+    pub phases: PhaseStats,
+    /// Histogram of per-cell busy fractions: bucket `b` counts cells with
+    /// `busy/cycles` in `[b/10, (b+1)/10)` (the last bucket is closed).
+    pub busy_histogram: [u64; BUSY_HISTOGRAM_BUCKETS],
+    /// Host wall-clock time of the run in nanoseconds. Excluded from
+    /// equality; merged stats carry the sum of per-run times unless the
+    /// caller overwrites it with an end-to-end measurement.
+    pub wall_nanos: u64,
     /// Task spans (populated only when tracing was enabled on the array).
     pub spans: Vec<crate::trace::TaskSpan>,
+}
+
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except wall_nanos.
+        self.cycles == other.cycles
+            && self.cells == other.cells
+            && self.busy == other.busy
+            && self.stalls == other.stalls
+            && self.useful_ops == other.useful_ops
+            && self.host_words == other.host_words
+            && self.host_first == other.host_first
+            && self.host_last == other.host_last
+            && self.host_peak_resident == other.host_peak_resident
+            && self.bank_writes == other.bank_writes
+            && self.bank_reads == other.bank_reads
+            && self.max_bank_writes_per_cycle == other.max_bank_writes_per_cycle
+            && self.peak_bank_resident == other.peak_bank_resident
+            && self.link_words == other.link_words
+            && self.output_words == other.output_words
+            && self.memory_connections == other.memory_connections
+            && self.phases == other.phases
+            && self.busy_histogram == other.busy_histogram
+            && self.spans == other.spans
+    }
 }
 
 impl RunStats {
@@ -82,6 +160,62 @@ impl RunStats {
     pub fn total_stalls(&self) -> u64 {
         self.stalls.iter().sum()
     }
+
+    /// Folds another run's counters into this one.
+    ///
+    /// The semantics are "aggregate of independent runs": additive
+    /// counters (cycles, words, ops, phases, histograms, wall time) sum,
+    /// per-cell vectors add element-wise (shorter side zero-extended),
+    /// peaks take the maximum, and `host_first`/`host_last` keep the
+    /// min/max of the per-run cycle coordinates. The operation is
+    /// deterministic given a merge order; fold in instance order to make
+    /// batch stats independent of worker count.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.cycles += other.cycles;
+        self.cells = self.cells.max(other.cells);
+        if self.busy.len() < other.busy.len() {
+            self.busy.resize(other.busy.len(), 0);
+        }
+        for (d, s) in self.busy.iter_mut().zip(other.busy.iter()) {
+            *d += *s;
+        }
+        if self.stalls.len() < other.stalls.len() {
+            self.stalls.resize(other.stalls.len(), 0);
+        }
+        for (d, s) in self.stalls.iter_mut().zip(other.stalls.iter()) {
+            *d += *s;
+        }
+        self.useful_ops += other.useful_ops;
+        self.host_words += other.host_words;
+        self.host_first = match (self.host_first, other.host_first) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.host_last = match (self.host_last, other.host_last) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.host_peak_resident = self.host_peak_resident.max(other.host_peak_resident);
+        self.bank_writes += other.bank_writes;
+        self.bank_reads += other.bank_reads;
+        self.max_bank_writes_per_cycle = self
+            .max_bank_writes_per_cycle
+            .max(other.max_bank_writes_per_cycle);
+        self.peak_bank_resident = self.peak_bank_resident.max(other.peak_bank_resident);
+        self.link_words += other.link_words;
+        self.output_words += other.output_words;
+        self.memory_connections = self.memory_connections.max(other.memory_connections);
+        self.phases.merge(&other.phases);
+        for (d, s) in self
+            .busy_histogram
+            .iter_mut()
+            .zip(other.busy_histogram.iter())
+        {
+            *d += *s;
+        }
+        self.wall_nanos += other.wall_nanos;
+        self.spans.extend(other.spans.iter().copied());
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +246,85 @@ mod tests {
         assert_eq!(s.occupancy(), 0.0);
         assert_eq!(s.io_bandwidth(), 0.0);
         assert_eq!(s.throughput(1), 0.0);
+        assert_eq!(s.phases.compute_fraction(), 0.0);
+    }
+
+    #[test]
+    fn equality_ignores_wall_time() {
+        let mut a = RunStats {
+            cycles: 10,
+            wall_nanos: 100,
+            ..Default::default()
+        };
+        let b = RunStats {
+            cycles: 10,
+            wall_nanos: 999_999,
+            ..Default::default()
+        };
+        assert_eq!(a, b);
+        a.cycles = 11;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn merge_is_order_deterministic_and_additive() {
+        let a = RunStats {
+            cycles: 10,
+            cells: 2,
+            busy: vec![5, 3],
+            stalls: vec![1, 0],
+            useful_ops: 7,
+            host_words: 4,
+            host_first: Some(2),
+            host_last: Some(9),
+            peak_bank_resident: 6,
+            phases: PhaseStats {
+                load_cycles: 2,
+                compute_cycles: 7,
+                drain_cycles: 1,
+            },
+            wall_nanos: 50,
+            ..Default::default()
+        };
+        let b = RunStats {
+            cycles: 20,
+            cells: 2,
+            busy: vec![10, 10],
+            stalls: vec![0, 2],
+            useful_ops: 11,
+            host_words: 6,
+            host_first: Some(1),
+            host_last: Some(5),
+            peak_bank_resident: 4,
+            phases: PhaseStats {
+                load_cycles: 3,
+                compute_cycles: 15,
+                drain_cycles: 2,
+            },
+            wall_nanos: 70,
+            ..Default::default()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.cycles, 30);
+        assert_eq!(m.busy, vec![15, 13]);
+        assert_eq!(m.stalls, vec![1, 2]);
+        assert_eq!(m.useful_ops, 18);
+        assert_eq!(m.host_first, Some(1));
+        assert_eq!(m.host_last, Some(9));
+        assert_eq!(m.peak_bank_resident, 6);
+        assert_eq!(m.phases.total(), 30);
+        assert_eq!(m.wall_nanos, 120);
+    }
+
+    #[test]
+    fn phase_totals_and_fractions() {
+        let p = PhaseStats {
+            load_cycles: 5,
+            compute_cycles: 10,
+            drain_cycles: 5,
+        };
+        assert_eq!(p.total(), 20);
+        assert!((p.compute_fraction() - 0.5).abs() < 1e-12);
     }
 }

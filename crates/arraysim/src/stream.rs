@@ -106,6 +106,7 @@ pub struct Bank<E> {
     writes_this_cycle: u64,
     /// Maximum words written in any single cycle.
     pub max_writes_per_cycle: u64,
+    resident: usize,
 }
 
 impl<E> Default for Bank<E> {
@@ -123,6 +124,7 @@ impl<E> Bank<E> {
             reads: 0,
             writes_this_cycle: 0,
             max_writes_per_cycle: 0,
+            resident: 0,
         }
     }
 
@@ -131,11 +133,13 @@ impl<E> Bank<E> {
         self.fifos.entry(key).or_default().push_back((now + 1, e));
         self.writes += 1;
         self.writes_this_cycle += 1;
+        self.resident += 1;
     }
 
     /// Pre-loads a word readable immediately (initial matrix residence).
     pub fn preload(&mut self, key: u64, e: E) {
         self.fifos.entry(key).or_default().push_back((0, e));
+        self.resident += 1;
     }
 
     /// True when stream `key` has a word readable at cycle `now`.
@@ -151,6 +155,13 @@ impl<E> Bank<E> {
         let fifo = self.fifos.get_mut(&key)?;
         if fifo.front().is_some_and(|(ready, _)| *ready <= now) {
             self.reads += 1;
+            self.resident -= 1;
+            if fifo.len() == 1 {
+                // Drop drained streams so the map doesn't grow with every
+                // stream key ever used (large batches use thousands).
+                let mut drained = self.fifos.remove(&key)?;
+                return drained.pop_front().map(|(_, e)| e);
+            }
             fifo.pop_front().map(|(_, e)| e)
         } else {
             None
@@ -164,9 +175,9 @@ impl<E> Bank<E> {
     }
 
     /// Number of words currently resident (peak external-memory footprint is
-    /// tracked by the simulator).
+    /// tracked by the simulator). O(1): the simulator polls this every cycle.
     pub fn resident(&self) -> usize {
-        self.fifos.values().map(VecDeque::len).sum()
+        self.resident
     }
 }
 

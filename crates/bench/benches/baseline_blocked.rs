@@ -1,35 +1,31 @@
 //! E15 — the Núñez–Torralba blocked decomposition \[22\] vs the plain and
 //! blocked reference kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use systolic_baselines::NunezEngine;
 use systolic_closure::gnp;
 use systolic_semiring::{warshall, warshall_blocked, Bool, DenseMatrix};
+use systolic_util::{black_box, Bench};
 
 fn adj(n: usize) -> DenseMatrix<Bool> {
     gnp(n, 0.08, 17).adjacency_matrix()
 }
 
-fn bench_blocked(c: &mut Criterion) {
-    let mut g = c.benchmark_group("baseline_blocked");
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let bench = Bench::new("baseline_blocked")
+        .samples(10)
+        .warmup(Duration::from_millis(300));
     for n in [32usize, 64] {
         let a = adj(n);
-        g.bench_with_input(BenchmarkId::new("warshall", n), &a, |b, a| {
-            b.iter(|| black_box(warshall(a)))
+        bench.bench(format!("warshall/{n}"), || {
+            black_box(warshall(&a));
         });
-        g.bench_with_input(BenchmarkId::new("warshall_blocked_b8", n), &a, |b, a| {
-            b.iter(|| black_box(warshall_blocked(a, 8)))
+        bench.bench(format!("warshall_blocked_b8/{n}"), || {
+            black_box(warshall_blocked(&a, 8));
         });
-        g.bench_with_input(BenchmarkId::new("nunez_b8", n), &a, |b, a| {
-            let eng = NunezEngine::new(8);
-            b.iter(|| black_box(eng.closure(a)))
+        let eng = NunezEngine::new(8);
+        bench.bench(format!("nunez_b8/{n}"), || {
+            black_box(eng.closure(&a));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_blocked);
-criterion_main!(benches);

@@ -2,30 +2,25 @@
 //! one problem instance (the cycle-level results live in EXPERIMENTS.md;
 //! this measures the simulator's wall-clock cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use systolic_closure::gnp;
 use systolic_partition::{ClosureEngine, FixedArrayEngine, FixedLinearEngine};
 use systolic_semiring::Bool;
+use systolic_util::{black_box, Bench};
 
-fn bench_fixed(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fixed_array");
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
-    g.sample_size(10);
+fn main() {
+    let bench = Bench::new("fixed_array")
+        .samples(10)
+        .warmup(Duration::from_millis(300));
     for n in [8usize, 16, 24] {
         let a = gnp(n, 0.15, 3).adjacency_matrix();
-        g.bench_with_input(BenchmarkId::new("fig17_full", n), &a, |b, a| {
-            let eng = FixedArrayEngine::new();
-            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        let full = FixedArrayEngine::new();
+        bench.bench(format!("fig17_full/{n}"), || {
+            black_box(ClosureEngine::<Bool>::closure(&full, &a).unwrap());
         });
-        g.bench_with_input(BenchmarkId::new("linear_collapsed", n), &a, |b, a| {
-            let eng = FixedLinearEngine::new();
-            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        let linear = FixedLinearEngine::new();
+        bench.bench(format!("linear_collapsed/{n}"), || {
+            black_box(ClosureEngine::<Bool>::closure(&linear, &a).unwrap());
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fixed);
-criterion_main!(benches);

@@ -1,32 +1,27 @@
 //! E09 — Fig. 19's two-dimensional partitioned array: simulation cost
 //! across grid sides, compared with the equal-cell linear array.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use systolic_closure::gnp;
 use systolic_partition::{ClosureEngine, GridEngine, LinearEngine};
 use systolic_semiring::Bool;
+use systolic_util::{black_box, Bench};
 
-fn bench_grid(c: &mut Criterion) {
-    let mut g = c.benchmark_group("grid_partitioned");
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
-    g.sample_size(10);
+fn main() {
+    let bench = Bench::new("grid_partitioned")
+        .samples(10)
+        .warmup(Duration::from_millis(300));
     let n = 24;
     let a = gnp(n, 0.15, 13).adjacency_matrix();
     for s in [2usize, 3, 4] {
-        g.bench_with_input(BenchmarkId::new("grid_side", s), &a, |b, a| {
-            let eng = GridEngine::new(s);
-            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        let grid = GridEngine::new(s);
+        bench.bench(format!("grid_side/{s}"), || {
+            black_box(ClosureEngine::<Bool>::closure(&grid, &a).unwrap());
         });
         // Equal-cell linear array for the §4.2 comparison.
-        g.bench_with_input(BenchmarkId::new("linear_same_cells", s * s), &a, |b, a| {
-            let eng = LinearEngine::new(s * s);
-            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        let lin = LinearEngine::new(s * s);
+        bench.bench(format!("linear_same_cells/{}", s * s), || {
+            black_box(ClosureEngine::<Bool>::closure(&lin, &a).unwrap());
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_grid);
-criterion_main!(benches);

@@ -2,35 +2,30 @@
 //! counts `m` for a fixed problem size (the measured-cycle tables live in
 //! EXPERIMENTS.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use systolic_closure::gnp;
 use systolic_partition::{ClosureEngine, LinearEngine};
 use systolic_semiring::Bool;
+use systolic_util::{black_box, Bench};
 
-fn bench_linear(c: &mut Criterion) {
-    let mut g = c.benchmark_group("linear_partitioned");
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
-    g.sample_size(10);
+fn main() {
+    let bench = Bench::new("linear_partitioned")
+        .samples(10)
+        .warmup(Duration::from_millis(300));
     let n = 24;
     let a = gnp(n, 0.15, 11).adjacency_matrix();
     for m in [2usize, 4, 8, 12] {
-        g.bench_with_input(BenchmarkId::new("cells", m), &a, |b, a| {
-            let eng = LinearEngine::new(m);
-            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        let eng = LinearEngine::new(m);
+        bench.bench(format!("cells/{m}"), || {
+            black_box(ClosureEngine::<Bool>::closure(&eng, &a).unwrap());
         });
     }
     // Problem-size sweep at fixed m, the T = m/(n²(n+1)) scaling.
     for n in [12usize, 24, 36] {
         let a = gnp(n, 0.15, 12).adjacency_matrix();
-        g.bench_with_input(BenchmarkId::new("n_sweep_m4", n), &a, |b, a| {
-            let eng = LinearEngine::new(4);
-            b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, a).unwrap()))
+        let eng = LinearEngine::new(4);
+        bench.bench(format!("n_sweep_m4/{n}"), || {
+            black_box(ClosureEngine::<Bool>::closure(&eng, &a).unwrap());
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_linear);
-criterion_main!(benches);

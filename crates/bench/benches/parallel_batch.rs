@@ -1,0 +1,37 @@
+//! Host-side batch parallelism: serial chained batch vs `ParallelEngine`
+//! sharding the same batch across engine replicas on a worker pool.
+//!
+//! Prints the measured speedup explicitly; the 4-thread row on a
+//! 32-instance n=64 Boolean batch is the headline number in
+//! EXPERIMENTS.md.
+
+use std::time::Duration;
+use systolic_bench::parallel_batch_input;
+use systolic_partition::{ClosureEngine, LinearEngine, ParallelEngine};
+use systolic_util::{black_box, Bench};
+
+fn main() {
+    let instances = 32;
+    let n = 64;
+    let cells = 8;
+    let batch = parallel_batch_input(instances, n, 0x5eed);
+    let bench = Bench::new("parallel_batch")
+        .samples(5)
+        .warmup(Duration::from_millis(300));
+
+    let serial = LinearEngine::new(cells);
+    let t_serial = bench.bench(format!("serial/{instances}x{n}"), || {
+        black_box(serial.closure_many(&batch).unwrap());
+    });
+
+    for threads in [2usize, 4, 8] {
+        let par = ParallelEngine::new(LinearEngine::new(cells), threads);
+        let t = bench.bench(format!("pool{threads}/{instances}x{n}"), || {
+            black_box(par.closure_many(&batch).unwrap());
+        });
+        println!(
+            "  speedup over serial at {threads} threads: {:.2}x",
+            t_serial.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+}

@@ -2,51 +2,43 @@
 //! vs repeated squaring. Establishes the software baseline the simulated
 //! arrays' operation counts are compared against (DESIGN.md §3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use systolic_closure::gnp;
 use systolic_semiring::{
     closure_by_squaring, warshall, warshall_blocked, BitMatrix, Bool, DenseMatrix,
 };
+use systolic_util::{black_box, Bench};
 
 fn adj(n: usize, seed: u64) -> DenseMatrix<Bool> {
     gnp(n, 0.05, seed).adjacency_matrix()
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reference_kernels");
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let bench = Bench::new("reference_kernels")
+        .samples(10)
+        .warmup(Duration::from_millis(300));
     for n in [32usize, 64, 128] {
         let a = adj(n, 7);
-        g.bench_with_input(BenchmarkId::new("warshall_scalar", n), &a, |b, a| {
-            b.iter(|| black_box(warshall(a)))
+        bench.bench(format!("warshall_scalar/{n}"), || {
+            black_box(warshall(&a));
         });
-        g.bench_with_input(BenchmarkId::new("warshall_blocked_b16", n), &a, |b, a| {
-            b.iter(|| black_box(warshall_blocked(a, 16)))
+        bench.bench(format!("warshall_blocked_b16/{n}"), || {
+            black_box(warshall_blocked(&a, 16));
         });
-        g.bench_with_input(BenchmarkId::new("closure_by_squaring", n), &a, |b, a| {
-            b.iter(|| black_box(closure_by_squaring(a)))
+        bench.bench(format!("closure_by_squaring/{n}"), || {
+            black_box(closure_by_squaring(&a));
         });
         let bits = BitMatrix::from_dense(&a);
-        g.bench_with_input(
-            BenchmarkId::new("warshall_bitparallel", n),
-            &bits,
-            |b, m| b.iter(|| black_box(m.transitive_closure())),
-        );
+        bench.bench(format!("warshall_bitparallel/{n}"), || {
+            black_box(bits.transitive_closure());
+        });
     }
     // Thread scaling of the bit-parallel kernel at a size where the
-    // per-pivot spawn cost is amortized.
+    // per-pivot dispatch cost is amortized.
     let big = BitMatrix::from_dense(&adj(768, 9));
     for threads in [1usize, 2, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("warshall_bitparallel_threads", threads),
-            &big,
-            |b, m| b.iter(|| black_box(m.transitive_closure_parallel(threads))),
-        );
+        bench.bench(format!("warshall_bitparallel_threads/{threads}"), || {
+            black_box(big.transitive_closure_parallel(threads));
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,29 +1,23 @@
 //! E10 — G-set schedule construction and legality verification at scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use systolic_partition::GsetSchedule;
+use systolic_util::{black_box, Bench};
 
-fn bench_schedules(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedules");
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let bench = Bench::new("schedules")
+        .samples(10)
+        .warmup(Duration::from_millis(300));
     for n in [32usize, 128, 512] {
-        g.bench_with_input(BenchmarkId::new("linear_build_m8", n), &n, |b, &n| {
-            b.iter(|| black_box(GsetSchedule::linear(n, 8)))
+        bench.bench(format!("linear_build_m8/{n}"), || {
+            black_box(GsetSchedule::linear(n, 8));
         });
-        g.bench_with_input(BenchmarkId::new("grid_build_s4", n), &n, |b, &n| {
-            b.iter(|| black_box(GsetSchedule::grid(n, 4)))
+        bench.bench(format!("grid_build_s4/{n}"), || {
+            black_box(GsetSchedule::grid(n, 4));
         });
         let sched = GsetSchedule::linear(n, 8);
-        g.bench_with_input(BenchmarkId::new("verify_legal_m8", n), &sched, |b, s| {
-            b.iter(|| {
-                s.verify_legal().unwrap();
-            })
+        bench.bench(format!("verify_legal_m8/{n}"), || {
+            sched.verify_legal().unwrap();
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_schedules);
-criterion_main!(benches);

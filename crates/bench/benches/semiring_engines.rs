@@ -1,17 +1,16 @@
 //! E17 — semiring generality: the same partitioned array across the four
 //! path semirings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use systolic_closure::random_weighted;
 use systolic_partition::{ClosureEngine, LinearEngine};
 use systolic_semiring::{reflexive, Bool, DenseMatrix, MaxMin, MinMax, MinPlus};
+use systolic_util::{black_box, Bench};
 
-fn bench_semirings(c: &mut Criterion) {
-    let mut g = c.benchmark_group("semiring_engines");
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
-    g.sample_size(10);
+fn main() {
+    let bench = Bench::new("semiring_engines")
+        .samples(10)
+        .warmup(Duration::from_millis(300));
     let n = 16;
     let w = random_weighted(n, 0.3, 1, 100, 23);
     let eng = LinearEngine::new(4);
@@ -19,28 +18,24 @@ fn bench_semirings(c: &mut Criterion) {
     let boolm: DenseMatrix<Bool> = DenseMatrix::from_fn(n, n, |i, j| {
         *w.distance_matrix().get(i, j) != u64::MAX || i == j
     });
-    g.bench_function(BenchmarkId::new("boolean", n), |b| {
-        b.iter(|| black_box(ClosureEngine::<Bool>::closure(&eng, &boolm).unwrap()))
+    bench.bench(format!("boolean/{n}"), || {
+        black_box(ClosureEngine::<Bool>::closure(&eng, &boolm).unwrap());
     });
     let dist = w.distance_matrix();
-    g.bench_function(BenchmarkId::new("min_plus", n), |b| {
-        b.iter(|| black_box(ClosureEngine::<MinPlus>::closure(&eng, &dist).unwrap()))
+    bench.bench(format!("min_plus/{n}"), || {
+        black_box(ClosureEngine::<MinPlus>::closure(&eng, &dist).unwrap());
     });
     let cap = w.capacity_matrix();
-    g.bench_function(BenchmarkId::new("max_min", n), |b| {
-        b.iter(|| black_box(ClosureEngine::<MaxMin>::closure(&eng, &cap).unwrap()))
+    bench.bench(format!("max_min/{n}"), || {
+        black_box(ClosureEngine::<MaxMin>::closure(&eng, &cap).unwrap());
     });
     let mm = w.minimax_matrix();
-    g.bench_function(BenchmarkId::new("min_max", n), |b| {
-        b.iter(|| black_box(ClosureEngine::<MinMax>::closure(&eng, &mm).unwrap()))
+    bench.bench(format!("min_max/{n}"), || {
+        black_box(ClosureEngine::<MinMax>::closure(&eng, &mm).unwrap());
     });
     // Software reference for scale.
     let r = reflexive(&dist);
-    g.bench_function(BenchmarkId::new("reference_min_plus", n), |b| {
-        b.iter(|| black_box(systolic_semiring::warshall(&r)))
+    bench.bench(format!("reference_min_plus/{n}"), || {
+        black_box(systolic_semiring::warshall(&r));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_semirings);
-criterion_main!(benches);

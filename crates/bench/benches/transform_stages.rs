@@ -1,34 +1,30 @@
 //! E03–E05 — transformation-pass cost: building each stage graph and
 //! evaluating the G-graph stream semantics.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use systolic_closure::gnp;
 use systolic_semiring::{reflexive, Bool};
 use systolic_transform::{pipelined, regular, unidirectional, GGraph};
+use systolic_util::{black_box, Bench};
 
-fn bench_stages(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transform_stages");
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let bench = Bench::new("transform_stages")
+        .samples(10)
+        .warmup(Duration::from_millis(300));
     for n in [8usize, 16, 24] {
-        g.bench_with_input(BenchmarkId::new("build_pipelined", n), &n, |b, &n| {
-            b.iter(|| black_box(pipelined(n)))
+        bench.bench(format!("build_pipelined/{n}"), || {
+            black_box(pipelined(n));
         });
-        g.bench_with_input(BenchmarkId::new("build_unidirectional", n), &n, |b, &n| {
-            b.iter(|| black_box(unidirectional(n)))
+        bench.bench(format!("build_unidirectional/{n}"), || {
+            black_box(unidirectional(n));
         });
-        g.bench_with_input(BenchmarkId::new("build_regular", n), &n, |b, &n| {
-            b.iter(|| black_box(regular(n)))
+        bench.bench(format!("build_regular/{n}"), || {
+            black_box(regular(n));
         });
         let a = reflexive(&gnp(n, 0.2, 5).adjacency_matrix());
-        g.bench_with_input(BenchmarkId::new("ggraph_eval", n), &a, |b, a| {
-            let gg = GGraph::new(a.rows());
-            b.iter(|| black_box(gg.eval::<Bool>(a)))
+        let gg = GGraph::new(a.rows());
+        bench.bench(format!("ggraph_eval/{n}"), || {
+            black_box(gg.eval::<Bool>(&a));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);

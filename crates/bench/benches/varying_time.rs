@@ -1,29 +1,25 @@
 //! E13 — Fig. 22 varying-computation-time analysis cost across problem
 //! sizes and mappings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use systolic_metrics::{mapping_utilization, MappingKind};
 use systolic_transform::lu_time_grid;
+use systolic_util::{black_box, Bench};
 
-fn bench_varying(c: &mut Criterion) {
-    let mut g = c.benchmark_group("varying_time");
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let bench = Bench::new("varying_time")
+        .samples(10)
+        .warmup(Duration::from_millis(300));
     for n in [64usize, 256, 1024] {
         let grid = lu_time_grid(n);
-        g.bench_with_input(BenchmarkId::new("linear", n), &grid, |b, grid| {
-            b.iter(|| black_box(mapping_utilization(grid, 16, MappingKind::Linear)))
+        bench.bench(format!("linear/{n}"), || {
+            black_box(mapping_utilization(&grid, 16, MappingKind::Linear));
         });
-        g.bench_with_input(BenchmarkId::new("linear_packed", n), &grid, |b, grid| {
-            b.iter(|| black_box(mapping_utilization(grid, 16, MappingKind::LinearPacked)))
+        bench.bench(format!("linear_packed/{n}"), || {
+            black_box(mapping_utilization(&grid, 16, MappingKind::LinearPacked));
         });
-        g.bench_with_input(BenchmarkId::new("two_dimensional", n), &grid, |b, grid| {
-            b.iter(|| black_box(mapping_utilization(grid, 16, MappingKind::TwoDimensional)))
+        bench.bench(format!("two_dimensional/{n}"), || {
+            black_box(mapping_utilization(&grid, 16, MappingKind::TwoDimensional));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_varying);
-criterion_main!(benches);

@@ -21,6 +21,7 @@ use systolic_metrics::{
 };
 use systolic_partition::{
     ClosureEngine, FixedArrayEngine, FixedLinearEngine, GridEngine, GsetSchedule, LinearEngine,
+    ParallelEngine,
 };
 use systolic_semiring::{warshall, Bool, DenseMatrix};
 use systolic_transform::{lu_time_grid, pipelined, regular, unidirectional, validate_stage};
@@ -33,6 +34,14 @@ pub const CHAIN: usize = 6;
 fn adj(n: usize, seed: u64) -> DenseMatrix<Bool> {
     let g = gnp(n, 0.15, seed);
     g.adjacency_matrix()
+}
+
+/// Deterministic Boolean batch shared by the `parallel_batch` bench and
+/// E21: `instances` random `n × n` adjacency matrices.
+pub fn parallel_batch_input(instances: usize, n: usize, seed: u64) -> Vec<DenseMatrix<Bool>> {
+    (0..instances)
+        .map(|i| adj(n, seed.wrapping_add(i as u64)))
+        .collect()
 }
 
 fn rows_table(out: &mut String, rows: &[MetricRow]) {
@@ -685,6 +694,46 @@ pub fn e20() -> String {
     out
 }
 
+/// E21 — host-side batch parallelism: `ParallelEngine` sharding a batch
+/// across engine replicas is bit-identical to the serial chained batch for
+/// every thread count, with thread-count-invariant merged counters.
+pub fn e21() -> String {
+    let mut out = String::from("## E21 — host-side batch parallelism (ParallelEngine)\n\n");
+    let batch = parallel_batch_input(8, N_SIM, 77);
+    let serial = LinearEngine::new(8);
+    let expected: Vec<_> = batch
+        .iter()
+        .map(|a| serial.closure(a).unwrap().0)
+        .collect();
+    let base = ParallelEngine::new(LinearEngine::new(8), 1)
+        .closure_many(&batch)
+        .unwrap()
+        .1;
+    let _ = writeln!(
+        out,
+        "| threads | results == serial | merged cycles | merged useful ops | stats == 1-thread |"
+    );
+    let _ = writeln!(out, "|---:|---|---:|---:|---|");
+    for threads in [1usize, 2, 4] {
+        let par = ParallelEngine::new(LinearEngine::new(8), threads);
+        let (got, stats) = par.closure_many(&batch).unwrap();
+        let identical = got == expected;
+        let invariant = stats == base;
+        let _ = writeln!(
+            out,
+            "| {threads} | {identical} | {} | {} | {invariant} |",
+            stats.cycles, stats.useful_ops
+        );
+        assert!(identical, "parallel results diverged at {threads} threads");
+        assert!(invariant, "merged stats diverged at {threads} threads");
+    }
+    let _ = writeln!(
+        out,
+        "\nEach instance runs the exact single-instance simulation on a pool replica; merged stats fold in instance order, so only wall time depends on the thread count (see the `parallel_batch` bench for the speedup).\n"
+    );
+    out
+}
+
 /// Runs every experiment, returning the full Markdown report body.
 pub fn run_all() -> String {
     let mut out = String::new();
@@ -709,6 +758,7 @@ pub fn run_all() -> String {
         e18,
         e19,
         e20,
+        e21,
     ]
     .iter()
     .enumerate()

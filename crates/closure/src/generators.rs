@@ -1,8 +1,7 @@
 //! Graph generators for examples, tests and workloads.
 
 use crate::graph::{DiGraph, WeightedDiGraph};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use systolic_util::Rng;
 
 /// Named deterministic graph families.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -69,11 +68,11 @@ pub fn star(n: usize) -> DiGraph {
 
 /// Erdős–Rényi `G(n, p)` digraph (no self-loops), seeded.
 pub fn gnp(n: usize, p: f64, seed: u64) -> DiGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = DiGraph::new(n);
     for u in 0..n {
         for v in 0..n {
-            if u != v && rng.gen_bool(p.clamp(0.0, 1.0)) {
+            if u != v && rng.gen_bool(p) {
                 g.add_edge(u, v);
             }
         }
@@ -83,11 +82,11 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> DiGraph {
 
 /// Random DAG: edges only from lower to higher vertex indices, density `p`.
 pub fn random_dag(n: usize, p: f64, seed: u64) -> DiGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = DiGraph::new(n);
     for u in 0..n {
         for v in u + 1..n {
-            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            if rng.gen_bool(p) {
                 g.add_edge(u, v);
             }
         }
@@ -98,12 +97,12 @@ pub fn random_dag(n: usize, p: f64, seed: u64) -> DiGraph {
 /// Random weighted digraph with weights in `[lo, hi]`.
 pub fn random_weighted(n: usize, p: f64, lo: u64, hi: u64, seed: u64) -> WeightedDiGraph {
     assert!(lo <= hi);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = WeightedDiGraph::new(n);
     for u in 0..n {
         for v in 0..n {
-            if u != v && rng.gen_bool(p.clamp(0.0, 1.0)) {
-                g.add_edge(u, v, rng.gen_range(lo..=hi));
+            if u != v && rng.gen_bool(p) {
+                g.add_edge(u, v, rng.gen_range_u64(lo, hi));
             }
         }
     }

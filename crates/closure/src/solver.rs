@@ -50,12 +50,31 @@ pub struct SolveReport {
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ClosureSolver {
     backend: Backend,
+    threads: usize,
 }
 
 impl ClosureSolver {
-    /// Creates a solver with the given backend.
+    /// Creates a solver with the given backend, running single-threaded.
     pub fn new(backend: Backend) -> Self {
-        Self { backend }
+        Self {
+            backend,
+            threads: 1,
+        }
+    }
+
+    /// Sets the host thread count. Only the [`Backend::BitParallel`]
+    /// kernel exploits host threads for a single closure; the simulated
+    /// arrays are cycle-deterministic and unaffected. Zero is treated
+    /// as one.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured host thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The configured backend.
@@ -114,11 +133,19 @@ impl ClosureSolver {
     pub fn transitive_closure(&self, g: &DiGraph) -> Result<Reachability, EngineError> {
         // The bit-parallel backend short-circuits to the u64-packed kernel.
         if self.backend == Backend::BitParallel {
-            let bits = BitMatrix::from_dense(&g.adjacency_matrix()).transitive_closure();
-            return Ok(Reachability::from_matrix(&bits.to_dense()));
+            return Ok(Reachability::from_matrix(&self.bit_closure(g).to_dense()));
         }
         let (m, _) = self.closure_matrix(&g.adjacency_matrix())?;
         Ok(Reachability::from_matrix(&m))
+    }
+
+    fn bit_closure(&self, g: &DiGraph) -> BitMatrix {
+        let bits = BitMatrix::from_dense(&g.adjacency_matrix());
+        if self.threads > 1 {
+            bits.transitive_closure_parallel(self.threads)
+        } else {
+            bits.transitive_closure()
+        }
     }
 
     /// Transitive closure plus the run report.
@@ -129,6 +156,21 @@ impl ClosureSolver {
         &self,
         g: &DiGraph,
     ) -> Result<(Reachability, SolveReport), EngineError> {
+        if self.backend == Backend::BitParallel {
+            let reach = Reachability::from_matrix(&self.bit_closure(g).to_dense());
+            let backend = if self.threads > 1 {
+                format!("software-bitparallel×{}", self.threads)
+            } else {
+                "software-bitparallel".into()
+            };
+            return Ok((
+                reach,
+                SolveReport {
+                    stats: RunStats::default(),
+                    backend,
+                },
+            ));
+        }
         let (m, rep) = self.closure_matrix(&g.adjacency_matrix())?;
         Ok((Reachability::from_matrix(&m), rep))
     }
@@ -214,6 +256,20 @@ mod tests {
             reference.minimax_paths(&g).unwrap(),
             array.minimax_paths(&g).unwrap()
         );
+    }
+
+    #[test]
+    fn threaded_bitparallel_matches_reference() {
+        let g = gnp(33, 0.1, 4);
+        let want = ClosureSolver::new(Backend::Reference)
+            .transitive_closure(&g)
+            .unwrap();
+        let solver = ClosureSolver::new(Backend::BitParallel).with_threads(4);
+        assert_eq!(solver.transitive_closure(&g).unwrap(), want);
+        let (reach, rep) = solver.transitive_closure_with_report(&g).unwrap();
+        assert_eq!(reach, want);
+        assert_eq!(rep.backend, "software-bitparallel×4");
+        assert_eq!(ClosureSolver::new(Backend::Reference).threads(), 1);
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Model-vs-measured comparison rows.
 
 use crate::models::{GridModel, LinearModel};
-use serde::Serialize;
 use systolic_arraysim::RunStats;
 
 /// One paper-value vs measured-value row of an experiment table.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MetricRow {
     /// Metric name.
     pub metric: String,

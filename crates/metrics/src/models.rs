@@ -1,9 +1,8 @@
 //! The paper's closed-form performance models (§3.2, §4.2).
 
-use serde::Serialize;
 
 /// Linear partitioned array (Fig. 18) for problem size `n` on `m` cells.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct LinearModel {
     /// Problem size.
     pub n: usize,
@@ -56,7 +55,7 @@ impl LinearModel {
 }
 
 /// Two-dimensional partitioned array (Fig. 19), `√m × √m` cells.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct GridModel {
     /// Problem size.
     pub n: usize,
@@ -104,7 +103,7 @@ impl GridModel {
 }
 
 /// The Fig. 17 fixed-size array (`n × (n+1)` cells).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct FixedModel {
     /// Problem size.
     pub n: usize,
@@ -130,7 +129,7 @@ impl FixedModel {
 }
 
 /// §3.2's linear fixed-size array (`n` cells, one G-graph row each).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct FixedLinearModel {
     /// Problem size.
     pub n: usize,

@@ -1,11 +1,10 @@
 //! §4.2's linear-vs-2-D trade-off, as a sweep table (E12).
 
 use crate::models::{GridModel, LinearModel};
-use serde::Serialize;
 use systolic_partition::GsetSchedule;
 
 /// One `(n, m)` design point comparing the two partitioned structures.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TradeoffRow {
     /// Problem size.
     pub n: usize,

@@ -7,11 +7,10 @@
 //! fully utilized. [`mapping_utilization`] quantifies both mappings for any
 //! [`systolic_transform::TimeGrid`].
 
-use serde::Serialize;
 use systolic_transform::TimeGrid;
 
 /// Which array shape a G-set mapping targets.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum MappingKind {
     /// G-sets of `m` G-nodes taken along an equal-time path, one path at a
     /// time (Fig. 22b): zero time mixing, but each path's tail leaves a
@@ -26,7 +25,7 @@ pub enum MappingKind {
 }
 
 /// Utilization report for one mapping of a varying-time G-graph.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VaryingReport {
     /// Mapping evaluated.
     pub kind: MappingKind,

@@ -60,18 +60,38 @@ pub trait ClosureEngine<S: PathSemiring> {
     }
 }
 
-/// Validates a batch: all square, same size `n ≥ 2`. Returns `n` and the
-/// reflexive copies the arrays consume (the paper's `a_ii = 1` convention).
-pub(crate) fn prepare_batch<S: PathSemiring>(
+/// Largest batch the 16-bit instance field of [`stream_key`] can address.
+pub(crate) const MAX_BATCH: usize = 1 << 16;
+
+/// Largest problem size the 24-bit `k`/`h` fields of [`stream_key`] can
+/// address (`h` ranges up to `2n` in the skewed schedules).
+pub(crate) const MAX_N: usize = (1 << 23) - 1;
+
+/// Validates a batch: non-empty, within the stream-key addressing limits,
+/// all square and of the same size `n ≥ 2`. Returns `n`.
+pub(crate) fn validate_batch<S: PathSemiring>(
     mats: &[DenseMatrix<S>],
-) -> Result<(usize, Vec<DenseMatrix<S>>), EngineError> {
+) -> Result<usize, EngineError> {
     let Some(first) = mats.first() else {
         return Err(EngineError::BadInput("empty batch".into()));
     };
+    if mats.len() > MAX_BATCH {
+        return Err(EngineError::BadInput(format!(
+            "batch of {} instances exceeds the {MAX_BATCH} the 16-bit \
+             stream-key instance field can address",
+            mats.len()
+        )));
+    }
     let n = first.rows();
     if n < 2 {
         return Err(EngineError::BadInput(format!(
             "problem size n={n} must be ≥ 2"
+        )));
+    }
+    if n > MAX_N {
+        return Err(EngineError::BadInput(format!(
+            "problem size n={n} exceeds the {MAX_N} the 24-bit stream-key \
+             coordinate fields can address"
         )));
     }
     for (idx, a) in mats.iter().enumerate() {
@@ -83,13 +103,28 @@ pub(crate) fn prepare_batch<S: PathSemiring>(
             )));
         }
     }
+    Ok(n)
+}
+
+/// Validates a batch and returns `n` plus the reflexive copies the arrays
+/// consume (the paper's `a_ii = 1` convention).
+pub(crate) fn prepare_batch<S: PathSemiring>(
+    mats: &[DenseMatrix<S>],
+) -> Result<(usize, Vec<DenseMatrix<S>>), EngineError> {
+    let n = validate_batch(mats)?;
     Ok((n, mats.iter().map(reflexive).collect()))
 }
 
 /// Packs `(instance, k, h)` into a unique stream key.
+///
+/// The field widths are enforced by [`validate_batch`] before any engine
+/// builds tasks, so in-range arguments are an invariant here, not a hope.
 #[inline]
 pub(crate) fn stream_key(inst: usize, k: usize, h: usize) -> u64 {
-    debug_assert!(inst < (1 << 16) && k < (1 << 24) && h < (1 << 24));
+    debug_assert!(
+        inst < MAX_BATCH && k < (1 << 24) && h < (1 << 24),
+        "stream_key out of range: inst={inst} k={k} h={h}"
+    );
     ((inst as u64) << 48) | ((k as u64) << 24) | h as u64
 }
 
@@ -120,6 +155,18 @@ mod tests {
         let (n, v) = prepare_batch::<Bool>(&[a]).unwrap();
         assert_eq!(n, 3);
         assert!(*v[0].get(1, 1));
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_at_the_boundary() {
+        let a = DenseMatrix::<Bool>::zeros(2, 2);
+        let at_limit: Vec<_> = vec![a.clone(); MAX_BATCH];
+        assert!(validate_batch::<Bool>(&at_limit).is_ok());
+        let over: Vec<_> = vec![a; MAX_BATCH + 1];
+        match validate_batch::<Bool>(&over) {
+            Err(EngineError::BadInput(msg)) => assert!(msg.contains("16-bit"), "{msg}"),
+            other => panic!("expected BadInput, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! [`schedule`] exposes the G-set schedule itself (Fig. 20) with a
 //! dependence-legality checker, used by experiment E10.
 //!
+//! [`ParallelEngine`] wraps any of the engines above and shards a batch of
+//! instances across engine replicas on a persistent host-side worker pool:
+//! bit-identical results for any thread count, merged stats folded in
+//! instance order.
+//!
 //! ```
 //! use systolic_partition::{ClosureEngine, LinearEngine};
 //! use systolic_semiring::{warshall, Bool, DenseMatrix};
@@ -41,6 +46,7 @@ pub mod fault;
 pub mod fixed;
 pub mod grid;
 pub mod linear;
+pub mod parallel;
 pub mod schedule;
 
 pub use engine::{ClosureEngine, EngineError};
@@ -48,4 +54,5 @@ pub use fault::{grid_fault_capacity, linear_fault_capacity, FaultyLinearEngine};
 pub use fixed::{FixedArrayEngine, FixedLinearEngine};
 pub use grid::GridEngine;
 pub use linear::LinearEngine;
+pub use parallel::ParallelEngine;
 pub use schedule::{GsetSchedule, ScheduleEntry};

@@ -8,6 +8,9 @@
 use crate::instances::Bool;
 use crate::matrix::DenseMatrix;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use systolic_util::WorkerPool;
 
 const WORD_BITS: usize = 64;
 
@@ -132,45 +135,82 @@ impl BitMatrix {
         m
     }
 
-    /// Multi-threaded transitive closure: each pivot iteration snapshots
-    /// the pivot row and updates disjoint row bands on `threads` scoped
-    /// workers. The update of row `k` itself is a no-op (`row |= row`), so
-    /// no row needs special-casing. Worthwhile for `n` in the thousands;
-    /// for small matrices the per-pivot spawn cost dominates and
-    /// [`BitMatrix::transitive_closure`] is faster.
+    /// Multi-threaded transitive closure on a freshly spawned pool of
+    /// `threads` workers.
+    ///
+    /// Convenience wrapper over [`BitMatrix::transitive_closure_with_pool`];
+    /// callers running many closures should build one [`WorkerPool`] and
+    /// reuse it instead of paying thread spawn/join per call.
     pub fn transitive_closure_parallel(&self, threads: usize) -> Self {
-        assert!(threads >= 1);
+        assert!(threads >= 1, "need at least one thread");
+        if threads == 1 {
+            return self.transitive_closure();
+        }
+        let pool = WorkerPool::new(threads);
+        self.transitive_closure_with_pool(&pool)
+    }
+
+    /// Multi-threaded transitive closure reusing a persistent worker pool.
+    ///
+    /// Each pivot iteration snapshots the pivot row and updates disjoint
+    /// row bands, one band per pool worker. The update of row `k` itself is
+    /// a no-op (`row |= row`), so no row needs special-casing. The result
+    /// is exactly [`BitMatrix::transitive_closure`] — the Warshall pivot
+    /// loop stays sequential, only the row updates fan out — so output is
+    /// bit-identical for any thread count. Worthwhile for `n` in the
+    /// hundreds and up; below that the per-pivot dispatch dominates.
+    pub fn transitive_closure_with_pool(&self, pool: &WorkerPool) -> Self {
         let mut m = self.clone();
         for i in 0..self.n {
             m.set(i, i, true);
         }
         let n = m.n;
         let wpr = m.words_per_row;
-        if n == 0 {
+        let threads = pool.threads();
+        if n < 2 || threads == 1 {
+            m.warshall_in_place();
             return m;
         }
+        // Pool jobs are 'static and this crate forbids unsafe code, so the
+        // bands cannot borrow `m.words` directly; work on a shared atomic
+        // copy instead. Every word is written by exactly one band per
+        // round, and rounds are separated by the scoped_run barrier, so
+        // relaxed ordering suffices.
+        let shared: Arc<Vec<AtomicU64>> =
+            Arc::new(m.words.iter().map(|&w| AtomicU64::new(w)).collect());
         let rows_per = n.div_ceil(threads);
-        let mut pivot = vec![0u64; wpr];
+        let bands = n.div_ceil(rows_per);
         for k in 0..n {
-            pivot.copy_from_slice(&m.words[k * wpr..(k + 1) * wpr]);
-            let piv = &pivot;
-            crossbeam::thread::scope(|scope| {
-                for (band_idx, band) in m.words.chunks_mut(rows_per * wpr).enumerate() {
-                    let base = band_idx * rows_per;
-                    scope.spawn(move |_| {
-                        for (r, chunk) in band.chunks_exact_mut(wpr).enumerate() {
-                            let _ = base + r;
-                            let has = (chunk[k / WORD_BITS] >> (k % WORD_BITS)) & 1 == 1;
-                            if has {
-                                for (dst, src) in chunk.iter_mut().zip(piv.iter()) {
-                                    *dst |= *src;
+            let pivot: Arc<Vec<u64>> = Arc::new(
+                shared[k * wpr..(k + 1) * wpr]
+                    .iter()
+                    .map(|a| a.load(Ordering::Relaxed))
+                    .collect(),
+            );
+            pool.scoped_run(bands, |band| {
+                let shared = Arc::clone(&shared);
+                let pivot = Arc::clone(&pivot);
+                Box::new(move || {
+                    let lo = band * rows_per;
+                    let hi = (lo + rows_per).min(n);
+                    for i in lo..hi {
+                        let row = &shared[i * wpr..(i + 1) * wpr];
+                        let has =
+                            (row[k / WORD_BITS].load(Ordering::Relaxed) >> (k % WORD_BITS)) & 1
+                                == 1;
+                        if has {
+                            for (dst, &src) in row.iter().zip(pivot.iter()) {
+                                if src != 0 {
+                                    dst.fetch_or(src, Ordering::Relaxed);
                                 }
                             }
                         }
-                    });
-                }
-            })
-            .expect("worker panicked");
+                    }
+                })
+            });
+        }
+        for (w, a) in m.words.iter_mut().zip(shared.iter()) {
+            *w = a.load(Ordering::Relaxed);
         }
         m
     }
@@ -260,8 +300,7 @@ mod tests {
 
     #[test]
     fn parallel_closure_matches_sequential() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = systolic_util::Rng::seed_from_u64(5);
         for n in [1usize, 7, 65, 130] {
             let mut m = BitMatrix::zeros(n);
             for i in 0..n {
@@ -279,6 +318,27 @@ mod tests {
                     "n={n} t={threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pooled_closure_reuses_one_pool_across_calls() {
+        let pool = WorkerPool::new(3);
+        let mut rng = systolic_util::Rng::seed_from_u64(9);
+        for n in [4usize, 66, 129] {
+            let mut m = BitMatrix::zeros(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && rng.gen_bool(0.08) {
+                        m.set(i, j, true);
+                    }
+                }
+            }
+            assert_eq!(
+                m.transitive_closure_with_pool(&pool),
+                m.transitive_closure(),
+                "n={n}"
+            );
         }
     }
 

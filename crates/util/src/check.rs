@@ -1,0 +1,93 @@
+//! A minimal property-test harness.
+//!
+//! Each property runs `cases` times against a deterministic [`Rng`] derived
+//! from a base seed and the case index, so any failure prints the exact
+//! case seed and is reproducible by plugging that seed back in. There is no
+//! shrinking; keep generators small instead.
+//!
+//! ```
+//! use systolic_util::Checker;
+//!
+//! Checker::new("addition commutes", 64).run(|rng| {
+//!     let (a, b) = (rng.gen_range_u64(0, 1000), rng.gen_range_u64(0, 1000));
+//!     if a + b == b + a {
+//!         Ok(())
+//!     } else {
+//!         Err(format!("{a} + {b} != {b} + {a}"))
+//!     }
+//! });
+//! ```
+
+use crate::rng::Rng;
+
+/// Base seed mixed into every property; override with
+/// `SYSTOLIC_CHECK_SEED` to replay a failing run.
+fn base_seed() -> u64 {
+    std::env::var("SYSTOLIC_CHECK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5ee0_d5ee_d5ee_d000)
+}
+
+/// A named property checked over seeded random cases.
+pub struct Checker {
+    name: &'static str,
+    cases: u64,
+}
+
+impl Checker {
+    /// Creates a checker running `cases` random cases.
+    pub fn new(name: &'static str, cases: u64) -> Self {
+        Self { name, cases }
+    }
+
+    /// Runs the property; panics (with the reproducing seed) on the first
+    /// failing case.
+    pub fn run(&self, mut prop: impl FnMut(&mut Rng) -> Result<(), String>) {
+        let base = base_seed();
+        for case in 0..self.cases {
+            let seed = base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = Rng::seed_from_u64(seed);
+            if let Err(msg) = prop(&mut rng) {
+                panic!(
+                    "property `{}` failed on case {case}/{}: {msg}\n\
+                     reproduce with SYSTOLIC_CHECK_SEED={base} (case seed {seed})",
+                    self.name, self.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        Checker::new("trivial", 10).run(|_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always fails`")]
+    fn failing_property_panics_with_name() {
+        Checker::new("always fails", 5).run(|_| Err("nope".into()));
+    }
+
+    #[test]
+    fn cases_see_distinct_seeds() {
+        let mut first_draws = Vec::new();
+        Checker::new("distinct", 8).run(|rng| {
+            first_draws.push(rng.next_u64());
+            Ok(())
+        });
+        first_draws.sort_unstable();
+        first_draws.dedup();
+        assert_eq!(first_draws.len(), 8);
+    }
+}

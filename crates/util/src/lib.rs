@@ -1,0 +1,32 @@
+//! Dependency-free support kit for the systolic partitioning workspace.
+//!
+//! The build environment vendors no external crates, so the workspace
+//! carries its own minimal versions of the four things it used to pull
+//! from crates.io:
+//!
+//! * [`rng`] — a seeded, deterministic PRNG (splitmix64/xoshiro256**) for
+//!   graph generators and randomized tests (replaces `rand`);
+//! * [`pool`] — a persistent worker pool over `std::thread` with FIFO job
+//!   dispatch and a [`pool::WaitGroup`] barrier (replaces `crossbeam`'s
+//!   scoped-thread usage);
+//! * [`check`] — a tiny property-test harness running seeded random cases
+//!   with failure reproduction instructions (replaces `proptest`);
+//! * [`bench`] — a wall-clock micro-benchmark harness with warm-up,
+//!   median/mean reporting and a stable text output format (replaces
+//!   `criterion` for the `harness = false` benches).
+//!
+//! Everything here is `std`-only and deliberately small; it exists to keep
+//! the workspace building offline, not to compete with the real crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod pool;
+pub mod rng;
+
+pub use bench::{black_box, Bench};
+pub use check::Checker;
+pub use pool::{WaitGroup, WorkerPool};
+pub use rng::Rng;

@@ -1,7 +1,8 @@
 //! `systolic` — command-line front end to the reproduction.
 //!
 //! ```text
-//! systolic closure  [--backend B] [--show] <edges-file|->   transitive closure
+//! systolic closure  [--backend B] [--threads T] [--show] <edges-file|->
+//!                                                            transitive closure
 //! systolic paths    <weighted-edges-file> <src> <dst>       shortest route
 //! systolic schedule <n> <m> [--grid]                        G-set schedule summary
 //! systolic gantt    <n> <m>                                 cell-occupancy chart
@@ -24,7 +25,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!();
     eprintln!("usage:");
-    eprintln!("  systolic closure  [--backend linear:M|grid:S|fixed|fixed-linear|reference|bit|blocked:B] [--show] <file|->");
+    eprintln!("  systolic closure  [--backend linear:M|grid:S|fixed|fixed-linear|reference|bit|blocked:B] [--threads T] [--show] <file|->");
     eprintln!("  systolic paths    <file> <src> <dst>");
     eprintln!("  systolic schedule <n> <m> [--grid]");
     eprintln!("  systolic gantt    <n> <m>");
@@ -94,6 +95,7 @@ fn parse_backend(spec: &str) -> Backend {
 
 fn cmd_closure(args: &[String]) {
     let mut backend = Backend::Linear { cells: 4 };
+    let mut threads = 1usize;
     let mut show = false;
     let mut file = None;
     let mut i = 0;
@@ -107,6 +109,14 @@ fn cmd_closure(args: &[String]) {
                         .unwrap_or_else(|| fail("--backend needs a value")),
                 );
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| fail("--threads needs a positive integer"));
+            }
             "--show" => show = true,
             other => file = Some(other.to_string()),
         }
@@ -118,7 +128,7 @@ fn cmd_closure(args: &[String]) {
     for (u, v, _) in edges {
         g.add_edge(u, v);
     }
-    let solver = ClosureSolver::new(backend);
+    let solver = ClosureSolver::new(backend).with_threads(threads);
     let (reach, report) = solver
         .transitive_closure_with_report(&g)
         .unwrap_or_else(|e| fail(&e.to_string()));

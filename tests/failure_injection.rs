@@ -26,9 +26,18 @@ fn missing_stream_is_reported_as_deadlock() {
     t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 123 });
     sim.push_task(0, t);
     match sim.run() {
-        Err(SimError::Deadlock { pending, cycle }) => {
+        Err(SimError::Deadlock {
+            pending,
+            cycle,
+            blocked,
+        }) => {
             assert_eq!(pending, vec![1, 0]);
             assert!(cycle < 100, "deadlock detected promptly");
+            // The diagnostic must name the starved stream endpoint.
+            assert!(
+                blocked.iter().any(|d| d.contains("cell 0")),
+                "blocked diagnostics: {blocked:?}"
+            );
         }
         other => panic!("expected deadlock, got {other:?}"),
     }

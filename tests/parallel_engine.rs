@@ -1,0 +1,83 @@
+//! Property-based equivalence of `ParallelEngine` and its wrapped serial
+//! engine: bit-identical batch results over `Bool` and `MaxMin`, and
+//! merged run statistics invariant to the worker count.
+
+use systolic::partition::{ClosureEngine, FixedLinearEngine, LinearEngine, ParallelEngine};
+use systolic_semiring::{warshall, Bool, DenseMatrix, MaxMin};
+use systolic_util::{Checker, Rng};
+
+fn bool_batch(rng: &mut Rng) -> Vec<DenseMatrix<Bool>> {
+    let n = 3 + rng.gen_usize(5); // 3..=7
+    let count = 1 + rng.gen_usize(6); // 1..=6
+    (0..count)
+        .map(|_| DenseMatrix::from_fn(n, n, |i, j| i != j && rng.gen_bool(0.25)))
+        .collect()
+}
+
+fn maxmin_batch(rng: &mut Rng) -> Vec<DenseMatrix<MaxMin>> {
+    let n = 3 + rng.gen_usize(4); // 3..=6
+    let count = 1 + rng.gen_usize(4); // 1..=4
+    (0..count)
+        .map(|_| {
+            DenseMatrix::from_fn(n, n, |i, j| {
+                if i != j && rng.gen_bool(0.4) {
+                    rng.gen_range_u64(1, 49)
+                } else {
+                    0
+                }
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_equals_serial_over_bool() {
+    Checker::new("parallel == serial (Bool)", 6).run(|rng| {
+        let batch = bool_batch(rng);
+        let m = 1 + rng.gen_usize(4); // 1..=4
+        let serial = LinearEngine::new(m);
+        let (want, _) = serial.closure_many(&batch).unwrap();
+        for threads in [1usize, 2, 4] {
+            let par = ParallelEngine::new(LinearEngine::new(m), threads);
+            let (got, _) = par.closure_many(&batch).unwrap();
+            assert_eq!(got, want, "threads={threads} m={m}");
+        }
+        for (a, c) in batch.iter().zip(&want) {
+            assert_eq!(*c, warshall(a));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn parallel_equals_serial_over_maxmin() {
+    Checker::new("parallel == serial (MaxMin)", 6).run(|rng| {
+        let batch = maxmin_batch(rng);
+        let serial = FixedLinearEngine::new();
+        let (want, _) = ClosureEngine::<MaxMin>::closure_many(&serial, &batch).unwrap();
+        for threads in [1usize, 3] {
+            let par = ParallelEngine::new(FixedLinearEngine::new(), threads);
+            let (got, _) = par.closure_many(&batch).unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn merged_stats_do_not_depend_on_thread_count() {
+    Checker::new("merged stats thread-count invariant", 6).run(|rng| {
+        let batch = bool_batch(rng);
+        let m = 1 + rng.gen_usize(3); // 1..=3
+        let (_, base) = ParallelEngine::new(LinearEngine::new(m), 1)
+            .closure_many(&batch)
+            .unwrap();
+        for threads in [2usize, 3, 5] {
+            let par = ParallelEngine::new(LinearEngine::new(m), threads);
+            let (_, stats) = par.closure_many(&batch).unwrap();
+            // RunStats equality deliberately excludes wall-clock time.
+            assert_eq!(stats, base, "threads={threads} m={m}");
+        }
+        Ok(())
+    });
+}

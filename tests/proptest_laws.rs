@@ -1,41 +1,61 @@
 //! Property-based semiring law checking over the full element domains.
 
-use proptest::prelude::*;
 use systolic_semiring::laws::{check_path_laws, check_semiring_laws};
 use systolic_semiring::{Bool, MaxMin, MinMax, MinPlus};
+use systolic_util::Checker;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+#[test]
+fn bool_laws() {
+    Checker::new("bool laws", 512).run(|rng| {
+        let (a, b, c) = (
+            rng.next_u64() & 1 == 1,
+            rng.next_u64() & 1 == 1,
+            rng.next_u64() & 1 == 1,
+        );
+        check_semiring_laws::<Bool>(&a, &b, &c).map_err(|e| e.to_string())?;
+        check_path_laws::<Bool>(&a).map_err(|e| e.to_string())
+    });
+}
 
-    #[test]
-    fn bool_laws(a: bool, b: bool, c: bool) {
-        check_semiring_laws::<Bool>(&a, &b, &c).unwrap();
-        check_path_laws::<Bool>(&a).unwrap();
-    }
+#[test]
+fn minplus_laws() {
+    Checker::new("min-plus laws", 512).run(|rng| {
+        let (a, b, c) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        check_semiring_laws::<MinPlus>(&a, &b, &c).map_err(|e| e.to_string())?;
+        check_path_laws::<MinPlus>(&a).map_err(|e| e.to_string())
+    });
+}
 
-    #[test]
-    fn minplus_laws(a: u64, b: u64, c: u64) {
-        check_semiring_laws::<MinPlus>(&a, &b, &c).unwrap();
-        check_path_laws::<MinPlus>(&a).unwrap();
-    }
+#[test]
+fn maxmin_laws() {
+    Checker::new("max-min laws", 512).run(|rng| {
+        let (a, b, c) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        check_semiring_laws::<MaxMin>(&a, &b, &c).map_err(|e| e.to_string())?;
+        check_path_laws::<MaxMin>(&a).map_err(|e| e.to_string())
+    });
+}
 
-    #[test]
-    fn maxmin_laws(a: u64, b: u64, c: u64) {
-        check_semiring_laws::<MaxMin>(&a, &b, &c).unwrap();
-        check_path_laws::<MaxMin>(&a).unwrap();
-    }
+#[test]
+fn minmax_laws() {
+    Checker::new("min-max laws", 512).run(|rng| {
+        let (a, b, c) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        check_semiring_laws::<MinMax>(&a, &b, &c).map_err(|e| e.to_string())?;
+        check_path_laws::<MinMax>(&a).map_err(|e| e.to_string())
+    });
+}
 
-    #[test]
-    fn minmax_laws(a: u64, b: u64, c: u64) {
-        check_semiring_laws::<MinMax>(&a, &b, &c).unwrap();
-        check_path_laws::<MinMax>(&a).unwrap();
-    }
-
-    // Saturating counting arithmetic satisfies the laws away from the
-    // saturation boundary; constrain the domain accordingly.
-    #[test]
-    fn counting_laws_in_safe_domain(a in 0u64..1 << 20, b in 0u64..1 << 20, c in 0u64..1 << 20) {
-        use systolic_semiring::Counting;
-        check_semiring_laws::<Counting>(&a, &b, &c).unwrap();
-    }
+// Saturating counting arithmetic satisfies the laws away from the
+// saturation boundary; constrain the domain accordingly.
+#[test]
+fn counting_laws_in_safe_domain() {
+    use systolic_semiring::Counting;
+    Checker::new("counting laws (safe domain)", 512).run(|rng| {
+        let bound = (1 << 20) - 1;
+        let (a, b, c) = (
+            rng.gen_range_u64(0, bound),
+            rng.gen_range_u64(0, bound),
+            rng.gen_range_u64(0, bound),
+        );
+        check_semiring_laws::<Counting>(&a, &b, &c).map_err(|e| e.to_string())
+    });
 }
