@@ -1,6 +1,7 @@
 //! Cells and their task programs.
 
 use crate::host::Host;
+use crate::inject::{corrupt_value, FaultInjector, LinkFate};
 use crate::stream::{Bank, Link, StreamDst, StreamSrc};
 use systolic_semiring::Semiring;
 
@@ -82,6 +83,8 @@ pub struct Fabric<'a, S: Semiring> {
     pub outputs: &'a mut [Vec<S::Elem>],
     /// Current cycle.
     pub now: u64,
+    /// Active fault injector, if a fault plan was set on the array.
+    pub inject: Option<&'a mut FaultInjector>,
 }
 
 impl<S: Semiring> Fabric<'_, S> {
@@ -113,7 +116,28 @@ impl<S: Semiring> Fabric<'_, S> {
         }
     }
 
-    fn dst_put(&mut self, dst: &StreamDst, e: S::Elem) {
+    fn dst_put(&mut self, dst: &StreamDst, e: S::Elem, cell: usize) {
+        let mut e = e;
+        // Sink writes have no physical register, so no fault can land there
+        // (and an unobservable corruption would poison coverage accounting).
+        if !matches!(dst, StreamDst::Sink) {
+            if let Some(inj) = self.inject.as_deref_mut() {
+                if inj.on_emit(self.now, cell) {
+                    e = corrupt_value::<S>(&e);
+                }
+                if let StreamDst::Link(l) = *dst {
+                    match inj.on_link_write(self.now, l) {
+                        LinkFate::Deliver => {}
+                        LinkFate::Drop => return,
+                        LinkFate::Duplicate => {
+                            self.links[l].write(e.clone());
+                            self.links[l].force_write(e);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
         match *dst {
             StreamDst::Bank { bank, key } => self.banks[bank].write(key, self.now, e),
             StreamDst::Link(l) => self.links[l].write(e),
@@ -210,7 +234,7 @@ impl<S: Semiring> Cell<S> {
         if let Some((dst, _)) = &self.deferred {
             if fab.dst_ready(dst) {
                 let (dst, e) = self.deferred.take().expect("checked above");
-                fab.dst_put(&dst, e);
+                fab.dst_put(&dst, e, self.id);
                 self.busy_cycles += 1;
                 // The current task's first element may fire in the same
                 // cycle (r = 0 never writes the column port); fall through.
@@ -286,7 +310,7 @@ impl<S: Semiring> Cell<S> {
             TaskKind::PivotHead => {
                 let c = c.expect("pivot head consumes the column");
                 if let Some(d) = &piv_out {
-                    fab.dst_put(d, c);
+                    fab.dst_put(d, c, cell);
                 }
             }
             TaskKind::Fuse => {
@@ -299,7 +323,7 @@ impl<S: Semiring> Cell<S> {
                     let q = self.latch.as_ref().expect("head latched at r=0");
                     let v = S::fuse(&c, &p, q);
                     if let Some(d) = &col_out {
-                        fab.dst_put(d, v);
+                        fab.dst_put(d, v, cell);
                     }
                 }
                 if last {
@@ -311,7 +335,7 @@ impl<S: Semiring> Cell<S> {
                     }
                 }
                 if let Some(d) = &piv_out {
-                    fab.dst_put(d, p);
+                    fab.dst_put(d, p, cell);
                 }
             }
             TaskKind::DelayTail => {
@@ -319,7 +343,7 @@ impl<S: Semiring> Cell<S> {
                 if r == 0 {
                     self.latch = Some(p);
                 } else if let Some(d) = &col_out {
-                    fab.dst_put(d, p);
+                    fab.dst_put(d, p, cell);
                 }
                 if last {
                     let head = self.latch.take().expect("head latched at r=0");
@@ -331,7 +355,7 @@ impl<S: Semiring> Cell<S> {
             TaskKind::Pass => {
                 let c = c.expect("pass consumes the column");
                 if let Some(d) = &col_out {
-                    fab.dst_put(d, c);
+                    fab.dst_put(d, c, cell);
                 }
             }
             TaskKind::LoadAcc => {
@@ -343,16 +367,16 @@ impl<S: Semiring> Cell<S> {
                 let acc = self.latch.take().unwrap_or_else(S::zero);
                 self.latch = Some(S::fuse(&acc, &a, &b));
                 if let Some(d) = &col_out {
-                    fab.dst_put(d, a);
+                    fab.dst_put(d, a, cell);
                 }
                 if let Some(d) = &piv_out {
-                    fab.dst_put(d, b);
+                    fab.dst_put(d, b, cell);
                 }
             }
             TaskKind::EmitAcc => {
                 let acc = self.latch.take().unwrap_or_else(S::zero);
                 if let Some(d) = &col_out {
-                    fab.dst_put(d, acc);
+                    fab.dst_put(d, acc, cell);
                 }
             }
         }
@@ -405,6 +429,7 @@ mod tests {
             host: &mut host,
             outputs: &mut outputs,
             now: 0,
+            inject: None,
         };
         assert_eq!(cell.step(&mut fab), Step::Done);
     }

@@ -31,6 +31,7 @@
 
 pub mod cell;
 pub mod host;
+pub mod inject;
 pub mod sim;
 pub mod stats;
 pub mod stream;
@@ -38,6 +39,7 @@ pub mod trace;
 
 pub use cell::{Task, TaskKind, TaskLabel};
 pub use host::Host;
+pub use inject::{corrupt_value, FaultEvent, FaultKind, FaultLog, FaultPlan, FaultReport};
 pub use sim::{ArraySim, SimError};
 pub use stats::{PhaseStats, RunStats, BUSY_HISTOGRAM_BUCKETS};
 pub use stream::{Bank, Link, StreamDst, StreamSrc};

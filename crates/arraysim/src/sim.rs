@@ -2,6 +2,7 @@
 
 use crate::cell::{Cell, Fabric, Step, Task};
 use crate::host::Host;
+use crate::inject::{corrupt_value, FaultInjector, FaultLog, FaultPlan, FaultReport};
 use crate::stats::{PhaseStats, RunStats, BUSY_HISTOGRAM_BUCKETS};
 use crate::stream::{Bank, Link};
 use systolic_semiring::Semiring;
@@ -60,6 +61,8 @@ pub struct ArraySim<S: Semiring> {
     max_cycles: u64,
     /// Peak external-memory footprint observed during the run.
     peak_bank_resident: usize,
+    /// Transient-fault injector (absent on clean runs).
+    injector: Option<FaultInjector>,
 }
 
 impl<S: Semiring> ArraySim<S> {
@@ -74,7 +77,22 @@ impl<S: Semiring> ArraySim<S> {
             memory_connections: 0,
             max_cycles: u64::MAX,
             peak_bank_resident: 0,
+            injector: None,
         }
+    }
+
+    /// Arms a transient-fault plan for the run. The plan's decision stream
+    /// is seeded and consulted at schedule-fixed points, so the same plan
+    /// over the same programs injects the identical fault sequence.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan, self.cells.len()));
+    }
+
+    /// The log of faults applied so far (`None` without a fault plan).
+    /// Valid after [`ArraySim::run`] returns — on *both* success and error,
+    /// so failed runs can still be blamed on their injected faults.
+    pub fn fault_log(&self) -> Option<&FaultLog> {
+        self.injector.as_ref().map(FaultInjector::log)
     }
 
     /// Sets the cycle budget (default: unlimited).
@@ -181,6 +199,19 @@ impl<S: Semiring> ArraySim<S> {
                 });
             }
 
+            // Per-cycle fault rolls: possibly stick a cell, possibly flip a
+            // word resident in a bank (before any cell reads this cycle).
+            if let Some(inj) = &mut self.injector {
+                if let Some((bank, word)) = inj.begin_cycle(now, self.banks.len()) {
+                    let flipped = self.banks[bank].corrupt_resident(word, |e| {
+                        *e = corrupt_value::<S>(e);
+                    });
+                    if flipped {
+                        inj.log_bank_flip(now, bank);
+                    }
+                }
+            }
+
             let injected = self.host.tick(now);
             let mut any_worked = injected;
             let mut cell_fired = false;
@@ -191,8 +222,21 @@ impl<S: Semiring> ArraySim<S> {
                     host: &mut self.host,
                     outputs: &mut self.outputs,
                     now,
+                    inject: self.injector.as_mut(),
                 };
                 for cell in &mut self.cells {
+                    // A stuck cell's sequencer makes no progress: it neither
+                    // fires nor flushes, and the lost cycle counts as a stall.
+                    if fab
+                        .inject
+                        .as_deref()
+                        .is_some_and(|i| i.is_stuck(cell.id, now))
+                    {
+                        if cell.pending() > 0 {
+                            cell.stall_cycles += 1;
+                        }
+                        continue;
+                    }
                     if cell.step(&mut fab) == Step::Worked {
                         any_worked = true;
                         cell_fired = true;
@@ -209,7 +253,11 @@ impl<S: Semiring> ArraySim<S> {
             for b in &mut self.banks {
                 b.tick();
             }
-            if any_worked {
+            // A stuck cell is pending progress, not quiescence: keep the
+            // deadlock grace period from firing while a stick longer than
+            // `grace` plays out.
+            let stick_pending = self.injector.as_ref().is_some_and(|i| i.any_stuck(now));
+            if any_worked || stick_pending {
                 quiet_cycles = 0;
             } else {
                 quiet_cycles += 1;
@@ -255,8 +303,8 @@ impl<S: Semiring> ArraySim<S> {
             } else {
                 b as f64 / cycles as f64
             };
-            let bucket = ((frac * BUSY_HISTOGRAM_BUCKETS as f64) as usize)
-                .min(BUSY_HISTOGRAM_BUCKETS - 1);
+            let bucket =
+                ((frac * BUSY_HISTOGRAM_BUCKETS as f64) as usize).min(BUSY_HISTOGRAM_BUCKETS - 1);
             busy_histogram[bucket] += 1;
         }
         RunStats {
@@ -285,6 +333,14 @@ impl<S: Semiring> ArraySim<S> {
             busy_histogram,
             wall_nanos,
             spans: self.spans(),
+            fault: FaultReport {
+                injected: self.injector.as_ref().map_or(0, |i| i.log().len() as u64),
+                ..FaultReport::default()
+            },
+            fault_events: self
+                .injector
+                .as_ref()
+                .map_or_else(Vec::new, |i| i.log().events.clone()),
         }
     }
 }

@@ -92,6 +92,13 @@ pub struct RunStats {
     pub wall_nanos: u64,
     /// Task spans (populated only when tracing was enabled on the array).
     pub spans: Vec<crate::trace::TaskSpan>,
+    /// Aggregated fault accounting (all-zero unless a fault plan was set
+    /// or a recovery wrapper filled it in).
+    pub fault: crate::inject::FaultReport,
+    /// Every fault the injector applied during this run, in cycle order
+    /// (empty without a fault plan). Recovery layers use the sites for
+    /// blame attribution; merged stats concatenate in merge order.
+    pub fault_events: Vec<crate::inject::FaultEvent>,
 }
 
 impl PartialEq for RunStats {
@@ -116,6 +123,8 @@ impl PartialEq for RunStats {
             && self.phases == other.phases
             && self.busy_histogram == other.busy_histogram
             && self.spans == other.spans
+            && self.fault == other.fault
+            && self.fault_events == other.fault_events
     }
 }
 
@@ -215,6 +224,8 @@ impl RunStats {
         }
         self.wall_nanos += other.wall_nanos;
         self.spans.extend(other.spans.iter().copied());
+        self.fault.merge(&other.fault);
+        self.fault_events.extend(other.fault_events.iter().copied());
     }
 }
 

@@ -64,6 +64,15 @@ impl<E> Link<E> {
         self.words += 1;
     }
 
+    /// Writes a word even when the link is nominally full — used by fault
+    /// injection to model a duplicated register transfer. May exceed the
+    /// register capacity by one word transiently; backpressure reasserts
+    /// itself once the extra word drains.
+    pub fn force_write(&mut self, e: E) {
+        self.fifo.push_back((self.now + self.delay, e));
+        self.words += 1;
+    }
+
     /// True when a word is readable this cycle.
     #[inline]
     pub fn can_read(&self) -> bool {
@@ -179,6 +188,29 @@ impl<E> Bank<E> {
     pub fn resident(&self) -> usize {
         self.resident
     }
+
+    /// Corrupts the `nth % resident` resident word in place via `f`,
+    /// returning true if a word was corrupted (false on an empty bank).
+    ///
+    /// Streams are visited in sorted-key order so the choice is independent
+    /// of `HashMap` iteration order — fault injection must be deterministic.
+    pub fn corrupt_resident(&mut self, nth: usize, f: impl FnOnce(&mut E)) -> bool {
+        if self.resident == 0 {
+            return false;
+        }
+        let mut idx = nth % self.resident;
+        let mut keys: Vec<u64> = self.fifos.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let fifo = self.fifos.get_mut(&key).expect("key just listed");
+            if idx < fifo.len() {
+                f(&mut fifo[idx].1);
+                return true;
+            }
+            idx -= fifo.len();
+        }
+        unreachable!("resident count out of sync with fifos");
+    }
 }
 
 /// Where a task's input stream comes from.
@@ -274,6 +306,38 @@ mod tests {
         assert_eq!(b.read(1, 0), Some('x'));
         assert_eq!(b.read(1, 0), Some('y'));
         assert_eq!(b.read(1, 0), None);
+    }
+
+    #[test]
+    fn link_force_write_can_exceed_capacity() {
+        let mut l = Link::new();
+        l.write(1u32);
+        l.tick();
+        l.write(2);
+        assert!(!l.can_write());
+        l.force_write(3);
+        assert_eq!(l.read(), Some(1));
+        l.tick();
+        assert_eq!(l.read(), Some(2));
+        l.tick();
+        assert_eq!(l.read(), Some(3));
+        assert_eq!(l.words, 3);
+    }
+
+    #[test]
+    fn bank_corrupt_resident_is_deterministic_and_bounded() {
+        let mut b = Bank::new();
+        assert!(!b.corrupt_resident(0, |_: &mut u8| unreachable!()));
+        b.preload(9, 10u8);
+        b.preload(2, 20u8);
+        b.preload(2, 30u8);
+        // Sorted-key order: stream 2 = [20, 30], stream 9 = [10].
+        assert!(b.corrupt_resident(1, |e| *e = 99));
+        assert_eq!(b.read(2, 0), Some(20));
+        assert_eq!(b.read(2, 0), Some(99));
+        // nth wraps modulo resident count.
+        assert!(b.corrupt_resident(5, |e| *e = 77));
+        assert_eq!(b.read(9, 0), Some(77));
     }
 
     #[test]

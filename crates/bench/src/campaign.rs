@@ -1,0 +1,318 @@
+//! Seeded fault-injection campaigns over the recovering linear engine.
+//!
+//! A campaign runs a deterministic batch of random closure instances
+//! through a [`RecoveringEngine`] wrapping a fault-armed [`LinearEngine`],
+//! then audits every instance outcome against the software reference
+//! (`warshall`) to classify each injected fault:
+//!
+//! * **detected** — the fault hit an attempt whose result the verifier (or
+//!   the simulator itself) rejected; the attempt was retried, so nothing
+//!   escaped;
+//! * **harmless** — the fault hit an accepted attempt whose result still
+//!   equals the reference (the upset was masked by the semiring fold);
+//! * **escaped** — the fault hit an accepted attempt whose result differs
+//!   from the reference: silent data corruption.
+//!
+//! Coverage is reported over *value-corrupting* faults only (corrupted
+//! emissions and bank flips); dropped/duplicated words and stuck cells are
+//! structural faults that surface as simulation errors or schedule skew and
+//! are tabulated separately. The whole campaign is a pure function of its
+//! [`CampaignConfig`], so running it twice must reproduce the identical
+//! [`CampaignReport`] — the CLI and experiment E22 both assert this.
+
+use std::fmt::Write as _;
+use systolic_arraysim::{FaultKind, FaultPlan, FaultReport};
+use systolic_closure::gnp;
+use systolic_partition::{
+    ClosureEngine, EngineError, Escalation, LinearEngine, RecoveringEngine, RecoveryPolicy,
+};
+use systolic_semiring::{warshall, Bool, DenseMatrix};
+
+/// Parameters of a fault-injection campaign (see [`run_campaign`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignConfig {
+    /// Base seed for graph generation and the fault plan.
+    pub seed: u64,
+    /// Vertices per instance.
+    pub n: usize,
+    /// Edge probability of the random instance graphs. Escape rates are
+    /// density-dependent: a fabricated reachability bit can only masquerade
+    /// as a valid closure when it points into a cycle (see
+    /// `systolic-partition::verify`), so mid-density graphs with a large
+    /// strongly-connected component are the verifier's hardest case.
+    pub density: f64,
+    /// Linear-array cells `m`.
+    pub cells: usize,
+    /// Batch size (problem instances).
+    pub instances: usize,
+    /// Transient-fault rate fed to [`FaultPlan::transients`].
+    pub rate: f64,
+    /// Retry budget per array configuration before escalating.
+    pub max_retries: u32,
+    /// Optional marginal cell `(index, weight)`: its emissions fail
+    /// `weight` times more often, driving the escalation-to-bypass path.
+    pub hot_cell: Option<(usize, f64)>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2026,
+            n: 16,
+            density: 0.06,
+            cells: 4,
+            instances: 300,
+            rate: 3e-5,
+            max_retries: 10,
+            hot_cell: None,
+        }
+    }
+}
+
+/// Names of the per-kind tally rows, in [`kind_index`] order.
+pub const KIND_NAMES: [&str; 5] = [
+    "corrupt-emit",
+    "drop-word",
+    "dup-word",
+    "bank-flip",
+    "stick-cell",
+];
+
+fn kind_index(k: &FaultKind) -> usize {
+    match k {
+        FaultKind::CorruptEmit { .. } => 0,
+        FaultKind::DropWord { .. } => 1,
+        FaultKind::DuplicateWord { .. } => 2,
+        FaultKind::BankFlip { .. } => 3,
+        FaultKind::StickCell { .. } => 4,
+    }
+}
+
+/// Per-fault-kind audit counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindTally {
+    /// Faults of this kind applied by the injector.
+    pub injected: u64,
+    /// Faults whose attempt was rejected (retried before escaping).
+    pub detected: u64,
+    /// Faults present in an accepted result that differs from the
+    /// reference.
+    pub escaped: u64,
+    /// Faults present in an accepted result that still equals the
+    /// reference (masked upsets).
+    pub harmless: u64,
+}
+
+/// The audited outcome of one campaign run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// Merged engine-side counters, with `escaped` filled in from the
+    /// reference comparison.
+    pub fault: FaultReport,
+    /// Per-kind tallies, indexed like [`KIND_NAMES`].
+    pub kinds: [KindTally; 5],
+    /// Detected value-corrupting faults (corrupt-emit + bank-flip).
+    pub detected_vc: u64,
+    /// Escaped value-corrupting faults (silent data corruption).
+    pub escaped_vc: u64,
+    /// True iff every accepted closure equals the software reference.
+    pub results_match: bool,
+    /// Instances whose accepted closure differs from the reference.
+    pub mismatched_instances: u64,
+    /// Mismatching instances with *no* accepted fault to blame — this
+    /// would mean the engine corrupts results without any injected cause,
+    /// and must always be zero.
+    pub unexplained_mismatches: u64,
+    /// Batch cycles of a fault-free run of the same engine.
+    pub clean_cycles: u64,
+    /// Batch cycles of the faulty run, retries included.
+    pub faulty_cycles: u64,
+    /// Cells retired onto the bypass chain by the end of the batch.
+    pub bypassed_cells: usize,
+    /// Total attempts consumed across the batch.
+    pub attempts: u64,
+}
+
+impl CampaignReport {
+    /// Detection coverage over value-corrupting faults, `None` when no
+    /// such fault was injected.
+    pub fn coverage(&self) -> Option<f64> {
+        let total = self.detected_vc + self.escaped_vc;
+        (total > 0).then(|| self.detected_vc as f64 / total as f64)
+    }
+
+    /// Structural throughput factor `(m − f)/m` after retiring `f` cells.
+    pub fn degradation(&self, cells: usize) -> f64 {
+        (cells - self.bypassed_cells) as f64 / cells as f64
+    }
+
+    /// Measured cycle inflation of the faulty run over the clean run.
+    pub fn cycle_overhead(&self) -> f64 {
+        self.faulty_cycles as f64 / self.clean_cycles as f64
+    }
+}
+
+/// Runs one campaign: clean baseline, faulty recovering run, reference
+/// audit. Deterministic in `cfg` — same config, same report.
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, EngineError> {
+    let batch: Vec<DenseMatrix<Bool>> = (0..cfg.instances)
+        .map(|i| gnp(cfg.n, cfg.density, cfg.seed.wrapping_add(i as u64)).adjacency_matrix())
+        .collect();
+    let reference: Vec<_> = batch.iter().map(warshall).collect();
+
+    let clean = LinearEngine::new(cfg.cells);
+    let (clean_res, clean_stats) = ClosureEngine::<Bool>::closure_many(&clean, &batch)?;
+    assert_eq!(clean_res, reference, "clean baseline must be exact");
+
+    let mut plan = FaultPlan::transients(cfg.seed ^ 0xFA57_FA57, cfg.rate);
+    if let Some((cell, weight)) = cfg.hot_cell {
+        plan = plan.with_hot_cell(cell, weight);
+    }
+    let eng = RecoveringEngine::new(LinearEngine::new(cfg.cells).with_fault_plan(plan))
+        .with_policy(RecoveryPolicy {
+            max_retries: cfg.max_retries,
+            escalation: Escalation::Bypass,
+        });
+    let (res, stats) = ClosureEngine::<Bool>::closure_many(&eng, &batch)?;
+
+    let mut kinds = [KindTally::default(); 5];
+    let (mut detected_vc, mut escaped_vc) = (0u64, 0u64);
+    let (mut attempts, mut bypassed_cells) = (0u64, 0usize);
+    let mut results_match = true;
+    let (mut mismatched_instances, mut unexplained_mismatches) = (0u64, 0u64);
+    for o in eng.outcomes() {
+        attempts += u64::from(o.attempts);
+        bypassed_cells = bypassed_cells.max(o.bypassed.len());
+        for ev in &o.rejected_events {
+            let k = kind_index(&ev.kind);
+            kinds[k].injected += 1;
+            kinds[k].detected += 1;
+            if ev.kind.is_value_corrupting() {
+                detected_vc += 1;
+            }
+        }
+        let exact = res[o.instance] == reference[o.instance];
+        results_match &= exact;
+        if !exact {
+            mismatched_instances += 1;
+            if o.accepted_events.is_empty() {
+                unexplained_mismatches += 1;
+            }
+        }
+        for ev in &o.accepted_events {
+            let k = kind_index(&ev.kind);
+            kinds[k].injected += 1;
+            if exact {
+                kinds[k].harmless += 1;
+            } else {
+                kinds[k].escaped += 1;
+                if ev.kind.is_value_corrupting() {
+                    escaped_vc += 1;
+                }
+            }
+        }
+    }
+    let mut fault = stats.fault;
+    fault.escaped = escaped_vc;
+    debug_assert_eq!(
+        fault.injected,
+        kinds.iter().map(|k| k.injected).sum::<u64>(),
+        "engine and audit disagree on injected faults"
+    );
+
+    Ok(CampaignReport {
+        fault,
+        kinds,
+        detected_vc,
+        escaped_vc,
+        results_match,
+        mismatched_instances,
+        unexplained_mismatches,
+        clean_cycles: clean_stats.cycles,
+        faulty_cycles: stats.cycles,
+        bypassed_cells,
+        attempts,
+    })
+}
+
+/// Renders a campaign report as the CLI's detection-coverage table.
+pub fn render_campaign(cfg: &CampaignConfig, r: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault campaign: seed {}, {} instances of n = {} (density {}), linear m = {}, rate {:.1e}, retry budget {}{}",
+        cfg.seed,
+        cfg.instances,
+        cfg.n,
+        cfg.density,
+        cfg.cells,
+        cfg.rate,
+        cfg.max_retries,
+        match cfg.hot_cell {
+            Some((c, w)) => format!(", hot cell {c} (×{w:.0})"),
+            None => String::new(),
+        }
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| fault kind | injected | detected | escaped | harmless |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+    for (name, k) in KIND_NAMES.iter().zip(r.kinds.iter()) {
+        let _ = writeln!(
+            out,
+            "| {name} | {} | {} | {} | {} |",
+            k.injected, k.detected, k.escaped, k.harmless
+        );
+    }
+    let _ = writeln!(
+        out,
+        "| total | {} | {} | {} | {} |",
+        r.fault.injected,
+        r.fault.detected,
+        r.kinds.iter().map(|k| k.escaped).sum::<u64>(),
+        r.kinds.iter().map(|k| k.harmless).sum::<u64>()
+    );
+    let _ = writeln!(out);
+    match r.coverage() {
+        Some(c) => {
+            let _ = writeln!(
+                out,
+                "detection coverage (value-corrupting): {}/{} = {:.1}%",
+                r.detected_vc,
+                r.detected_vc + r.escaped_vc,
+                100.0 * c
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "detection coverage: n/a (no value-corrupting fault injected)"
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "recovery: {} attempts for {} instances, {} retries, {} bypass escalations; all closures exact: {}",
+        r.attempts, cfg.instances, r.fault.retries, r.fault.bypasses, r.results_match
+    );
+    if !r.results_match {
+        let _ = writeln!(
+            out,
+            "silent corruption: {} instance(s) differ from the reference, every one explained \
+             by an escaped fault: {}",
+            r.mismatched_instances,
+            r.unexplained_mismatches == 0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "throughput: {} cycles faulty vs {} clean ({:.2}× overhead); structural (m−f)/m = {:.2}",
+        r.faulty_cycles,
+        r.clean_cycles,
+        r.cycle_overhead(),
+        r.degradation(cfg.cells)
+    );
+    out
+}

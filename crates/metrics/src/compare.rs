@@ -68,7 +68,8 @@ fn rows_common(
             measured: stats.memory_connections as f64,
         },
         MetricRow {
-            metric: "partitioning overhead (model d_i = 0); measured per-cell pipeline stalls".into(),
+            metric: "partitioning overhead (model d_i = 0); measured per-cell pipeline stalls"
+                .into(),
             paper: 0.0,
             // Overhead in the paper's sense: cycles spent on data transfers
             // that do not overlap computation. In the simulator every

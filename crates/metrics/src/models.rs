@@ -1,6 +1,5 @@
 //! The paper's closed-form performance models (§3.2, §4.2).
 
-
 /// Linear partitioned array (Fig. 18) for problem size `n` on `m` cells.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct LinearModel {

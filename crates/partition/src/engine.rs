@@ -11,6 +11,16 @@ pub enum EngineError {
     Sim(SimError),
     /// The input was rejected (shape, size constraints).
     BadInput(String),
+    /// A result was detected as corrupt and could not be recovered —
+    /// either the engine produced a malformed output (e.g. an incomplete
+    /// column under fault injection) or a recovery wrapper exhausted its
+    /// retry/bypass budget with the verifier still rejecting the result.
+    Corrupt {
+        /// Batch index of the corrupt instance.
+        instance: usize,
+        /// What was detected and what recovery was attempted.
+        detail: String,
+    },
 }
 
 impl From<SimError> for EngineError {
@@ -24,6 +34,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
             EngineError::BadInput(s) => write!(f, "bad input: {s}"),
+            EngineError::Corrupt { instance, detail } => {
+                write!(f, "corrupt result for instance {instance}: {detail}")
+            }
         }
     }
 }

@@ -19,11 +19,13 @@
 
 use crate::engine::{ClosureEngine, EngineError};
 use crate::linear::LinearEngine;
-use systolic_arraysim::RunStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use systolic_arraysim::{FaultEvent, FaultPlan, RunStats};
 use systolic_semiring::{DenseMatrix, PathSemiring};
 
 /// A linear partitioned array with failed cells bypassed.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct FaultyLinearEngine {
     physical: usize,
     faulty: Vec<usize>,
@@ -31,6 +33,27 @@ pub struct FaultyLinearEngine {
     /// Pivot-link delays between consecutive healthy cells (1 + number of
     /// bypassed cells in between).
     delays: Vec<u64>,
+    /// Transient-fault plan injected into the *healthy* cells (bypassed
+    /// cells carry no tasks, so no fault can land there).
+    plan: Option<FaultPlan>,
+    /// Per-run reseed nonce (see `LinearEngine::nonce`).
+    nonce: AtomicU64,
+    /// Faults applied during the most recent run.
+    last_faults: Mutex<Vec<FaultEvent>>,
+}
+
+impl Clone for FaultyLinearEngine {
+    fn clone(&self) -> Self {
+        Self {
+            physical: self.physical,
+            faulty: self.faulty.clone(),
+            healthy: self.healthy.clone(),
+            delays: self.delays.clone(),
+            plan: self.plan.clone(),
+            nonce: AtomicU64::new(self.nonce.load(Ordering::Relaxed)),
+            last_faults: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl FaultyLinearEngine {
@@ -61,7 +84,28 @@ impl FaultyLinearEngine {
             faulty: f,
             healthy,
             delays,
+            plan: None,
+            nonce: AtomicU64::new(0),
+            last_faults: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Arms a transient-fault plan on the healthy cells of the degraded
+    /// array (logical cell coordinates — see [`Self::physical_cell`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Maps a logical (healthy-chain) cell index to its physical position
+    /// in the original `m`-cell array.
+    pub fn physical_cell(&self, logical: usize) -> Option<usize> {
+        self.healthy.get(logical).copied()
+    }
+
+    /// Faults applied during the most recent run (logical coordinates).
+    pub fn recent_fault_events(&self) -> Vec<FaultEvent> {
+        self.last_faults.lock().expect("fault log poisoned").clone()
     }
 
     /// Physical cells in the array.
@@ -106,8 +150,47 @@ impl<S: PathSemiring> ClosureEngine<S> for FaultyLinearEngine {
     ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
         // The reconfigured array is a linear array over the healthy cells
         // with delayed pivot links.
-        let inner = LinearEngine::with_link_delays(self.healthy.len(), self.delays.clone());
-        inner.closure_many(mats)
+        let mut inner = LinearEngine::with_link_delays(self.healthy.len(), self.delays.clone());
+        if let Some(plan) = &self.plan {
+            inner =
+                inner.with_fault_plan(plan.reseeded(self.nonce.fetch_add(1, Ordering::Relaxed)));
+        }
+        let run = inner.closure_many(mats);
+        if self.plan.is_some() {
+            *self.last_faults.lock().expect("fault log poisoned") = inner.recent_fault_events();
+        }
+        run
+    }
+}
+
+impl<S: PathSemiring> crate::recover::FaultAware<S> for FaultyLinearEngine {
+    fn recent_faults(&self) -> Vec<FaultEvent> {
+        self.recent_fault_events()
+    }
+
+    fn blame_cell(&self, event: &FaultEvent) -> Option<usize> {
+        use systolic_arraysim::FaultKind;
+        // Events carry logical (healthy-chain) coordinates; map back to
+        // the physical array so escalation bypasses the right hardware.
+        let logical = match event.kind {
+            FaultKind::CorruptEmit { cell } | FaultKind::StickCell { cell, .. } => cell,
+            FaultKind::DropWord { link } | FaultKind::DuplicateWord { link } => link,
+            FaultKind::BankFlip { bank } => {
+                if bank >= self.healthy.len() {
+                    return None; // shared pivot bank
+                }
+                bank
+            }
+        };
+        self.physical_cell(logical)
+    }
+
+    fn bypass_plan(&self, faulty: &[usize]) -> Option<FaultyLinearEngine> {
+        let mut all = self.faulty.clone();
+        all.extend_from_slice(faulty);
+        all.sort_unstable();
+        all.dedup();
+        FaultyLinearEngine::new(self.physical, &all).ok()
     }
 }
 

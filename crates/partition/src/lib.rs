@@ -47,7 +47,9 @@ pub mod fixed;
 pub mod grid;
 pub mod linear;
 pub mod parallel;
+pub mod recover;
 pub mod schedule;
+pub mod verify;
 
 pub use engine::{ClosureEngine, EngineError};
 pub use fault::{grid_fault_capacity, linear_fault_capacity, FaultyLinearEngine};
@@ -55,4 +57,6 @@ pub use fixed::{FixedArrayEngine, FixedLinearEngine};
 pub use grid::GridEngine;
 pub use linear::LinearEngine;
 pub use parallel::ParallelEngine;
+pub use recover::{Escalation, FaultAware, RecoveringEngine, RecoveryPolicy};
 pub use schedule::{GsetSchedule, ScheduleEntry};
+pub use verify::{col_folds, row_folds, Verifier};

@@ -17,12 +17,16 @@
 //!   writes the result columns to the output collectors.
 
 use crate::engine::{prepare_batch, stream_key, ClosureEngine, EngineError};
-use systolic_arraysim::{ArraySim, RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use systolic_arraysim::{
+    ArraySim, FaultEvent, FaultPlan, RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel,
+};
 use systolic_semiring::{DenseMatrix, PathSemiring};
 use systolic_transform::{GGraph, GNodeRole};
 
 /// Cut-and-pile executor on a linear array of `m` cells.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct LinearEngine {
     m: usize,
     /// Pivot-link latency between consecutive cells (all 1 in the healthy
@@ -30,6 +34,28 @@ pub struct LinearEngine {
     /// [`crate::fault::FaultyLinearEngine`]).
     link_delays: Vec<u64>,
     trace: bool,
+    /// Transient-fault plan armed on every run (None = clean array).
+    plan: Option<FaultPlan>,
+    /// Per-run reseed nonce: consecutive `closure_many` calls on the same
+    /// engine see decorrelated fault sequences (a retry must not replay the
+    /// identical fault), while a fresh engine with the same plan reproduces
+    /// the same sequence of sequences.
+    nonce: AtomicU64,
+    /// Faults applied during the most recent run (success or failure).
+    last_faults: Mutex<Vec<FaultEvent>>,
+}
+
+impl Clone for LinearEngine {
+    fn clone(&self) -> Self {
+        Self {
+            m: self.m,
+            link_delays: self.link_delays.clone(),
+            trace: self.trace,
+            plan: self.plan.clone(),
+            nonce: AtomicU64::new(self.nonce.load(Ordering::Relaxed)),
+            last_faults: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl LinearEngine {
@@ -40,6 +66,9 @@ impl LinearEngine {
             m,
             link_delays: vec![1; m.saturating_sub(1)],
             trace: false,
+            plan: None,
+            nonce: AtomicU64::new(0),
+            last_faults: Mutex::new(Vec::new()),
         }
     }
 
@@ -60,7 +89,29 @@ impl LinearEngine {
             m,
             link_delays: delays,
             trace: false,
+            plan: None,
+            nonce: AtomicU64::new(0),
+            last_faults: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Arms a transient-fault plan: every subsequent run injects faults
+    /// from a fresh reseeding of `plan` (see the `nonce` field docs).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Faults applied during the most recent run on this engine value
+    /// (empty without a plan). Recorded on both success and error, so a
+    /// deadlocked or corrupt run can still be blamed.
+    pub fn recent_fault_events(&self) -> Vec<FaultEvent> {
+        self.last_faults.lock().expect("fault log poisoned").clone()
     }
 
     /// Number of G-set blocks for problem size `n`: `⌈2n / m⌉` (the skewed
@@ -195,19 +246,59 @@ impl<S: PathSemiring> ClosureEngine<S> for LinearEngine {
         let ideal = (n as u64).pow(2) * (n as u64 + 1) / m as u64 + 1;
         sim.set_max_cycles(batch.len() as u64 * ideal * 20 + 100_000);
 
-        let stats = sim.run()?;
+        if let Some(plan) = &self.plan {
+            sim.set_fault_plan(plan.reseeded(self.nonce.fetch_add(1, Ordering::Relaxed)));
+        }
+
+        let run = sim.run();
+        if self.plan.is_some() {
+            // Record what was injected even when the run failed — blame
+            // attribution needs the sites of a deadlocked attempt too.
+            *self.last_faults.lock().expect("fault log poisoned") =
+                sim.fault_log().map_or_else(Vec::new, |l| l.events.clone());
+        }
+        let stats = run?;
         let outs = sim.outputs();
         let mut results = Vec::with_capacity(batch.len());
         for inst in 0..batch.len() {
             let mut r = DenseMatrix::<S>::zeros(n, n);
             for j in 0..n {
                 let col = &outs[out0 + inst * n + j];
-                assert_eq!(col.len(), n, "output column {j} incomplete");
+                if col.len() != n {
+                    // A dropped/duplicated stream word that still drained:
+                    // structurally corrupt output, not a simulator bug.
+                    return Err(EngineError::Corrupt {
+                        instance: inst,
+                        detail: format!("output column {j} has {} of {n} words", col.len()),
+                    });
+                }
                 r.set_col(j, col);
             }
             results.push(r);
         }
         Ok((results, stats))
+    }
+}
+
+impl<S: PathSemiring> crate::recover::FaultAware<S> for LinearEngine {
+    fn recent_faults(&self) -> Vec<FaultEvent> {
+        self.recent_fault_events()
+    }
+
+    fn blame_cell(&self, event: &FaultEvent) -> Option<usize> {
+        use systolic_arraysim::FaultKind;
+        match event.kind {
+            FaultKind::CorruptEmit { cell } | FaultKind::StickCell { cell, .. } => Some(cell),
+            // Link c sits between cells c and c+1; blame its writer.
+            FaultKind::DropWord { link } | FaultKind::DuplicateWord { link } => Some(link),
+            // Banks 0..m are private to their cell; bank m is the shared
+            // pivot-boundary bank and indicts no single cell.
+            FaultKind::BankFlip { bank } => (bank < self.m).then_some(bank),
+        }
+    }
+
+    fn bypass_plan(&self, faulty: &[usize]) -> Option<crate::fault::FaultyLinearEngine> {
+        crate::fault::FaultyLinearEngine::new(self.m, faulty).ok()
     }
 }
 

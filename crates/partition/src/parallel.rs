@@ -93,7 +93,7 @@ where
         let next = Arc::new(AtomicUsize::new(0));
 
         let workers = self.pool.threads().min(batch.len());
-        self.pool.scoped_run(workers, |_| {
+        let run = self.pool.scoped_run(workers, |_| {
             let engine = self.inner.clone();
             let batch = Arc::clone(&batch);
             let slots = Arc::clone(&slots);
@@ -107,6 +107,11 @@ where
                 slots.lock().expect("result store poisoned")[i] = Some(r);
             })
         });
+        // Engine panics are bugs, not recoverable failures: re-raise with
+        // the worker's payload now that every sibling has finished.
+        if let Err(p) = run {
+            panic!("{p}");
+        }
 
         let slots = Arc::into_inner(slots)
             .expect("all workers joined")
@@ -147,10 +152,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(17);
         let batch: Vec<_> = (0..6).map(|_| random_bool(7, &mut rng)).collect();
         let serial = LinearEngine::new(3);
-        let expected: Vec<_> = batch
-            .iter()
-            .map(|a| serial.closure(a).unwrap().0)
-            .collect();
+        let expected: Vec<_> = batch.iter().map(|a| serial.closure(a).unwrap().0).collect();
         for threads in [1, 2, 4] {
             let par = ParallelEngine::new(LinearEngine::new(3), threads);
             let (got, _) = par.closure_many(&batch).unwrap();

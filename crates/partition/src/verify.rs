@@ -1,0 +1,398 @@
+//! ABFT-style result verification for closure engines.
+//!
+//! A transient fault inside the array (see `systolic-arraysim::inject`) can
+//! silently corrupt the closure an engine returns. Re-running Warshall on
+//! the host to check every instance would cost the same O(n³) the array was
+//! bought to avoid, so the [`Verifier`] instead exploits algebraic
+//! invariants every correct closure `R = A⁺` (reflexive form) must satisfy
+//! over a [`PathSemiring`]:
+//!
+//! 1. **Reflexive diagonal** — `R[i][i] = 1̄` for all `i` (O(n)).
+//! 2. **Containment** — `refl(A) ⊑ R`, i.e. `refl(A)[i][j] ⊕ R[i][j] =
+//!    R[i][j]` (O(n²)); the closure may only *add* reachability.
+//! 3. **Checksum fixed points** — the ⊕-fold checksums `s[i] = ⊕_j
+//!    R[i][j]` (row) and `t[j] = ⊕_i R[i][j]` (column) must satisfy `R ⊗ s
+//!    = s` and `tᵀ ⊗ R = tᵀ` (O(n²) each). This is the ABFT step: a
+//!    correct closure is idempotent (`R ⊗ R = R`), and folding that matrix
+//!    identity with `⊕` over columns (rows) collapses one side to the
+//!    checksum vector because `⊗` distributes over `⊕`. A corrupted entry
+//!    perturbs one product term of a fold and, since path semirings are
+//!    selective in practice (the fold takes the *best* term), generically
+//!    breaks the fixed point somewhere along the affected row/column.
+//! 4. **Idempotence** — `R ⊗ R = R` itself, either in full (O(n³), exact)
+//!    or spot-checked on a deterministic sample of rows (O(samples · n²)).
+//! 5. **Justification (Bellman minimality)** — for every off-diagonal
+//!    entry, `R[i][j] = refl(A)[i][j] ⊕ ⊕_{k∉{i,j}} R[i][k] ⊗ R[k][j]`.
+//!    Idempotence only bounds the result from one side (`R ⊗ R ⊑ R`);
+//!    justification demands that each entry is *achieved* — by the direct
+//!    edge or through a witness vertex. It is sound because a path-semiring
+//!    closure folds over simple paths, and a simple path of length ≥ 2 has
+//!    an interior vertex `k ∉ {i, j}`. This kills the classic phantom: a
+//!    fabricated entry with no witness (e.g. a source→sink pair) leaves the
+//!    matrix idempotent but unjustified. Spot mode samples rows here too.
+//!
+//! Together the checks reject any result that is not the exact closure of
+//! *some* graph containing `A` whose extra reachability is self-witnessing.
+//! The remaining blind spot — a corruption whose transitive consequences
+//! were fully propagated by the rest of the computation, yielding the
+//! closure of a different containing input with every phantom entry
+//! witnessed (the fabricated edge must point into a cycle) — is
+//! indistinguishable from a correct answer by any invariant checker; only
+//! a reference comparison catches it, which is what campaigns do to
+//! measure the escape rate.
+
+use systolic_semiring::{matmul, reflexive, DenseMatrix, PathSemiring, Semiring};
+use systolic_util::Rng;
+
+/// How thoroughly [`Verifier::verify`] checks idempotence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum IdempotenceMode {
+    /// Full `R ⊗ R = R` (O(n³)).
+    Full,
+    /// Deterministically sampled rows (O(samples · n²)).
+    Spot {
+        /// Rows sampled per instance.
+        samples: usize,
+        /// Seed of the row sampler.
+        seed: u64,
+    },
+}
+
+/// Checks closure results against the invariants listed in the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Verifier {
+    idempotence: IdempotenceMode,
+}
+
+impl Verifier {
+    /// A verifier that checks idempotence in full (O(n³) — same order as
+    /// recomputing the closure, but a multiply is cheaper than a closure
+    /// and catches *every* invariant-visible corruption).
+    pub fn full() -> Self {
+        Self {
+            idempotence: IdempotenceMode::Full,
+        }
+    }
+
+    /// A verifier that spot-checks idempotence on `samples`
+    /// deterministically chosen rows (seeded by `seed` and the instance
+    /// index, so repeated runs sample identically). Checks 1–3 stay exact;
+    /// total cost O(n² · samples).
+    pub fn spot(samples: usize, seed: u64) -> Self {
+        Self {
+            idempotence: IdempotenceMode::Spot { samples, seed },
+        }
+    }
+
+    /// Verifies that `result` is plausible as `refl(input)⁺`.
+    ///
+    /// `instance` indexes the batch (diagnostics and spot-sample seeding).
+    ///
+    /// # Errors
+    /// The first violated invariant, naming the check and the matrix
+    /// coordinate where it failed.
+    pub fn verify<S: PathSemiring>(
+        &self,
+        instance: usize,
+        input: &DenseMatrix<S>,
+        result: &DenseMatrix<S>,
+    ) -> Result<(), String> {
+        let n = input.rows();
+        if result.rows() != n || result.cols() != n {
+            return Err(format!(
+                "shape: result is {}x{}, expected {n}x{n}",
+                result.rows(),
+                result.cols()
+            ));
+        }
+
+        // 1. Reflexive diagonal.
+        let one = S::one();
+        for i in 0..n {
+            if *result.get(i, i) != one {
+                return Err(format!(
+                    "diagonal: R[{i}][{i}] = {:?}, expected {one:?}",
+                    result.get(i, i)
+                ));
+            }
+        }
+
+        // 2. Containment refl(A) ⊑ R.
+        let base = reflexive(input);
+        for i in 0..n {
+            for j in 0..n {
+                let a = base.get(i, j);
+                let r = result.get(i, j);
+                if S::add(a, r) != *r {
+                    return Err(format!(
+                        "containment: R[{i}][{j}] = {r:?} does not absorb input {a:?}"
+                    ));
+                }
+            }
+        }
+
+        // 3. Checksum fixed points R ⊗ s = s and tᵀ ⊗ R = tᵀ.
+        let s = row_folds(result);
+        for i in 0..n {
+            let mut acc = S::zero();
+            for (k, sk) in s.iter().enumerate() {
+                acc = S::add(&acc, &S::mul(result.get(i, k), sk));
+            }
+            if acc != s[i] {
+                return Err(format!(
+                    "row checksum: (R ⊗ s)[{i}] = {acc:?}, expected s[{i}] = {:?}",
+                    s[i]
+                ));
+            }
+        }
+        let t = col_folds(result);
+        for j in 0..n {
+            let mut acc = S::zero();
+            for (k, tk) in t.iter().enumerate() {
+                acc = S::add(&acc, &S::mul(tk, result.get(k, j)));
+            }
+            if acc != t[j] {
+                return Err(format!(
+                    "column checksum: (tᵀ ⊗ R)[{j}] = {acc:?}, expected t[{j}] = {:?}",
+                    t[j]
+                ));
+            }
+        }
+
+        // 5 (shared body). Justification of one row: each off-diagonal
+        // entry must be achieved by the direct edge or a witness vertex.
+        let justify_row = |i: usize| -> Result<(), String> {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let mut acc = base.get(i, j).clone();
+                for k in 0..n {
+                    if k != i && k != j {
+                        acc = S::add(&acc, &S::mul(result.get(i, k), result.get(k, j)));
+                    }
+                }
+                if acc != *result.get(i, j) {
+                    return Err(format!(
+                        "justification: R[{i}][{j}] = {:?} but direct edge ⊕ best \
+                         witness gives {acc:?}",
+                        result.get(i, j)
+                    ));
+                }
+            }
+            Ok(())
+        };
+
+        // 4 + 5. Idempotence and justification, full or row-sampled.
+        match self.idempotence {
+            IdempotenceMode::Full => {
+                let rr = matmul(result, result);
+                for i in 0..n {
+                    for j in 0..n {
+                        if rr.get(i, j) != result.get(i, j) {
+                            return Err(format!(
+                                "idempotence: (R ⊗ R)[{i}][{j}] = {:?} ≠ R[{i}][{j}] = {:?}",
+                                rr.get(i, j),
+                                result.get(i, j)
+                            ));
+                        }
+                    }
+                }
+                for i in 0..n {
+                    justify_row(i)?;
+                }
+            }
+            IdempotenceMode::Spot { samples, seed } => {
+                let mut rng =
+                    Rng::seed_from_u64(seed ^ (instance as u64).wrapping_mul(0x9e37_79b9));
+                for _ in 0..samples.min(n) {
+                    let i = rng.gen_usize(n);
+                    for j in 0..n {
+                        let mut acc = S::zero();
+                        for k in 0..n {
+                            acc = S::add(&acc, &S::mul(result.get(i, k), result.get(k, j)));
+                        }
+                        if acc != *result.get(i, j) {
+                            return Err(format!(
+                                "idempotence (spot): (R ⊗ R)[{i}][{j}] = {acc:?} \
+                                 ≠ R[{i}][{j}] = {:?}",
+                                result.get(i, j)
+                            ));
+                        }
+                    }
+                    justify_row(i)?;
+                }
+            }
+        }
+
+        Ok(())
+    }
+}
+
+/// Row checksums `s[i] = ⊕_j R[i][j]`.
+pub fn row_folds<S: Semiring>(m: &DenseMatrix<S>) -> Vec<S::Elem> {
+    (0..m.rows())
+        .map(|i| m.row(i).iter().fold(S::zero(), |acc, e| S::add(&acc, e)))
+        .collect()
+}
+
+/// Column checksums `t[j] = ⊕_i R[i][j]`.
+pub fn col_folds<S: Semiring>(m: &DenseMatrix<S>) -> Vec<S::Elem> {
+    let mut t = vec![S::zero(); m.cols()];
+    for i in 0..m.rows() {
+        for (j, e) in m.row(i).iter().enumerate() {
+            t[j] = S::add(&t[j], e);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::{warshall, Bool, MinPlus};
+    use systolic_util::Rng;
+
+    fn gnp_bool(n: usize, p: f64, seed: u64) -> DenseMatrix<Bool> {
+        let mut rng = Rng::seed_from_u64(seed);
+        DenseMatrix::from_fn(n, n, |i, j| i != j && rng.gen_bool(p))
+    }
+
+    #[test]
+    fn accepts_correct_closures() {
+        for seed in 0..8 {
+            let a = gnp_bool(9, 0.2, seed);
+            let r = warshall(&a);
+            Verifier::full().verify(0, &a, &r).unwrap();
+            Verifier::spot(3, 42).verify(seed as usize, &a, &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn accepts_minplus_closures() {
+        let mut rng = Rng::seed_from_u64(5);
+        let a = DenseMatrix::<MinPlus>::from_fn(8, 8, |i, j| {
+            if i != j && rng.gen_bool(0.3) {
+                rng.gen_range_u64(1, 10)
+            } else {
+                MinPlus::zero()
+            }
+        });
+        let r = warshall(&a);
+        Verifier::full().verify(0, &a, &r).unwrap();
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let a = gnp_bool(4, 0.3, 1);
+        let bad = DenseMatrix::<Bool>::zeros(3, 3);
+        assert!(Verifier::full()
+            .verify(0, &a, &bad)
+            .unwrap_err()
+            .starts_with("shape"));
+    }
+
+    #[test]
+    fn rejects_broken_diagonal() {
+        let a = gnp_bool(5, 0.3, 2);
+        let mut r = warshall(&a);
+        r.set(2, 2, false);
+        let err = Verifier::full().verify(0, &a, &r).unwrap_err();
+        assert!(err.starts_with("diagonal"), "{err}");
+    }
+
+    #[test]
+    fn rejects_dropped_input_edge() {
+        let mut a = DenseMatrix::<Bool>::zeros(4, 4);
+        a.set(0, 3, true);
+        let mut r = warshall(&a);
+        r.set(0, 3, false);
+        let err = Verifier::full().verify(0, &a, &r).unwrap_err();
+        assert!(err.starts_with("containment"), "{err}");
+    }
+
+    #[test]
+    fn every_single_phantom_edge_is_rejected() {
+        // A lone fabricated 1 in a correct closure has no witness vertex
+        // (one would imply the entry was already reachable), so the
+        // justification check catches every single-entry phantom — even
+        // the source→sink ones that leave the matrix idempotent.
+        for seed in [3u64, 11, 29] {
+            let a = gnp_bool(6, 0.15, seed);
+            let r = warshall(&a);
+            let mut flips = 0;
+            for i in 0..6 {
+                for j in 0..6 {
+                    if i == j || *r.get(i, j) {
+                        continue;
+                    }
+                    let mut bad = r.clone();
+                    bad.set(i, j, true);
+                    flips += 1;
+                    let err = Verifier::full().verify(0, &a, &bad).unwrap_err();
+                    let idempotent = matmul(&bad, &bad) == bad;
+                    assert!(
+                        !idempotent || err.starts_with("justification"),
+                        "idempotent phantom ({i},{j}) must fall to justification, got {err}"
+                    );
+                }
+            }
+            assert!(flips > 0);
+        }
+    }
+
+    #[test]
+    fn self_witnessing_phantom_closure_is_the_documented_blind_spot() {
+        // The closure of a *different* containing input whose extra
+        // reachability is self-witnessing passes every invariant: corrupt
+        // 0→1 where 1 sits on a cycle 1 ⇄ 2, then close transitively.
+        // R'[0][1] is witnessed by k = 2 (0→2 via 1, 2→1 on the cycle),
+        // so no invariant checker can tell R' from a correct answer.
+        let mut a = DenseMatrix::<Bool>::zeros(4, 4);
+        a.set(1, 2, true);
+        a.set(2, 1, true);
+        let mut bigger = a.clone();
+        bigger.set(0, 1, true);
+        let masquerade = warshall(&bigger);
+        assert_ne!(masquerade, warshall(&a));
+        Verifier::full().verify(0, &a, &masquerade).unwrap();
+    }
+
+    #[test]
+    fn rejects_minplus_understated_distance() {
+        // Understating an interior distance fabricates a shortcut that
+        // propagates (0→2 feeds 2→3), breaking idempotence.
+        let mut a = DenseMatrix::<MinPlus>::zeros(5, 5);
+        a.set(0, 1, 4);
+        a.set(1, 2, 4);
+        a.set(2, 3, 4);
+        let mut r = warshall(&a);
+        r.set(0, 2, 1); // true distance is 8; 1 + r[2][3] < r[0][3] propagates
+        assert!(Verifier::full().verify(0, &a, &r).is_err());
+    }
+
+    #[test]
+    fn spot_verifier_is_deterministic() {
+        let a = gnp_bool(7, 0.2, 4);
+        let mut r = warshall(&a);
+        // Corrupt a single non-diagonal entry that survives containment.
+        'outer: for i in 0..7 {
+            for j in 0..7 {
+                if i != j && !*a.get(i, j) && *r.get(i, j) {
+                    r.set(i, j, false);
+                    break 'outer;
+                }
+            }
+        }
+        let v = Verifier::spot(2, 9);
+        let first = v.verify(3, &a, &r);
+        assert_eq!(first, v.verify(3, &a, &r), "same sample rows each run");
+    }
+
+    #[test]
+    fn folds_shapes() {
+        let a = gnp_bool(4, 0.5, 6);
+        assert_eq!(row_folds(&a).len(), 4);
+        assert_eq!(col_folds(&a).len(), 4);
+    }
+}

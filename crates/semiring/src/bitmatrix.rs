@@ -187,7 +187,7 @@ impl BitMatrix {
                     .map(|a| a.load(Ordering::Relaxed))
                     .collect(),
             );
-            pool.scoped_run(bands, |band| {
+            let run = pool.scoped_run(bands, |band| {
                 let shared = Arc::clone(&shared);
                 let pivot = Arc::clone(&pivot);
                 Box::new(move || {
@@ -195,9 +195,9 @@ impl BitMatrix {
                     let hi = (lo + rows_per).min(n);
                     for i in lo..hi {
                         let row = &shared[i * wpr..(i + 1) * wpr];
-                        let has =
-                            (row[k / WORD_BITS].load(Ordering::Relaxed) >> (k % WORD_BITS)) & 1
-                                == 1;
+                        let has = (row[k / WORD_BITS].load(Ordering::Relaxed) >> (k % WORD_BITS))
+                            & 1
+                            == 1;
                         if has {
                             for (dst, &src) in row.iter().zip(pivot.iter()) {
                                 if src != 0 {
@@ -208,6 +208,7 @@ impl BitMatrix {
                     }
                 })
             });
+            run.expect("closure band panicked");
         }
         for (w, a) in m.words.iter_mut().zip(shared.iter()) {
             *w = a.load(Ordering::Relaxed);

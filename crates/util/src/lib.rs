@@ -28,5 +28,5 @@ pub mod rng;
 
 pub use bench::{black_box, Bench};
 pub use check::Checker;
-pub use pool::{WaitGroup, WorkerPool};
+pub use pool::{JobPanic, WaitGroup, WorkerPool};
 pub use rng::Rng;

@@ -8,10 +8,40 @@
 //! which previously spawned fresh scoped threads per Warshall pivot.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A job submitted through [`WorkerPool::scoped_run`] panicked.
+///
+/// The panic is contained: the worker thread survives (the pool does not
+/// shrink), every sibling job still runs to completion, and the first
+/// panic's payload is surfaced here.
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 struct Queue {
     jobs: Mutex<(VecDeque<Job>, bool)>, // (pending jobs, shutting down)
@@ -51,7 +81,11 @@ impl WorkerPool {
                             guard = q.ready.wait(guard).expect("pool queue poisoned");
                         }
                     };
-                    job();
+                    // A panicking job must not kill the worker — a dead
+                    // thread would silently shrink the pool for every
+                    // later caller. `scoped_run` reports the panic; bare
+                    // `execute` panics are contained and dropped.
+                    let _ = catch_unwind(AssertUnwindSafe(job));
                 })
             })
             .collect();
@@ -74,17 +108,37 @@ impl WorkerPool {
     /// Enqueues `count` jobs produced by `make(worker_slot)` and blocks
     /// until all of them finish. The slot index is purely informational
     /// (jobs are work-stealing over the shared queue).
-    pub fn scoped_run(&self, count: usize, make: impl Fn(usize) -> Job) {
+    ///
+    /// # Errors
+    /// [`JobPanic`] with the first panic's payload if any job panicked.
+    /// The wait group is signalled on the unwind path too, so a panicking
+    /// job neither hangs the caller nor shrinks the pool; sibling jobs
+    /// run to completion before this returns.
+    pub fn scoped_run(&self, count: usize, make: impl Fn(usize) -> Job) -> Result<(), JobPanic> {
         let wg = WaitGroup::new(count);
+        let first_panic: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
         for i in 0..count {
             let job = make(i);
             let wg = wg.clone();
+            let first_panic = Arc::clone(&first_panic);
             self.execute(move || {
-                job();
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                if let Err(payload) = outcome {
+                    let msg = payload_message(payload);
+                    first_panic
+                        .lock()
+                        .expect("panic slot poisoned")
+                        .get_or_insert(msg);
+                }
                 wg.done();
             });
         }
         wg.wait();
+        let msg = first_panic.lock().expect("panic slot poisoned").take();
+        match msg {
+            Some(message) => Err(JobPanic { message }),
+            None => Ok(()),
+        }
     }
 }
 
@@ -167,8 +221,54 @@ mod tests {
             Box::new(move || {
                 s.fetch_add(i + 1, Ordering::Relaxed);
             })
-        });
+        })
+        .unwrap();
         assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn panicking_job_neither_hangs_nor_shrinks_the_pool() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&done);
+        // More jobs than threads, one of them panicking: scoped_run must
+        // return (not hang), report the panic, and run every sibling.
+        let err = pool
+            .scoped_run(6, move |i| {
+                let d = Arc::clone(&d2);
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("job {i} exploded");
+                    }
+                    d.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .unwrap_err();
+        assert!(err.message.contains("job 3 exploded"), "{err}");
+        assert_eq!(done.load(Ordering::Relaxed), 5, "siblings completed");
+        assert_eq!(pool.threads(), 2);
+
+        // The pool is still fully functional afterwards.
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s2 = Arc::clone(&sum);
+        pool.scoped_run(8, move |_| {
+            let s = Arc::clone(&s2);
+            Box::new(move || {
+                s.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn first_panic_wins_when_several_jobs_panic() {
+        let pool = WorkerPool::new(1); // serial: job 0 panics first
+        let err = pool
+            .scoped_run(3, |i| Box::new(move || panic!("boom {i}")))
+            .unwrap_err();
+        assert_eq!(err.message, "boom 0");
+        assert_eq!(pool.threads(), 1);
     }
 
     #[test]
@@ -191,7 +291,8 @@ mod tests {
                 Box::new(move || {
                     t.fetch_add(1, Ordering::Relaxed);
                 })
-            });
+            })
+            .unwrap();
         }
         assert_eq!(total.load(Ordering::Relaxed), 800);
     }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full repo gate: build, test, lint, format. Run before every commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace --all-targets
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check
+
+echo "check.sh: all gates passed"

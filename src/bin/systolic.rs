@@ -7,6 +7,7 @@
 //! systolic schedule <n> <m> [--grid]                        G-set schedule summary
 //! systolic gantt    <n> <m>                                 cell-occupancy chart
 //! systolic info     <n> [m]                                 paper's analytic measures
+//! systolic campaign [--seed S] [--rate R] [--instances K] …  fault-injection campaign
 //! ```
 //!
 //! Edge files are whitespace-separated `u v` (or `u v w` for `paths`) pairs
@@ -30,6 +31,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("  systolic schedule <n> <m> [--grid]");
     eprintln!("  systolic gantt    <n> <m>");
     eprintln!("  systolic info     <n> [m]");
+    eprintln!("  systolic campaign [--seed S] [--n N] [--cells M] [--instances K] [--rate R] [--retries T] [--hot CELL:WEIGHT]");
     std::process::exit(2);
 }
 
@@ -271,6 +273,86 @@ fn cmd_info(args: &[String]) {
     println!("  partitioning overhead               : 0");
 }
 
+fn cmd_campaign(args: &[String]) {
+    use systolic_bench::campaign::{render_campaign, run_campaign, CampaignConfig};
+    let mut cfg = CampaignConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i)
+                .map(String::as_str)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", args[i - 1])))
+        };
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                cfg.seed = value(i).parse().unwrap_or_else(|_| fail("bad --seed"));
+            }
+            "--n" => {
+                i += 1;
+                cfg.n = value(i).parse().unwrap_or_else(|_| fail("bad --n"));
+            }
+            "--cells" => {
+                i += 1;
+                cfg.cells = value(i).parse().unwrap_or_else(|_| fail("bad --cells"));
+            }
+            "--instances" => {
+                i += 1;
+                cfg.instances = value(i).parse().unwrap_or_else(|_| fail("bad --instances"));
+            }
+            "--rate" => {
+                i += 1;
+                cfg.rate = value(i).parse().unwrap_or_else(|_| fail("bad --rate"));
+            }
+            "--density" => {
+                i += 1;
+                cfg.density = value(i).parse().unwrap_or_else(|_| fail("bad --density"));
+            }
+            "--retries" => {
+                i += 1;
+                cfg.max_retries = value(i).parse().unwrap_or_else(|_| fail("bad --retries"));
+            }
+            "--hot" => {
+                i += 1;
+                let (c, w) = value(i)
+                    .split_once(':')
+                    .unwrap_or_else(|| fail("--hot takes CELL:WEIGHT"));
+                cfg.hot_cell = Some((
+                    c.parse().unwrap_or_else(|_| fail("bad --hot cell")),
+                    w.parse().unwrap_or_else(|_| fail("bad --hot weight")),
+                ));
+            }
+            other => fail(&format!("unknown campaign flag `{other}`")),
+        }
+        i += 1;
+    }
+    if cfg.n < 2 || cfg.cells < 2 || cfg.instances == 0 {
+        fail("campaign needs n ≥ 2, cells ≥ 2 and at least one instance");
+    }
+    let report = run_campaign(&cfg).unwrap_or_else(|e| fail(&e.to_string()));
+    let replay = run_campaign(&cfg).unwrap_or_else(|e| fail(&e.to_string()));
+    print!("{}", render_campaign(&cfg, &report));
+    println!(
+        "replay with the same seed reproduces the identical report: {}",
+        report == replay
+    );
+    if report.unexplained_mismatches > 0 {
+        eprintln!(
+            "error: {} corrupted closure(s) with no injected fault to blame — engine bug",
+            report.unexplained_mismatches
+        );
+        std::process::exit(1);
+    }
+    if report.coverage().is_some_and(|c| c < 0.95) {
+        eprintln!("error: detection coverage fell below the 95% claim");
+        std::process::exit(1);
+    }
+    if report != replay {
+        eprintln!("error: campaign is not reproducible at seed {}", cfg.seed);
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -280,6 +362,7 @@ fn main() {
             "schedule" => cmd_schedule(rest),
             "gantt" => cmd_gantt(rest),
             "info" => cmd_info(rest),
+            "campaign" => cmd_campaign(rest),
             other => fail(&format!("unknown command `{other}`")),
         },
         None => fail("missing command"),

@@ -28,7 +28,9 @@ fn grid_schedules_legal() {
         let s = 1 + rng.gen_usize(5); // 1..=5
         let sched = GsetSchedule::grid(n, s);
         assert_eq!(sched.total_gnodes(), n * (n + 1));
-        sched.verify_legal().map_err(|e| format!("n={n} s={s}: {e}"))?;
+        sched
+            .verify_legal()
+            .map_err(|e| format!("n={n} s={s}: {e}"))?;
         for e in sched.entries() {
             assert!(e.members.len() <= s * s, "n={n} s={s}");
         }
