@@ -3,6 +3,7 @@
 use crate::host::Host;
 use crate::inject::{corrupt_value, FaultInjector, LinkFate};
 use crate::stream::{Bank, Link, StreamDst, StreamSrc};
+use std::sync::Arc;
 use systolic_semiring::Semiring;
 
 /// The G-node role a task executes (see `systolic-transform::ggraph`), plus
@@ -60,6 +61,27 @@ pub struct Task {
     pub label: TaskLabel,
 }
 
+/// A cell's task program: either built in place task by task, or a shared
+/// immutable program compiled once and reused across runs (and across the
+/// engine replicas of a parallel batch). Execution tracks a cursor instead
+/// of consuming the queue, so re-running a schedule needs no rebuild.
+#[derive(Clone, Debug)]
+enum Program {
+    /// Locally built, mutable (the historical `push_task` path).
+    Owned(Vec<Task>),
+    /// Compiled once, shared by reference.
+    Shared(Arc<[Task]>),
+}
+
+impl Program {
+    fn tasks(&self) -> &[Task] {
+        match self {
+            Program::Owned(v) => v,
+            Program::Shared(a) => a,
+        }
+    }
+}
+
 /// Progress made by a cell in one cycle.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Step {
@@ -85,34 +107,132 @@ pub struct Fabric<'a, S: Semiring> {
     pub now: u64,
     /// Active fault injector, if a fault plan was set on the array.
     pub inject: Option<&'a mut FaultInjector>,
+    /// Ready-tracking mode: the cell currently stepping. Failed readiness
+    /// checks park that cell on the stream it needs; `None` (dense polling)
+    /// makes every hook a no-op.
+    pub watch: Option<u32>,
+    /// Wake-ups scheduled this step: `(cycle, cell)`. Drained by the
+    /// simulator's ready-tracking loop.
+    pub wakes: &'a mut Vec<(u64, u32)>,
+    /// Net words added to bank residence (bank writes minus bank reads),
+    /// for incremental `peak_bank_resident` accounting.
+    pub bank_delta: isize,
 }
 
 impl<S: Semiring> Fabric<'_, S> {
-    fn src_ready(&self, src: &StreamSrc, cell: usize) -> bool {
+    fn src_ready(&mut self, src: &StreamSrc, cell: usize) -> bool {
         match *src {
-            StreamSrc::Bank { bank, key } => self.banks[bank].can_read(key, self.now),
-            StreamSrc::Link(l) => self.links[l].can_read(),
-            StreamSrc::Host { key } => self.host.can_read(cell, key, self.now),
+            StreamSrc::Bank { bank, slot } => {
+                let b = &mut self.banks[bank];
+                if b.can_read(slot, self.now) {
+                    return true;
+                }
+                if let Some(watch) = self.watch {
+                    match b.front_ready(slot) {
+                        // A word is in flight: wake exactly when it lands.
+                        Some(ready) => self.wakes.push((ready, watch)),
+                        // Empty stream: park until the next write. An
+                        // evicted contender is woken next cycle so it can
+                        // keep polling (no wake is ever lost).
+                        None => {
+                            if let Some(evicted) = b.park_reader(slot, watch) {
+                                self.wakes.push((self.now + 1, evicted));
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            StreamSrc::Link(l) => {
+                let link = &mut self.links[l];
+                if link.can_read(self.now) {
+                    return true;
+                }
+                if let Some(watch) = self.watch {
+                    match link.front_ready() {
+                        Some(ready) => self.wakes.push((ready, watch)),
+                        None => {
+                            if let Some(evicted) = link.park_reader(watch) {
+                                self.wakes.push((self.now + 1, evicted));
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            StreamSrc::Host { slot } => {
+                if self.host.can_read(cell, slot, self.now) {
+                    return true;
+                }
+                if let Some(watch) = self.watch {
+                    // A word already in transit has a known arrival: wake
+                    // exactly then. With an empty FIFO the cell sleeps and
+                    // the next injection bound for it wakes it (the host
+                    // injects ≤ 1 word/cycle, and every failed step
+                    // re-registers, so no arrival is ever missed).
+                    if let Some(ready) = self.host.front_ready(cell, slot) {
+                        self.wakes.push((ready, watch));
+                    }
+                }
+                false
+            }
         }
     }
 
     fn src_take(&mut self, src: &StreamSrc, cell: usize) -> S::Elem {
         match *src {
-            StreamSrc::Bank { bank, key } => self.banks[bank]
-                .read(key, self.now)
-                .expect("bank readiness checked"),
-            StreamSrc::Link(l) => self.links[l].read().expect("link readiness checked"),
-            StreamSrc::Host { key } => self
+            StreamSrc::Bank { bank, slot } => {
+                self.bank_delta -= 1;
+                self.banks[bank]
+                    .read(slot, self.now)
+                    .expect("bank readiness checked")
+            }
+            StreamSrc::Link(l) => {
+                let link = &mut self.links[l];
+                let e = link.read(self.now).expect("link readiness checked");
+                if let Some(w) = link.take_writer() {
+                    // Freed register space is visible to a writer polled
+                    // later in this same cycle, one cycle later otherwise
+                    // (cells are polled in index order).
+                    let at = if w > cell as u32 {
+                        self.now
+                    } else {
+                        self.now + 1
+                    };
+                    self.wakes.push((at, w));
+                }
+                e
+            }
+            StreamSrc::Host { slot } => self
                 .host
-                .read(cell, key, self.now)
+                .read(cell, slot, self.now)
                 .expect("host readiness checked"),
         }
     }
 
-    fn dst_ready(&self, dst: &StreamDst) -> bool {
+    fn dst_ready(&mut self, dst: &StreamDst) -> bool {
         match *dst {
-            StreamDst::Link(l) => self.links[l].can_write(),
+            StreamDst::Link(l) => {
+                let link = &mut self.links[l];
+                if link.can_write() {
+                    return true;
+                }
+                if let Some(watch) = self.watch {
+                    if let Some(evicted) = link.park_writer(watch) {
+                        self.wakes.push((self.now + 1, evicted));
+                    }
+                }
+                false
+            }
             StreamDst::Bank { .. } | StreamDst::Output { .. } | StreamDst::Sink => true,
+        }
+    }
+
+    fn link_write(&mut self, l: usize, e: S::Elem) {
+        let link = &mut self.links[l];
+        link.write(self.now, e);
+        if let Some(w) = link.take_reader() {
+            self.wakes.push((self.now + link.delay(), w));
         }
     }
 
@@ -130,8 +250,8 @@ impl<S: Semiring> Fabric<'_, S> {
                         LinkFate::Deliver => {}
                         LinkFate::Drop => return,
                         LinkFate::Duplicate => {
-                            self.links[l].write(e.clone());
-                            self.links[l].force_write(e);
+                            self.link_write(l, e.clone());
+                            self.links[l].force_write(self.now, e);
                             return;
                         }
                     }
@@ -139,20 +259,30 @@ impl<S: Semiring> Fabric<'_, S> {
             }
         }
         match *dst {
-            StreamDst::Bank { bank, key } => self.banks[bank].write(key, self.now, e),
-            StreamDst::Link(l) => self.links[l].write(e),
+            StreamDst::Bank { bank, slot } => {
+                let b = &mut self.banks[bank];
+                b.write(slot, self.now, e);
+                self.bank_delta += 1;
+                if let Some(w) = b.take_reader(slot) {
+                    // Bank writes land with one cycle of latency.
+                    self.wakes.push((self.now + 1, w));
+                }
+            }
+            StreamDst::Link(l) => self.link_write(l, e),
             StreamDst::Output { stream } => self.outputs[stream].push(e),
             StreamDst::Sink => {}
         }
     }
 }
 
-/// A processing element executing its task queue by dataflow firing.
+/// A processing element executing its task program by dataflow firing.
 #[derive(Clone, Debug)]
 pub struct Cell<S: Semiring> {
     /// Cell index within the array.
     pub id: usize,
-    tasks: std::collections::VecDeque<Task>,
+    program: Program,
+    /// Next task to execute.
+    cursor: usize,
     /// Element index within the current task.
     pos: usize,
     /// The latched head of the current stream (pivot-row element `q`).
@@ -178,7 +308,8 @@ impl<S: Semiring> Cell<S> {
     pub fn new(id: usize) -> Self {
         Self {
             id,
-            tasks: std::collections::VecDeque::new(),
+            program: Program::Owned(Vec::new()),
+            cursor: 0,
             pos: 0,
             latch: None,
             deferred: None,
@@ -191,14 +322,44 @@ impl<S: Semiring> Cell<S> {
     }
 
     /// Appends a task to the cell's program.
+    ///
+    /// # Panics
+    /// Panics if the cell runs a shared compiled program.
     pub fn push_task(&mut self, t: Task) {
         debug_assert!(t.len >= 1, "streams must be non-empty");
-        self.tasks.push_back(t);
+        match &mut self.program {
+            Program::Owned(v) => v.push(t),
+            Program::Shared(_) => panic!("cannot extend a shared compiled program"),
+        }
+    }
+
+    /// Installs a compiled program shared by reference (replacing any
+    /// previous program) and rewinds execution to its start.
+    pub fn set_program(&mut self, tasks: Arc<[Task]>) {
+        self.program = Program::Shared(tasks);
+        self.cursor = 0;
+        self.pos = 0;
     }
 
     /// Remaining task count (a pending deferred head counts as work).
     pub fn pending(&self) -> usize {
-        self.tasks.len() + usize::from(self.deferred.is_some())
+        (self.program.tasks().len() - self.cursor) + usize::from(self.deferred.is_some())
+    }
+
+    /// Rewinds the program and clears all dynamic state and counters,
+    /// keeping the program itself (shared or owned) and allocations.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.pos = 0;
+        self.latch = None;
+        self.deferred = None;
+        self.busy_cycles = 0;
+        self.stall_cycles = 0;
+        self.useful_ops = 0;
+        if let Some(spans) = &mut self.spans {
+            spans.clear();
+        }
+        self.cur_start = 0;
     }
 
     /// Describes what this cell is waiting on, for deadlock reports.
@@ -210,7 +371,7 @@ impl<S: Semiring> Cell<S> {
                 self.id
             ));
         }
-        let t = self.tasks.front()?;
+        let t = self.program.tasks().get(self.cursor)?;
         Some(format!(
             "cell {}: {:?} (k={}, h={}) stalled at element {}/{}; \
              col_in={:?} pivot_in={:?} col_out={:?} pivot_out={:?}",
@@ -232,13 +393,14 @@ impl<S: Semiring> Cell<S> {
         // Flush the previous task's trailing head first; it uses the output
         // port this cycle, so a failed flush stalls the cell.
         if let Some((dst, _)) = &self.deferred {
-            if fab.dst_ready(dst) {
+            let dst = *dst;
+            if fab.dst_ready(&dst) {
                 let (dst, e) = self.deferred.take().expect("checked above");
                 fab.dst_put(&dst, e, self.id);
                 self.busy_cycles += 1;
                 // The current task's first element may fire in the same
                 // cycle (r = 0 never writes the column port); fall through.
-                if self.tasks.is_empty() {
+                if self.program.tasks().len() == self.cursor {
                     return Step::Worked;
                 }
             } else {
@@ -246,7 +408,7 @@ impl<S: Semiring> Cell<S> {
                 return Step::Stalled;
             }
         }
-        let Some(task) = self.tasks.front() else {
+        let Some(task) = self.program.tasks().get(self.cursor) else {
             return Step::Done;
         };
         let cell = self.id;
@@ -390,7 +552,7 @@ impl<S: Semiring> Cell<S> {
         if self.pos == n {
             self.useful_ops += useful;
             if let Some(spans) = &mut self.spans {
-                let label = self.tasks.front().expect("task active").label;
+                let label = self.program.tasks()[self.cursor].label;
                 spans.push(crate::trace::TaskSpan {
                     cell: self.id,
                     start: self.cur_start,
@@ -399,7 +561,7 @@ impl<S: Semiring> Cell<S> {
                 });
             }
             self.pos = 0;
-            self.tasks.pop_front();
+            self.cursor += 1;
         }
         Step::Worked
     }
@@ -423,6 +585,7 @@ mod tests {
         let mut banks: Vec<Bank<bool>> = vec![];
         let mut host = Host::<Bool>::new(0, 0);
         let mut outputs: Vec<Vec<bool>> = vec![];
+        let mut wakes = Vec::new();
         let mut fab = Fabric::<Bool> {
             links: &mut links,
             banks: &mut banks,
@@ -430,7 +593,32 @@ mod tests {
             outputs: &mut outputs,
             now: 0,
             inject: None,
+            watch: None,
+            wakes: &mut wakes,
+            bank_delta: 0,
         };
         assert_eq!(cell.step(&mut fab), Step::Done);
+    }
+
+    #[test]
+    fn reset_rewinds_a_shared_program() {
+        let mut cell = Cell::<Bool>::new(3);
+        let tasks: Arc<[Task]> = vec![Task {
+            kind: TaskKind::Pass,
+            len: 1,
+            col_in: Some(StreamSrc::Bank { bank: 0, slot: 0 }),
+            pivot_in: None,
+            col_out: Some(StreamDst::Sink),
+            pivot_out: None,
+            useful_ops: 0,
+            label: TaskLabel::default(),
+        }]
+        .into();
+        cell.set_program(Arc::clone(&tasks));
+        assert_eq!(cell.pending(), 1);
+        cell.busy_cycles = 5;
+        cell.reset();
+        assert_eq!(cell.pending(), 1, "program survives reset");
+        assert_eq!(cell.busy_cycles, 0);
     }
 }

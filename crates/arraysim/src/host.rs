@@ -7,23 +7,33 @@
 //! the paper's decoupling of data transfer from computation: injection runs
 //! ahead of the schedule and the *measured* injection rate is the
 //! `D_I/O = m/n` of §3.2.
+//!
+//! Like [`crate::Bank`], R-block memories are Vec-backed slot tables:
+//! stream keys are interned to dense slots at schedule-compile time, so
+//! the per-cycle `can_read`/`read` path never hashes.
 
-use crate::stream::Link; // re-exported type family; not used directly but keeps module deps explicit
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use systolic_semiring::Semiring;
 
-/// Per-cell R-block memory: `stream key → FIFO of (ready_cycle, word)`.
-type RBlock<E> = HashMap<u64, VecDeque<(u64, E)>>;
+/// Per-cell R-block memory: `stream slot → FIFO of (ready_cycle, word)`.
+type RBlock<E> = Vec<VecDeque<(u64, E)>>;
 
-#[allow(unused)]
-fn _link_type_anchor<E>(_: &Link<E>) {}
+/// The landing site of one injected word, for wake scheduling: the word
+/// becomes readable by `cell` at cycle `arrival`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Injection {
+    /// Destination cell.
+    pub cell: usize,
+    /// Cycle at which the word becomes readable.
+    pub arrival: u64,
+}
 
 /// Host feeder with per-cell R-block memories.
 #[derive(Clone, Debug)]
 pub struct Host<S: Semiring> {
-    /// Pending injections in order: `(cell, key, element)`.
-    queue: VecDeque<(usize, u64, S::Elem)>,
-    /// Per-cell R-block memory: `key → FIFO of (ready_cycle, element)`.
+    /// Pending injections in order: `(cell, slot, element)`.
+    queue: VecDeque<(usize, usize, S::Elem)>,
+    /// Per-cell R-block memory: `slot → FIFO of (ready_cycle, element)`.
     rblocks: Vec<RBlock<S::Elem>>,
     /// Extra transit cycles before the chain's first R-block.
     base_latency: u64,
@@ -44,7 +54,7 @@ impl<S: Semiring> Host<S> {
     pub fn new(cells: usize, base_latency: u64) -> Self {
         Self {
             queue: VecDeque::new(),
-            rblocks: vec![HashMap::new(); cells],
+            rblocks: vec![Vec::new(); cells],
             base_latency,
             injected: 0,
             first_injection: None,
@@ -54,15 +64,15 @@ impl<S: Semiring> Host<S> {
         }
     }
 
-    /// Queues a whole input stream for cell `cell` under stream `key`.
+    /// Queues a whole input stream for cell `cell` under stream `slot`.
     pub fn enqueue_stream(
         &mut self,
         cell: usize,
-        key: u64,
+        slot: usize,
         words: impl IntoIterator<Item = S::Elem>,
     ) {
         for w in words {
-            self.queue.push_back((cell, key, w));
+            self.queue.push_back((cell, slot, w));
         }
     }
 
@@ -71,35 +81,43 @@ impl<S: Semiring> Host<S> {
         self.queue.len()
     }
 
-    /// Injects at most one word into the chain; returns true on injection.
-    pub fn tick(&mut self, now: u64) -> bool {
-        let Some((cell, key, w)) = self.queue.pop_front() else {
-            return false;
-        };
+    /// Injects at most one word into the chain; reports where it lands.
+    pub fn tick(&mut self, now: u64) -> Option<Injection> {
+        let (cell, slot, w) = self.queue.pop_front()?;
         let arrival = now + self.base_latency + cell as u64 + 1;
-        self.rblocks[cell]
-            .entry(key)
-            .or_default()
-            .push_back((arrival, w));
+        let rblock = &mut self.rblocks[cell];
+        if rblock.len() <= slot {
+            rblock.resize_with(slot + 1, VecDeque::new);
+        }
+        rblock[slot].push_back((arrival, w));
         self.injected += 1;
         self.first_injection.get_or_insert(now);
         self.last_injection = Some(now);
         self.resident += 1;
         self.peak_resident = self.peak_resident.max(self.resident);
-        true
+        Some(Injection { cell, arrival })
     }
 
-    /// True when cell `cell` can read the next word of stream `key`.
-    pub fn can_read(&self, cell: usize, key: u64, now: u64) -> bool {
+    /// True when cell `cell` can read the next word of stream `slot`.
+    pub fn can_read(&self, cell: usize, slot: usize, now: u64) -> bool {
         self.rblocks[cell]
-            .get(&key)
+            .get(slot)
             .and_then(VecDeque::front)
             .is_some_and(|(ready, _)| *ready <= now)
     }
 
-    /// Reads the next word of stream `key` at cell `cell`, if arrived.
-    pub fn read(&mut self, cell: usize, key: u64, now: u64) -> Option<S::Elem> {
-        let fifo = self.rblocks[cell].get_mut(&key)?;
+    /// Arrival cycle of the next word of stream `slot` at cell `cell`
+    /// (already landed or still in transit), if any word has been injected.
+    pub fn front_ready(&self, cell: usize, slot: usize) -> Option<u64> {
+        self.rblocks[cell]
+            .get(slot)
+            .and_then(VecDeque::front)
+            .map(|(ready, _)| *ready)
+    }
+
+    /// Reads the next word of stream `slot` at cell `cell`, if arrived.
+    pub fn read(&mut self, cell: usize, slot: usize, now: u64) -> Option<S::Elem> {
+        let fifo = self.rblocks[cell].get_mut(slot)?;
         if fifo.front().is_some_and(|(ready, _)| *ready <= now) {
             self.resident -= 1;
             fifo.pop_front().map(|(_, e)| e)
@@ -117,6 +135,22 @@ impl<S: Semiring> Host<S> {
     pub fn max_latency(&self) -> u64 {
         self.base_latency + self.rblocks.len() as u64 + 1
     }
+
+    /// Clears all dynamic state (queue, buffered words, counters) while
+    /// keeping the chain structure and R-block slot allocations.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        for rblock in &mut self.rblocks {
+            for fifo in rblock.iter_mut() {
+                fifo.clear();
+            }
+        }
+        self.injected = 0;
+        self.first_injection = None;
+        self.last_injection = None;
+        self.peak_resident = 0;
+        self.resident = 0;
+    }
 }
 
 #[cfg(test)]
@@ -128,10 +162,22 @@ mod tests {
     fn injection_is_one_word_per_cycle_with_chain_latency() {
         let mut h = Host::<MinPlus>::new(3, 0);
         h.enqueue_stream(2, 7, [10u64, 20]);
-        assert!(h.tick(0));
-        assert!(h.tick(1));
-        assert!(!h.tick(2), "queue drained");
         // Word for cell 2 arrives at cycle 0 + 2 + 1 = 3.
+        assert_eq!(
+            h.tick(0),
+            Some(Injection {
+                cell: 2,
+                arrival: 3
+            })
+        );
+        assert_eq!(
+            h.tick(1),
+            Some(Injection {
+                cell: 2,
+                arrival: 4
+            })
+        );
+        assert_eq!(h.tick(2), None, "queue drained");
         assert!(!h.can_read(2, 7, 2));
         assert!(h.can_read(2, 7, 3));
         assert_eq!(h.read(2, 7, 3), Some(10));
@@ -142,7 +188,7 @@ mod tests {
     }
 
     #[test]
-    fn streams_keyed_independently() {
+    fn streams_slotted_independently() {
         let mut h = Host::<MinPlus>::new(1, 0);
         h.enqueue_stream(0, 1, [1u64]);
         h.enqueue_stream(0, 2, [2u64]);
@@ -152,5 +198,18 @@ mod tests {
         assert_eq!(h.read(0, 1, 10), Some(1));
         assert_eq!(h.in_flight(), 0);
         assert_eq!(h.peak_resident, 2);
+    }
+
+    #[test]
+    fn reset_keeps_structure_and_clears_state() {
+        let mut h = Host::<MinPlus>::new(2, 1);
+        h.enqueue_stream(1, 0, [5u64]);
+        h.tick(0);
+        h.reset();
+        assert_eq!(h.pending(), 0);
+        assert_eq!(h.in_flight(), 0);
+        assert_eq!(h.injected, 0);
+        assert_eq!(h.max_latency(), 1 + 2 + 1);
+        assert_eq!(h.read(1, 0, 100), None);
     }
 }

@@ -312,6 +312,11 @@ impl FaultInjector {
         &self.log
     }
 
+    /// Takes the applied-fault events out of the log without cloning.
+    pub fn take_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.log.events)
+    }
+
     fn budget_left(&self) -> bool {
         (self.log.len() as u64) < self.plan.max_faults
     }

@@ -2,9 +2,12 @@
 
 use crate::cell::{Cell, Fabric, Step, Task};
 use crate::host::Host;
-use crate::inject::{corrupt_value, FaultInjector, FaultLog, FaultPlan, FaultReport};
+use crate::inject::{corrupt_value, FaultEvent, FaultInjector, FaultLog, FaultPlan, FaultReport};
 use crate::stats::{PhaseStats, RunStats, BUSY_HISTOGRAM_BUCKETS};
 use crate::stream::{Bank, Link};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 use systolic_semiring::Semiring;
 
 /// Simulation failure.
@@ -48,6 +51,9 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Not scheduled / not asleep sentinel for the ready-tracking loop.
+const IDLE: u64 = u64::MAX;
 
 /// A configured systolic array: cells, links, banks, host and collectors.
 pub struct ArraySim<S: Semiring> {
@@ -95,6 +101,14 @@ impl<S: Semiring> ArraySim<S> {
         self.injector.as_ref().map(FaultInjector::log)
     }
 
+    /// Takes the applied-fault events out of the injector without cloning
+    /// (empty without a fault plan). Call after collecting stats.
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.injector
+            .as_mut()
+            .map_or_else(Vec::new, FaultInjector::take_events)
+    }
+
     /// Sets the cycle budget (default: unlimited).
     pub fn set_max_cycles(&mut self, max: u64) {
         self.max_cycles = max;
@@ -125,6 +139,13 @@ impl<S: Semiring> ArraySim<S> {
         self.banks.len() - 1
     }
 
+    /// Adds a bank with a pre-sized slot table (one slot per interned
+    /// stream key, visited in key order by fault injection).
+    pub fn add_bank_with_slots(&mut self, sort_keys: Vec<u64>) -> usize {
+        self.banks.push(Bank::with_slots(sort_keys));
+        self.banks.len() - 1
+    }
+
     /// Adds `count` output collector streams, returning the first index.
     pub fn add_outputs(&mut self, count: usize) -> usize {
         let first = self.outputs.len();
@@ -145,6 +166,33 @@ impl<S: Semiring> ArraySim<S> {
     /// Appends a task to cell `cell`'s program.
     pub fn push_task(&mut self, cell: usize, t: Task) {
         self.cells[cell].push_task(t);
+    }
+
+    /// Installs a compiled, shared task program on cell `cell`.
+    pub fn set_cell_program(&mut self, cell: usize, tasks: Arc<[Task]>) {
+        self.cells[cell].set_program(tasks);
+    }
+
+    /// Clears all dynamic state — words in flight, stream contents, output
+    /// collectors, counters, the armed fault plan — while keeping the array
+    /// structure, cell programs and every allocation, so a compiled
+    /// schedule re-runs without rebuilding anything.
+    pub fn reset(&mut self) {
+        for c in &mut self.cells {
+            c.reset();
+        }
+        for l in &mut self.links {
+            l.reset();
+        }
+        for b in &mut self.banks {
+            b.reset();
+        }
+        self.host.reset();
+        for o in &mut self.outputs {
+            o.clear();
+        }
+        self.peak_bank_resident = 0;
+        self.injector = None;
     }
 
     /// Enables task-span tracing (see [`crate::trace`]).
@@ -176,10 +224,28 @@ impl<S: Semiring> ArraySim<S> {
 
     /// Runs the simulation to completion.
     ///
+    /// Clean runs use the ready-tracking loop (blocked cells are parked on
+    /// the stream they wait for and skipped until it changes); runs with an
+    /// armed fault plan use the dense reference loop, whose poll-every-cell
+    /// order the fault plan's decision stream is keyed to.
+    ///
     /// # Errors
     /// [`SimError::Deadlock`] when dataflow can no longer progress,
     /// [`SimError::Timeout`] when the cycle budget is exceeded.
     pub fn run(&mut self) -> Result<RunStats, SimError> {
+        if self.injector.is_some() {
+            self.run_dense()
+        } else {
+            self.run_ready()
+        }
+    }
+
+    /// The ready-tracking cycle loop. Semantically identical to
+    /// [`ArraySim::run_dense`] (verified by property test): every readiness
+    /// transition schedules a wake-up, parked cells accrue their skipped
+    /// stall cycles lazily on wake, and in-cycle wake order reproduces the
+    /// dense loop's ascending-cell-index polling.
+    fn run_ready(&mut self) -> Result<RunStats, SimError> {
         let started = std::time::Instant::now();
         let mut now: u64 = 0;
         let mut quiet_cycles: u64 = 0;
@@ -187,6 +253,176 @@ impl<S: Semiring> ArraySim<S> {
         let mut last_fire: Option<u64> = None;
         let max_link_delay = self.links.iter().map(Link::delay).max().unwrap_or(1);
         let grace = self.host.max_latency().max(max_link_delay) + 2;
+
+        // Scheduling state: `sched[c]` is the cycle cell `c` will next be
+        // stepped (IDLE = parked or retired); `sleep_from[c]` is the cycle
+        // it parked, for lazy stall accounting. Heap entries not matching
+        // `sched` are stale and skipped.
+        let ncells = self.cells.len();
+        let mut sched = vec![IDLE; ncells];
+        let mut sleep_from = vec![IDLE; ncells];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(ncells + 4);
+        let mut remaining = 0usize;
+        for c in &self.cells {
+            if c.pending() > 0 {
+                remaining += 1;
+                sched[c.id] = 0;
+                heap.push(Reverse((0, c.id as u32)));
+            }
+        }
+        let mut wakes: Vec<(u64, u32)> = Vec::new();
+        let mut bank_resident: isize =
+            self.banks.iter().map(Bank::resident).sum::<usize>() as isize;
+        let mut peak_resident = self.peak_bank_resident as isize;
+
+        macro_rules! wake {
+            ($cell:expr, $at:expr) => {{
+                let (w, at) = ($cell as usize, $at);
+                // Retired cells and cells already due at or before `at`
+                // need no entry; a spurious earlier wake is harmless.
+                if self.cells[w].pending() > 0 && sched[w] > at {
+                    sched[w] = at;
+                    heap.push(Reverse((at, w as u32)));
+                }
+            }};
+        }
+
+        while remaining > 0 {
+            if now >= self.max_cycles {
+                return Err(SimError::Timeout {
+                    max_cycles: self.max_cycles,
+                });
+            }
+
+            let injected = match self.host.tick(now) {
+                Some(inj) => {
+                    // The word's arrival cycle is known at injection time:
+                    // wake its destination cell exactly then.
+                    wake!(inj.cell, inj.arrival);
+                    true
+                }
+                None => false,
+            };
+
+            let mut cell_fired = false;
+            let bank_delta: isize;
+            {
+                let mut fab = Fabric::<S> {
+                    links: &mut self.links,
+                    banks: &mut self.banks,
+                    host: &mut self.host,
+                    outputs: &mut self.outputs,
+                    now,
+                    inject: None,
+                    watch: None,
+                    wakes: &mut wakes,
+                    bank_delta: 0,
+                };
+                while let Some(&Reverse((t, c))) = heap.peek() {
+                    if t > now {
+                        break;
+                    }
+                    heap.pop();
+                    let ci = c as usize;
+                    if sched[ci] != t {
+                        continue; // stale entry
+                    }
+                    // Lazily charge the stall cycles this cell slept
+                    // through: +1 was counted when it parked, the step
+                    // below re-counts the current cycle if it stalls again.
+                    if sleep_from[ci] != IDLE {
+                        self.cells[ci].stall_cycles += now - sleep_from[ci] - 1;
+                        sleep_from[ci] = IDLE;
+                    }
+                    fab.watch = Some(c);
+                    match self.cells[ci].step(&mut fab) {
+                        Step::Worked => {
+                            cell_fired = true;
+                            if self.cells[ci].pending() == 0 {
+                                remaining -= 1;
+                                sched[ci] = IDLE;
+                            } else {
+                                sched[ci] = now + 1;
+                                heap.push(Reverse((now + 1, c)));
+                            }
+                        }
+                        Step::Stalled => {
+                            sched[ci] = IDLE;
+                            sleep_from[ci] = now;
+                        }
+                        Step::Done => {
+                            remaining -= 1;
+                            sched[ci] = IDLE;
+                        }
+                    }
+                    while let Some((at, w)) = fab.wakes.pop() {
+                        wake!(w, at);
+                    }
+                }
+                bank_delta = fab.bank_delta;
+                // (fab drops here; `wakes` is empty between cycles.)
+            }
+
+            if cell_fired {
+                first_fire.get_or_insert(now);
+                last_fire = Some(now);
+            }
+            for b in &mut self.banks {
+                b.tick();
+            }
+            if injected || cell_fired {
+                quiet_cycles = 0;
+            } else {
+                quiet_cycles += 1;
+                if quiet_cycles > grace {
+                    return Err(SimError::Deadlock {
+                        cycle: now,
+                        pending: self.cells.iter().map(Cell::pending).collect(),
+                        blocked: self
+                            .cells
+                            .iter()
+                            .filter_map(Cell::describe_blocked)
+                            .collect(),
+                    });
+                }
+            }
+            now += 1;
+            bank_resident += bank_delta;
+            peak_resident = peak_resident.max(bank_resident);
+        }
+        self.peak_bank_resident = peak_resident as usize;
+
+        let phases = match (first_fire, last_fire) {
+            (Some(f), Some(l)) => PhaseStats {
+                load_cycles: f,
+                compute_cycles: l - f + 1,
+                drain_cycles: now - l - 1,
+            },
+            _ => PhaseStats {
+                load_cycles: now,
+                compute_cycles: 0,
+                drain_cycles: 0,
+            },
+        };
+        Ok(self.collect_stats(now, phases, started.elapsed().as_nanos() as u64))
+    }
+
+    /// The dense reference loop: polls every cell, every cycle. Kept both
+    /// as the executable specification the ready-tracking loop is verified
+    /// against and as the execution path for fault-injected runs, whose
+    /// per-cycle decision stream is keyed to this poll order.
+    ///
+    /// # Errors
+    /// Same contract as [`ArraySim::run`].
+    pub fn run_dense(&mut self) -> Result<RunStats, SimError> {
+        let started = std::time::Instant::now();
+        let mut now: u64 = 0;
+        let mut quiet_cycles: u64 = 0;
+        let mut first_fire: Option<u64> = None;
+        let mut last_fire: Option<u64> = None;
+        let max_link_delay = self.links.iter().map(Link::delay).max().unwrap_or(1);
+        let grace = self.host.max_latency().max(max_link_delay) + 2;
+        let mut wakes: Vec<(u64, u32)> = Vec::new();
 
         loop {
             let work_left = self.cells.iter().any(|c| c.pending() > 0);
@@ -212,7 +448,7 @@ impl<S: Semiring> ArraySim<S> {
                 }
             }
 
-            let injected = self.host.tick(now);
+            let injected = self.host.tick(now).is_some();
             let mut any_worked = injected;
             let mut cell_fired = false;
             {
@@ -223,6 +459,9 @@ impl<S: Semiring> ArraySim<S> {
                     outputs: &mut self.outputs,
                     now,
                     inject: self.injector.as_mut(),
+                    watch: None,
+                    wakes: &mut wakes,
+                    bank_delta: 0,
                 };
                 for cell in &mut self.cells {
                     // A stuck cell's sequencer makes no progress: it neither
@@ -246,9 +485,6 @@ impl<S: Semiring> ArraySim<S> {
             if cell_fired {
                 first_fire.get_or_insert(now);
                 last_fire = Some(now);
-            }
-            for l in &mut self.links {
-                l.tick();
             }
             for b in &mut self.banks {
                 b.tick();
@@ -374,7 +610,7 @@ mod tests {
             sim.bank_mut(b).preload(1, w);
         }
         let mut t = task(TaskKind::DelayTail, 4);
-        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, slot: 1 });
         t.col_out = Some(StreamDst::Output { stream: o });
         sim.push_task(0, t);
         let stats = sim.run().unwrap();
@@ -401,11 +637,11 @@ mod tests {
             sim.bank_mut(b).preload(1, w);
         }
         let mut head = task(TaskKind::PivotHead, 3);
-        head.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+        head.col_in = Some(StreamSrc::Bank { bank: b, slot: 0 });
         head.pivot_out = Some(StreamDst::Link(l));
         sim.push_task(0, head);
         let mut fuse = task(TaskKind::Fuse, 3);
-        fuse.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+        fuse.col_in = Some(StreamSrc::Bank { bank: b, slot: 1 });
         fuse.pivot_in = Some(StreamSrc::Link(l));
         fuse.col_out = Some(StreamDst::Output { stream: o });
         fuse.useful_ops = 1;
@@ -423,7 +659,7 @@ mod tests {
         let mut sim = ArraySim::<MinPlus>::new(1);
         let b = sim.add_bank();
         let mut t = task(TaskKind::DelayTail, 2);
-        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 9 }); // never filled
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, slot: 9 }); // never filled
         sim.push_task(0, t);
         match sim.run() {
             Err(SimError::Deadlock { pending, .. }) => assert_eq!(pending, vec![1]),
@@ -436,7 +672,7 @@ mod tests {
         let mut sim = ArraySim::<MinPlus>::new(1);
         let b = sim.add_bank();
         let mut t = task(TaskKind::DelayTail, 2);
-        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 9 });
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, slot: 9 });
         sim.push_task(0, t);
         sim.set_max_cycles(1);
         assert_eq!(sim.run(), Err(SimError::Timeout { max_cycles: 1 }));
@@ -448,7 +684,7 @@ mod tests {
         let o = sim.add_outputs(1);
         sim.host_mut().enqueue_stream(1, 3, [5u64, 6, 7]);
         let mut t = task(TaskKind::Pass, 3);
-        t.col_in = Some(StreamSrc::Host { key: 3 });
+        t.col_in = Some(StreamSrc::Host { slot: 3 });
         t.col_out = Some(StreamDst::Output { stream: o });
         sim.push_task(1, t);
         let stats = sim.run().unwrap();
@@ -473,11 +709,11 @@ mod tests {
             sim.bank_mut(b).preload(2, w);
         }
         let mut t = task(TaskKind::LoadAcc, 1);
-        t.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+        t.col_in = Some(StreamSrc::Bank { bank: b, slot: 0 });
         sim.push_task(0, t);
         let mut t = task(TaskKind::Mac, 3);
-        t.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
-        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 2 });
+        t.col_in = Some(StreamSrc::Bank { bank: b, slot: 1 });
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, slot: 2 });
         sim.push_task(0, t);
         let mut t = task(TaskKind::EmitAcc, 1);
         t.col_out = Some(StreamDst::Output { stream: o });
@@ -499,8 +735,8 @@ mod tests {
             sim.bank_mut(b).preload(2, w);
         }
         let mut t = task(TaskKind::Mac, 2);
-        t.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
-        t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 2 });
+        t.col_in = Some(StreamSrc::Bank { bank: b, slot: 1 });
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, slot: 2 });
         t.col_out = Some(StreamDst::Output { stream: o });
         t.pivot_out = Some(StreamDst::Output { stream: o + 1 });
         sim.push_task(0, t);
@@ -534,7 +770,7 @@ mod tests {
             sim.bank_mut(b).preload(0, w);
         }
         let mut t = task(TaskKind::Pass, 4);
-        t.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+        t.col_in = Some(StreamSrc::Bank { bank: b, slot: 0 });
         t.col_out = Some(StreamDst::Link(l));
         sim.push_task(0, t);
         let mut t = task(TaskKind::Pass, 4);
@@ -547,5 +783,68 @@ mod tests {
         // transit; the stream then drains one word per cycle (4 words in 7
         // cycles), strictly slower than the 1-cycle-link case (6).
         assert_eq!(stats.cycles, 7);
+    }
+
+    /// Builds the pivot-head/fuse scenario twice and checks the ready
+    /// loop against the dense reference, stats included.
+    #[test]
+    fn ready_loop_matches_dense_reference() {
+        let build = || {
+            let mut sim = ArraySim::<Bool>::new(2);
+            let b = sim.add_bank();
+            let l = sim.add_link();
+            let o = sim.add_outputs(1);
+            for w in [true, true, false] {
+                sim.bank_mut(b).preload(0, w);
+            }
+            for w in [true, false, false] {
+                sim.bank_mut(b).preload(1, w);
+            }
+            let mut head = task(TaskKind::PivotHead, 3);
+            head.col_in = Some(StreamSrc::Bank { bank: b, slot: 0 });
+            head.pivot_out = Some(StreamDst::Link(l));
+            sim.push_task(0, head);
+            let mut fuse = task(TaskKind::Fuse, 3);
+            fuse.col_in = Some(StreamSrc::Bank { bank: b, slot: 1 });
+            fuse.pivot_in = Some(StreamSrc::Link(l));
+            fuse.col_out = Some(StreamDst::Output { stream: o });
+            fuse.useful_ops = 1;
+            sim.push_task(1, fuse);
+            sim
+        };
+        let mut ready = build();
+        let mut dense = build();
+        let rs = ready.run().unwrap();
+        let ds = dense.run_dense().unwrap();
+        assert_eq!(ready.outputs(), dense.outputs());
+        // PartialEq on RunStats ignores wall time.
+        assert_eq!(rs, ds);
+        assert_eq!(rs.stalls, ds.stalls, "lazy stall accounting must match");
+        assert_eq!(rs.peak_bank_resident, ds.peak_bank_resident);
+    }
+
+    #[test]
+    fn reset_allows_an_identical_rerun() {
+        let mut sim = ArraySim::<MinPlus>::new(1);
+        let b = sim.add_bank();
+        let o = sim.add_outputs(1);
+        let load = |sim: &mut ArraySim<MinPlus>| {
+            for w in [10u64, 20, 30] {
+                sim.bank_mut(b).preload(1, w);
+            }
+        };
+        load(&mut sim);
+        let mut t = task(TaskKind::DelayTail, 3);
+        t.pivot_in = Some(StreamSrc::Bank { bank: b, slot: 1 });
+        t.col_out = Some(StreamDst::Output { stream: o });
+        let tasks: Arc<[Task]> = vec![t].into();
+        sim.set_cell_program(0, tasks);
+        let s1 = sim.run().unwrap();
+        let out1 = sim.outputs()[0].clone();
+        sim.reset();
+        load(&mut sim);
+        let s2 = sim.run().unwrap();
+        assert_eq!(sim.outputs()[0], out1);
+        assert_eq!(s1, s2);
     }
 }

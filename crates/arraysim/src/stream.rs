@@ -1,6 +1,25 @@
 //! Links, banks and stream endpoints.
+//!
+//! Banks (and the host's R-block memories) store logical streams in
+//! Vec-backed *slot tables*: schedule compilation interns each 64-bit
+//! `stream_key` into a dense slot index once, so the cycle loop indexes a
+//! `Vec` instead of hashing a `u64` on every `can_read`/`read`/`write`.
+//! Direct (non-compiled) users simply use small integers as slots; the
+//! tables auto-extend, with the slot index doubling as the fault-visit
+//! sort key.
+//!
+//! Links and bank slots also carry *waiter* registration used by the
+//! ready-tracking simulator loop ([`crate::ArraySim::run`]): a blocked
+//! cell parks itself on the stream it needs, and the next write (or read,
+//! for backpressure) schedules its wake-up. A second cell parking on an
+//! already-claimed stream evicts the first with an immediate wake, so a
+//! contended stream degrades to per-cycle polling instead of ever losing
+//! a wake.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+/// Sentinel slot-waiter value: no cell is parked here.
+pub(crate) const NO_WAITER: u32 = u32::MAX;
 
 /// A neighbor register chain: a word written at cycle `t` becomes readable
 /// at `t + delay` (default delay 1 — a single register).
@@ -9,14 +28,18 @@ use std::collections::{HashMap, VecDeque};
 /// one), which models back-to-back pipelined registers. Writers must check
 /// [`Link::can_write`]; full means backpressure. Delays larger than 1 model
 /// bypass routes around faulty cells (§5's fault-tolerance discussion).
+///
+/// Links are clockless: readiness is judged against the cycle passed by
+/// the caller, so an idle link costs nothing per cycle.
 #[derive(Clone, Debug)]
 pub struct Link<E> {
     fifo: VecDeque<(u64, E)>,
     delay: u64,
     cap: usize,
-    now: u64,
     /// Total words transported.
     pub words: u64,
+    read_waiter: u32,
+    write_waiter: u32,
 }
 
 impl<E> Default for Link<E> {
@@ -38,8 +61,9 @@ impl<E> Link<E> {
             fifo: VecDeque::new(),
             delay,
             cap: delay as usize + 1,
-            now: 0,
             words: 0,
+            read_waiter: NO_WAITER,
+            write_waiter: NO_WAITER,
         }
     }
 
@@ -54,13 +78,14 @@ impl<E> Link<E> {
         self.fifo.len() < self.cap
     }
 
-    /// Writes a word (must be writable), readable `delay` cycles later.
+    /// Writes a word at cycle `now` (must be writable), readable `delay`
+    /// cycles later.
     ///
     /// # Panics
     /// Panics if the link is full — callers must check [`Link::can_write`].
-    pub fn write(&mut self, e: E) {
+    pub fn write(&mut self, now: u64, e: E) {
         assert!(self.can_write(), "link overwrite");
-        self.fifo.push_back((self.now + self.delay, e));
+        self.fifo.push_back((now + self.delay, e));
         self.words += 1;
     }
 
@@ -68,46 +93,92 @@ impl<E> Link<E> {
     /// injection to model a duplicated register transfer. May exceed the
     /// register capacity by one word transiently; backpressure reasserts
     /// itself once the extra word drains.
-    pub fn force_write(&mut self, e: E) {
-        self.fifo.push_back((self.now + self.delay, e));
+    pub fn force_write(&mut self, now: u64, e: E) {
+        self.fifo.push_back((now + self.delay, e));
         self.words += 1;
     }
 
-    /// True when a word is readable this cycle.
+    /// True when a word is readable at cycle `now`.
     #[inline]
-    pub fn can_read(&self) -> bool {
-        self.fifo
-            .front()
-            .is_some_and(|(ready, _)| *ready <= self.now)
+    pub fn can_read(&self, now: u64) -> bool {
+        self.fifo.front().is_some_and(|(ready, _)| *ready <= now)
     }
 
-    /// Consumes the readable word, if any.
-    pub fn read(&mut self) -> Option<E> {
-        if self.can_read() {
+    /// The cycle at which the oldest in-flight word becomes readable, if
+    /// any word is in flight.
+    #[inline]
+    pub(crate) fn front_ready(&self) -> Option<u64> {
+        self.fifo.front().map(|(ready, _)| *ready)
+    }
+
+    /// Consumes the word readable at cycle `now`, if any.
+    pub fn read(&mut self, now: u64) -> Option<E> {
+        if self.can_read(now) {
             self.fifo.pop_front().map(|(_, e)| e)
         } else {
             None
         }
     }
 
-    /// End-of-cycle clock advance.
-    pub fn tick(&mut self) {
-        self.now += 1;
-    }
-
     /// True when no word is in flight.
     pub fn is_empty(&self) -> bool {
         self.fifo.is_empty()
     }
+
+    /// Parks `cell` until the next word lands; returns an evicted waiter.
+    pub(crate) fn park_reader(&mut self, cell: u32) -> Option<u32> {
+        let old = self.read_waiter;
+        self.read_waiter = cell;
+        (old != NO_WAITER && old != cell).then_some(old)
+    }
+
+    /// Unparks the cell waiting for a word, if any.
+    pub(crate) fn take_reader(&mut self) -> Option<u32> {
+        let old = self.read_waiter;
+        self.read_waiter = NO_WAITER;
+        (old != NO_WAITER).then_some(old)
+    }
+
+    /// Parks `cell` until backpressure clears; returns an evicted waiter.
+    pub(crate) fn park_writer(&mut self, cell: u32) -> Option<u32> {
+        let old = self.write_waiter;
+        self.write_waiter = cell;
+        (old != NO_WAITER && old != cell).then_some(old)
+    }
+
+    /// Unparks the cell waiting to write, if any.
+    pub(crate) fn take_writer(&mut self) -> Option<u32> {
+        let old = self.write_waiter;
+        self.write_waiter = NO_WAITER;
+        (old != NO_WAITER).then_some(old)
+    }
+
+    /// Clears all dynamic state (words in flight, counters, waiters) while
+    /// keeping the link's structure and allocations.
+    pub fn reset(&mut self) {
+        self.fifo.clear();
+        self.words = 0;
+        self.read_waiter = NO_WAITER;
+        self.write_waiter = NO_WAITER;
+    }
 }
 
-/// An external memory bank holding logical streams as FIFOs.
+/// An external memory bank holding logical streams as FIFOs in a slot
+/// table.
 ///
 /// Each write lands with one cycle of latency. The bank records its busiest
 /// write cycle so experiments can check the port-width assumptions.
+///
+/// Slots created by [`Bank::with_slots`] carry an explicit sort key (the
+/// interned 64-bit stream key); slots created by auto-extension use the
+/// slot index itself. [`Bank::corrupt_resident`] visits streams in sort-key
+/// order, which makes fault injection independent of the interning order
+/// and bit-identical to the historical sorted-`HashMap`-key walk.
 #[derive(Clone, Debug)]
 pub struct Bank<E> {
-    fifos: HashMap<u64, VecDeque<(u64, E)>>,
+    fifos: Vec<VecDeque<(u64, E)>>,
+    sort_keys: Vec<u64>,
+    waiters: Vec<u32>,
     /// Total words written.
     pub writes: u64,
     /// Total words read.
@@ -125,10 +196,18 @@ impl<E> Default for Bank<E> {
 }
 
 impl<E> Bank<E> {
-    /// Creates an empty bank.
+    /// Creates an empty bank with no slots (they auto-extend on use).
     pub fn new() -> Self {
+        Self::with_slots(Vec::new())
+    }
+
+    /// Creates a bank with one pre-sized slot per entry of `sort_keys`;
+    /// slot `i` is visited in `sort_keys[i]` order by fault injection.
+    pub fn with_slots(sort_keys: Vec<u64>) -> Self {
         Self {
-            fifos: HashMap::new(),
+            fifos: sort_keys.iter().map(|_| VecDeque::new()).collect(),
+            waiters: vec![NO_WAITER; sort_keys.len()],
+            sort_keys,
             writes: 0,
             reads: 0,
             writes_this_cycle: 0,
@@ -137,47 +216,68 @@ impl<E> Bank<E> {
         }
     }
 
-    /// Appends a word to stream `key`; readable from cycle `now + 1`.
-    pub fn write(&mut self, key: u64, now: u64, e: E) {
-        self.fifos.entry(key).or_default().push_back((now + 1, e));
+    /// Number of slots in the table.
+    pub fn slots(&self) -> usize {
+        self.fifos.len()
+    }
+
+    fn ensure_slot(&mut self, slot: usize) {
+        while self.fifos.len() <= slot {
+            self.sort_keys.push(self.fifos.len() as u64);
+            self.fifos.push(VecDeque::new());
+            self.waiters.push(NO_WAITER);
+        }
+    }
+
+    /// Appends a word to stream `slot`; readable from cycle `now + 1`.
+    pub fn write(&mut self, slot: usize, now: u64, e: E) {
+        self.ensure_slot(slot);
+        self.fifos[slot].push_back((now + 1, e));
         self.writes += 1;
         self.writes_this_cycle += 1;
         self.resident += 1;
     }
 
     /// Pre-loads a word readable immediately (initial matrix residence).
-    pub fn preload(&mut self, key: u64, e: E) {
-        self.fifos.entry(key).or_default().push_back((0, e));
+    pub fn preload(&mut self, slot: usize, e: E) {
+        self.ensure_slot(slot);
+        self.fifos[slot].push_back((0, e));
         self.resident += 1;
     }
 
-    /// True when stream `key` has a word readable at cycle `now`.
-    pub fn can_read(&self, key: u64, now: u64) -> bool {
+    /// True when stream `slot` has a word readable at cycle `now`.
+    #[inline]
+    pub fn can_read(&self, slot: usize, now: u64) -> bool {
         self.fifos
-            .get(&key)
+            .get(slot)
             .and_then(VecDeque::front)
             .is_some_and(|(ready, _)| *ready <= now)
     }
 
-    /// Consumes the next word of stream `key` if readable.
-    pub fn read(&mut self, key: u64, now: u64) -> Option<E> {
-        let fifo = self.fifos.get_mut(&key)?;
+    /// The cycle at which stream `slot`'s oldest word becomes readable, if
+    /// the stream holds any word.
+    #[inline]
+    pub(crate) fn front_ready(&self, slot: usize) -> Option<u64> {
+        self.fifos
+            .get(slot)
+            .and_then(VecDeque::front)
+            .map(|(ready, _)| *ready)
+    }
+
+    /// Consumes the next word of stream `slot` if readable.
+    pub fn read(&mut self, slot: usize, now: u64) -> Option<E> {
+        let fifo = self.fifos.get_mut(slot)?;
         if fifo.front().is_some_and(|(ready, _)| *ready <= now) {
             self.reads += 1;
             self.resident -= 1;
-            if fifo.len() == 1 {
-                // Drop drained streams so the map doesn't grow with every
-                // stream key ever used (large batches use thousands).
-                let mut drained = self.fifos.remove(&key)?;
-                return drained.pop_front().map(|(_, e)| e);
-            }
             fifo.pop_front().map(|(_, e)| e)
         } else {
             None
         }
     }
 
-    /// End-of-cycle accounting.
+    /// End-of-cycle accounting. Only needs to run for cycles in which the
+    /// bank was written.
     pub fn tick(&mut self) {
         self.max_writes_per_cycle = self.max_writes_per_cycle.max(self.writes_this_cycle);
         self.writes_this_cycle = 0;
@@ -189,20 +289,56 @@ impl<E> Bank<E> {
         self.resident
     }
 
+    /// Parks `cell` until stream `slot` is next written; returns an
+    /// evicted waiter.
+    pub(crate) fn park_reader(&mut self, slot: usize, cell: u32) -> Option<u32> {
+        self.ensure_slot(slot);
+        let old = self.waiters[slot];
+        self.waiters[slot] = cell;
+        (old != NO_WAITER && old != cell).then_some(old)
+    }
+
+    /// Unparks the cell waiting on stream `slot`, if any.
+    pub(crate) fn take_reader(&mut self, slot: usize) -> Option<u32> {
+        match self.waiters.get_mut(slot) {
+            Some(w) if *w != NO_WAITER => {
+                let old = *w;
+                *w = NO_WAITER;
+                Some(old)
+            }
+            _ => None,
+        }
+    }
+
+    /// Clears all dynamic state (stream contents, counters, waiters) while
+    /// keeping the slot table and its allocations.
+    pub fn reset(&mut self) {
+        for fifo in &mut self.fifos {
+            fifo.clear();
+        }
+        self.waiters.fill(NO_WAITER);
+        self.writes = 0;
+        self.reads = 0;
+        self.writes_this_cycle = 0;
+        self.max_writes_per_cycle = 0;
+        self.resident = 0;
+    }
+
     /// Corrupts the `nth % resident` resident word in place via `f`,
     /// returning true if a word was corrupted (false on an empty bank).
     ///
-    /// Streams are visited in sorted-key order so the choice is independent
-    /// of `HashMap` iteration order — fault injection must be deterministic.
+    /// Streams are visited in sorted-key order (drained streams are empty
+    /// and contribute nothing), so the choice is independent of slot
+    /// interning order — fault injection must be deterministic.
     pub fn corrupt_resident(&mut self, nth: usize, f: impl FnOnce(&mut E)) -> bool {
         if self.resident == 0 {
             return false;
         }
         let mut idx = nth % self.resident;
-        let mut keys: Vec<u64> = self.fifos.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let fifo = self.fifos.get_mut(&key).expect("key just listed");
+        let mut order: Vec<usize> = (0..self.fifos.len()).collect();
+        order.sort_unstable_by_key(|&s| self.sort_keys[s]);
+        for slot in order {
+            let fifo = &mut self.fifos[slot];
             if idx < fifo.len() {
                 f(&mut fifo[idx].1);
                 return true;
@@ -216,31 +352,31 @@ impl<E> Bank<E> {
 /// Where a task's input stream comes from.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum StreamSrc {
-    /// Stream `key` of bank `bank`.
+    /// Stream `slot` of bank `bank`.
     Bank {
         /// Bank index.
         bank: usize,
-        /// Logical stream key within the bank.
-        key: u64,
+        /// Stream slot within the bank's table.
+        slot: usize,
     },
     /// Neighbor link `link`.
     Link(usize),
-    /// The cell's R-block host memory, stream `key`.
+    /// The cell's R-block host memory, stream `slot`.
     Host {
-        /// Logical stream key.
-        key: u64,
+        /// Stream slot within the cell's R-block table.
+        slot: usize,
     },
 }
 
 /// Where a task's output stream goes.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum StreamDst {
-    /// Stream `key` of bank `bank`.
+    /// Stream `slot` of bank `bank`.
     Bank {
         /// Bank index.
         bank: usize,
-        /// Logical stream key within the bank.
-        key: u64,
+        /// Stream slot within the bank's table.
+        slot: usize,
     },
     /// Neighbor link `link`.
     Link(usize),
@@ -261,27 +397,23 @@ mod tests {
     fn link_has_one_cycle_latency() {
         let mut l = Link::new();
         assert!(l.can_write());
-        l.write(7u32);
-        assert!(!l.can_read(), "not readable in the write cycle");
-        l.tick();
-        assert!(l.can_read());
-        assert_eq!(l.read(), Some(7));
+        l.write(0, 7u32);
+        assert!(!l.can_read(0), "not readable in the write cycle");
+        assert!(l.can_read(1));
+        assert_eq!(l.read(1), Some(7));
         assert!(l.is_empty());
     }
 
     #[test]
     fn link_backpressure() {
         let mut l = Link::new();
-        l.write(1u32);
-        l.tick();
-        l.write(2);
+        l.write(0, 1u32);
+        l.write(1, 2);
         assert!(!l.can_write(), "register pair full");
-        l.tick(); // cur still occupied; next stays
         assert!(!l.can_write());
-        assert_eq!(l.read(), Some(1));
-        l.tick();
+        assert_eq!(l.read(2), Some(1));
         assert!(l.can_write());
-        assert_eq!(l.read(), Some(2));
+        assert_eq!(l.read(3), Some(2));
         assert_eq!(l.words, 2);
     }
 
@@ -311,16 +443,13 @@ mod tests {
     #[test]
     fn link_force_write_can_exceed_capacity() {
         let mut l = Link::new();
-        l.write(1u32);
-        l.tick();
-        l.write(2);
+        l.write(0, 1u32);
+        l.write(1, 2);
         assert!(!l.can_write());
-        l.force_write(3);
-        assert_eq!(l.read(), Some(1));
-        l.tick();
-        assert_eq!(l.read(), Some(2));
-        l.tick();
-        assert_eq!(l.read(), Some(3));
+        l.force_write(1, 3);
+        assert_eq!(l.read(1), Some(1));
+        assert_eq!(l.read(2), Some(2));
+        assert_eq!(l.read(3), Some(3));
         assert_eq!(l.words, 3);
     }
 
@@ -341,6 +470,30 @@ mod tests {
     }
 
     #[test]
+    fn bank_corrupt_resident_honors_explicit_sort_keys() {
+        // Slot 0 carries the *larger* stream key: the fault walk must
+        // visit slot 1 (key 2) before slot 0 (key 9), exactly like the
+        // historical sorted-HashMap-key walk.
+        let mut b = Bank::with_slots(vec![9, 2]);
+        b.preload(0, 10u8);
+        b.preload(1, 20u8);
+        assert!(b.corrupt_resident(0, |e| *e = 99));
+        assert_eq!(b.read(1, 0), Some(99));
+        assert_eq!(b.read(0, 0), Some(10));
+    }
+
+    #[test]
+    fn bank_drained_streams_are_skipped_by_fault_walk() {
+        let mut b = Bank::new();
+        b.preload(1, 1u8);
+        b.preload(3, 3u8);
+        assert_eq!(b.read(1, 0), Some(1));
+        // Stream 1 is drained: index 0 of the walk must now be stream 3.
+        assert!(b.corrupt_resident(0, |e| *e = 99));
+        assert_eq!(b.read(3, 0), Some(99));
+    }
+
+    #[test]
     fn bank_streams_are_independent() {
         let mut b = Bank::new();
         b.preload(1, 1u8);
@@ -348,5 +501,44 @@ mod tests {
         assert_eq!(b.read(2, 0), Some(2));
         assert_eq!(b.read(1, 0), Some(1));
         assert_eq!(b.resident(), 0);
+    }
+
+    #[test]
+    fn bank_reset_keeps_slots_and_clears_state() {
+        let mut b = Bank::with_slots(vec![7, 3]);
+        b.write(0, 0, 'a');
+        b.tick();
+        assert_eq!(b.read(0, 1), Some('a'));
+        b.reset();
+        assert_eq!(b.slots(), 2);
+        assert_eq!(b.resident(), 0);
+        assert_eq!(b.writes, 0);
+        assert_eq!(b.reads, 0);
+        assert_eq!(b.max_writes_per_cycle, 0);
+        assert_eq!(b.read(0, 10), None);
+    }
+
+    #[test]
+    fn parked_cells_are_woken_once_and_evicted_on_contention() {
+        let mut l = Link::<u32>::new();
+        assert_eq!(l.park_reader(4), None);
+        assert_eq!(
+            l.park_reader(4),
+            None,
+            "re-parking the same cell is a no-op"
+        );
+        assert_eq!(
+            l.park_reader(6),
+            Some(4),
+            "contention evicts the old waiter"
+        );
+        assert_eq!(l.take_reader(), Some(6));
+        assert_eq!(l.take_reader(), None);
+
+        let mut b = Bank::<u32>::new();
+        assert_eq!(b.park_reader(2, 1), None);
+        assert_eq!(b.park_reader(2, 5), Some(1));
+        assert_eq!(b.take_reader(2), Some(5));
+        assert_eq!(b.take_reader(2), None);
     }
 }

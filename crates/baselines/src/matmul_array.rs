@@ -122,7 +122,7 @@ impl MatmulArray {
             for j in 0..s {
                 let id = cell(i, j);
                 let from_left = if j == 0 {
-                    StreamSrc::Bank { bank: i, key: 0 }
+                    StreamSrc::Bank { bank: i, slot: 0 }
                 } else {
                     StreamSrc::Link(al[cell(i, j - 1)])
                 };
@@ -134,7 +134,7 @@ impl MatmulArray {
                 let from_top = if i == 0 {
                     StreamSrc::Bank {
                         bank: s + j,
-                        key: 0,
+                        slot: 0,
                     }
                 } else {
                     StreamSrc::Link(bl[cell(i - 1, j)])

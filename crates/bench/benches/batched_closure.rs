@@ -1,0 +1,27 @@
+//! The plan-compilation acceptance workload: one serial `closure_many`
+//! batch (32 instances, n = 32, m = 4) on a single reused `LinearEngine`.
+//!
+//! With compiled-plan memoization the schedule is built once for the
+//! batch shape and every subsequent call only streams data through the
+//! cached simulator; `scripts/bench_smoke.sh` records this bench's
+//! median in `BENCH_partition.json`.
+
+use std::time::Duration;
+use systolic_bench::parallel_batch_input;
+use systolic_partition::{ClosureEngine, LinearEngine};
+use systolic_util::{black_box, Bench};
+
+fn main() {
+    let instances = 32;
+    let n = 32;
+    let m = 4;
+    let batch = parallel_batch_input(instances, n, 0x5eed);
+    let bench = Bench::new("batched_closure")
+        .samples(5)
+        .warmup(Duration::from_millis(300));
+
+    let engine = LinearEngine::new(m);
+    bench.bench(format!("linear_m{m}/{instances}x{n}"), || {
+        black_box(engine.closure_many(&batch).unwrap());
+    });
+}

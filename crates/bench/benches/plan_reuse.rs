@@ -1,0 +1,35 @@
+//! Compile-once vs re-plan-per-call: the same batch through a fresh
+//! `LinearEngine` each call (plan built from scratch every time) and
+//! through one engine whose memoized `CompiledPlan` and cached simulator
+//! are reused across calls. Prints the measured speedup explicitly.
+
+use std::time::Duration;
+use systolic_bench::parallel_batch_input;
+use systolic_partition::{ClosureEngine, LinearEngine};
+use systolic_util::{black_box, Bench};
+
+fn main() {
+    let instances = 8;
+    let n = 24;
+    let m = 4;
+    let batch = parallel_batch_input(instances, n, 0x5eed);
+    let bench = Bench::new("plan_reuse")
+        .samples(5)
+        .warmup(Duration::from_millis(300));
+
+    let t_fresh = bench.bench(format!("fresh/{instances}x{n}"), || {
+        let engine = LinearEngine::new(m);
+        black_box(engine.closure_many(&batch).unwrap());
+    });
+
+    let engine = LinearEngine::new(m);
+    engine.closure_many(&batch).unwrap(); // warm the plan + sim caches
+    let t_cached = bench.bench(format!("cached/{instances}x{n}"), || {
+        black_box(engine.closure_many(&batch).unwrap());
+    });
+
+    println!(
+        "  speedup from plan reuse: {:.2}x",
+        t_fresh.as_secs_f64() / t_cached.as_secs_f64()
+    );
+}

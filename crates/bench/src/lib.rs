@@ -1,5 +1,5 @@
 //! Experiment implementations regenerating every quantitative claim of the
-//! paper (the E01–E22 index of `DESIGN.md`).
+//! paper (the E01–E23 index of `DESIGN.md`).
 //!
 //! Each `eNN` function runs its experiment and returns a Markdown section
 //! with paper-vs-measured rows; the `experiments` binary assembles them
@@ -826,6 +826,71 @@ pub fn e22() -> String {
     out
 }
 
+/// One E23 row: runs `batch` with a fresh engine per call (empty plan
+/// cache, schedule rebuilt every time) and with one long-lived engine
+/// (compile-once plan cache plus recycled simulator), asserting the two
+/// modes are byte-identical before timing them.
+fn plan_reuse_row<E: ClosureEngine<Bool>>(
+    out: &mut String,
+    label: &str,
+    batch: &[DenseMatrix<Bool>],
+    make: impl Fn() -> E,
+) {
+    use std::time::Instant;
+    let iters = 5u32;
+    let warm = make();
+    let (first_res, first_stats) = warm.closure_many(batch).unwrap();
+    let (cached_res, cached_stats) = warm.closure_many(batch).unwrap();
+    let (fresh_res, fresh_stats) = make().closure_many(batch).unwrap();
+    for (r, a) in fresh_res.iter().zip(batch) {
+        assert_eq!(*r, warshall(a), "{label}: fresh run diverged from Warshall");
+    }
+    let results_ok = cached_res == fresh_res && first_res == fresh_res;
+    let stats_ok = cached_stats == fresh_stats && first_stats == fresh_stats;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = make().closure_many(batch).unwrap();
+    }
+    let fresh_t = t0.elapsed().as_secs_f64() / f64::from(iters);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = warm.closure_many(batch).unwrap();
+    }
+    let cached_t = t0.elapsed().as_secs_f64() / f64::from(iters);
+    let _ = writeln!(
+        out,
+        "| {label} | {results_ok} | {stats_ok} | {:.2} ms | {:.2} ms | {:.2}× |",
+        1e3 * fresh_t,
+        1e3 * cached_t,
+        fresh_t / cached_t
+    );
+    assert!(results_ok, "{label}: cached plan changed the results");
+    assert!(stats_ok, "{label}: cached plan changed the run stats");
+}
+
+/// E23 — compile-once G-set schedules: executing a batch from the memoized
+/// `CompiledPlan` (and a recycled simulator) is byte-identical to
+/// rebuilding the schedule on every call; only construction time differs.
+pub fn e23() -> String {
+    let mut out = String::from("## E23 — compile-once schedules (plan-cache reuse)\n\n");
+    let _ = writeln!(
+        out,
+        "| engine | results identical | stats identical | fresh build | cached plan | speedup |"
+    );
+    let _ = writeln!(out, "|---|---|---|---:|---:|---:|");
+    let batch = parallel_batch_input(8, N_SIM, 91);
+    plan_reuse_row(&mut out, "linear m=4", &batch, || LinearEngine::new(4));
+    plan_reuse_row(&mut out, "grid 2×2", &batch, || GridEngine::new(2));
+    let small = parallel_batch_input(6, 12, 92);
+    plan_reuse_row(&mut out, "fixed n×(n+1)", &small, FixedArrayEngine::new);
+    plan_reuse_row(&mut out, "fixed linear", &small, FixedLinearEngine::new);
+    let _ = writeln!(
+        out,
+        "\nEvery engine memoizes one `CompiledPlan` per `(n, batch)` shape — interned stream slots, task programs, host demand order — and replays it on a reset simulator; `RunStats` equality covers every counter except wall time. Reproduce with `systolic plancache`.\n"
+    );
+    out
+}
+
 /// Runs every experiment, returning the full Markdown report body.
 pub fn run_all() -> String {
     let mut out = String::new();
@@ -852,6 +917,7 @@ pub fn run_all() -> String {
         e20,
         e21,
         e22,
+        e23,
     ]
     .iter()
     .enumerate()

@@ -40,6 +40,10 @@ pub struct FaultyLinearEngine {
     nonce: AtomicU64,
     /// Faults applied during the most recent run.
     last_faults: Mutex<Vec<FaultEvent>>,
+    /// The reconfigured array: a persistent linear engine over the healthy
+    /// cells with delayed pivot links, kept across runs so its compiled
+    /// plans and cached simulator are reused by every retry.
+    inner: LinearEngine,
 }
 
 impl Clone for FaultyLinearEngine {
@@ -52,6 +56,7 @@ impl Clone for FaultyLinearEngine {
             plan: self.plan.clone(),
             nonce: AtomicU64::new(self.nonce.load(Ordering::Relaxed)),
             last_faults: Mutex::new(Vec::new()),
+            inner: self.inner.clone(),
         }
     }
 }
@@ -78,7 +83,8 @@ impl FaultyLinearEngine {
         if healthy.is_empty() {
             return Err(EngineError::BadInput("no healthy cells remain".into()));
         }
-        let delays = healthy.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+        let delays: Vec<u64> = healthy.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+        let inner = LinearEngine::with_link_delays(healthy.len(), delays.clone());
         Ok(Self {
             physical,
             faulty: f,
@@ -87,6 +93,7 @@ impl FaultyLinearEngine {
             plan: None,
             nonce: AtomicU64::new(0),
             last_faults: Mutex::new(Vec::new()),
+            inner,
         })
     }
 
@@ -148,16 +155,20 @@ impl<S: PathSemiring> ClosureEngine<S> for FaultyLinearEngine {
         &self,
         mats: &[DenseMatrix<S>],
     ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        // The reconfigured array is a linear array over the healthy cells
-        // with delayed pivot links.
-        let mut inner = LinearEngine::with_link_delays(self.healthy.len(), self.delays.clone());
-        if let Some(plan) = &self.plan {
-            inner =
-                inner.with_fault_plan(plan.reseeded(self.nonce.fetch_add(1, Ordering::Relaxed)));
-        }
-        let run = inner.closure_many(mats);
-        if self.plan.is_some() {
-            *self.last_faults.lock().expect("fault log poisoned") = inner.recent_fault_events();
+        // Run on the persistent reconfigured array. The double reseed
+        // reproduces the historical chain exactly: a per-call reseed from
+        // this engine's nonce, then the (fresh) inner engine's own nonce-0
+        // reseed — so fault sequences are bit-identical to when the inner
+        // engine was rebuilt per call, while plans and simulators persist.
+        let armed = self.plan.as_ref().map(|p| {
+            p.reseeded(self.nonce.fetch_add(1, Ordering::Relaxed))
+                .reseeded(0)
+        });
+        let record = armed.is_some();
+        let run = self.inner.closure_many_with_plan(mats, armed);
+        if record {
+            *self.last_faults.lock().expect("fault log poisoned") =
+                self.inner.take_recent_fault_events();
         }
         run
     }

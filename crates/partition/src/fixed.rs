@@ -11,47 +11,71 @@
 //! * [`FixedLinearEngine`] — §3.2's collapse of each G-graph row into a
 //!   single cell: `n` cells, throughput `1/(n(n+1))`, with the row's pivot
 //!   stream recirculating through a per-cell loopback buffer.
+//!
+//! Both engines compile their schedule once per `(n, batch_len)` shape
+//! into a memoized [`CompiledPlan`] and reuse a reset simulator across
+//! calls (see [`crate::plan`]).
 
-use crate::engine::{prepare_batch, stream_key, ClosureEngine, EngineError};
+use crate::engine::{
+    ideal_cycles_per_instance, prepare_batch, stream_key, ClosureEngine, EngineError,
+};
+use crate::plan::{CompiledPlan, PlanBuilder, PlanCache, SimSlot};
 use systolic_arraysim::{ArraySim, RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
 use systolic_semiring::{DenseMatrix, PathSemiring};
 use systolic_transform::{GGraph, GNodeRole, GnodeId};
 
+/// Runs a prepared batch through an engine's cached plan and simulator.
+/// Shared by the plain (fault-free) engines of this module and the grid.
+pub(crate) fn run_cached_plan<S: PathSemiring>(
+    plans: &PlanCache,
+    sims: &SimSlot,
+    n: usize,
+    batch: &[DenseMatrix<S>],
+    build: impl FnOnce() -> CompiledPlan,
+) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+    let plan = plans.get_or_build(n, batch.len(), build);
+    let mut sim: ArraySim<S> = sims.take(&plan).unwrap_or_else(|| plan.instantiate(false));
+    plan.load(&mut sim, batch);
+    let stats = sim.run()?;
+    let outs = sim.outputs();
+    let mut results = Vec::with_capacity(batch.len());
+    for inst in 0..batch.len() {
+        let mut r = DenseMatrix::<S>::zeros(n, n);
+        for j in 0..n {
+            let col = &outs[inst * n + j];
+            assert_eq!(col.len(), n, "output column {j} incomplete");
+            r.set_col(j, col);
+        }
+        results.push(r);
+    }
+    sims.store(plan, sim);
+    Ok((results, stats))
+}
+
 /// The Fig. 17 fixed-size array: one cell per G-node.
 #[derive(Clone, Debug, Default)]
-pub struct FixedArrayEngine;
+pub struct FixedArrayEngine {
+    plans: PlanCache,
+    sims: SimSlot,
+}
 
 impl FixedArrayEngine {
     /// Creates the engine (the array size adapts to the problem size).
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 
     /// Cells used for problem size `n`.
     pub fn cells_for(n: usize) -> usize {
         n * (n + 1)
     }
-}
 
-impl<S: PathSemiring> ClosureEngine<S> for FixedArrayEngine {
-    fn name(&self) -> &'static str {
-        "fixed-array"
-    }
-
-    fn cells(&self) -> usize {
-        0 // problem-size dependent; see cells_for
-    }
-
-    fn closure_many(
-        &self,
-        mats: &[DenseMatrix<S>],
-    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        let (n, batch) = prepare_batch(mats)?;
+    fn build_plan(n: usize, batch_len: usize) -> CompiledPlan {
         let gg = GGraph::new(n);
         let w = n + 1;
         let cell_of = |id: GnodeId| id.k * w + id.g;
 
-        let mut sim = ArraySim::<S>::new(n * w);
+        let mut plan = PlanBuilder::new(n, batch_len, n * w);
 
         // Pivot links (k,g) → (k,g+1) and column links (k,g) → (k+1,g-1).
         let mut pl = vec![usize::MAX; n * w];
@@ -59,28 +83,26 @@ impl<S: PathSemiring> ClosureEngine<S> for FixedArrayEngine {
         for k in 0..n {
             for g in 0..w {
                 if g + 1 < w {
-                    pl[k * w + g] = sim.add_link();
+                    pl[k * w + g] = plan.add_link();
                 }
                 if k + 1 < n && g >= 1 {
-                    cl[k * w + g] = sim.add_link();
+                    cl[k * w + g] = plan.add_link();
                 }
             }
         }
 
         // n parallel boundary input ports, one per row-0 column cell.
-        let ports: Vec<usize> = (0..n).map(|_| sim.add_bank()).collect();
-        sim.set_memory_connections(0);
-        let out0 = sim.add_outputs(batch.len() * n);
+        let ports: Vec<usize> = (0..n).map(|_| plan.add_bank()).collect();
+        plan.set_memory_connections(0);
+        let out0 = plan.add_outputs(batch_len * n);
 
-        for (inst, a) in batch.iter().enumerate() {
+        for inst in 0..batch_len {
             for (g, &port) in ports.iter().enumerate() {
-                for v in a.col(g) {
-                    sim.bank_mut(port).preload(stream_key(inst, 0, g), v);
-                }
+                plan.feed_preload(port, stream_key(inst, 0, g), inst, g);
             }
         }
 
-        for (inst, _) in batch.iter().enumerate() {
+        for inst in 0..batch_len {
             for id in gg.iter() {
                 let (k, g) = (id.k, id.g);
                 let role = gg.role(id);
@@ -91,10 +113,7 @@ impl<S: PathSemiring> ClosureEngine<S> for FixedArrayEngine {
                 };
                 let col_in = match role {
                     GNodeRole::DelayTail => None,
-                    _ if k == 0 => Some(StreamSrc::Bank {
-                        bank: ports[g],
-                        key: stream_key(inst, 0, g),
-                    }),
+                    _ if k == 0 => Some(plan.bank_src(ports[g], stream_key(inst, 0, g))),
                     _ => Some(StreamSrc::Link(cl[(k - 1) * w + g + 1])),
                 };
                 let pivot_in = match role {
@@ -112,7 +131,7 @@ impl<S: PathSemiring> ClosureEngine<S> for FixedArrayEngine {
                     GNodeRole::DelayTail => None,
                     _ => Some(StreamDst::Link(pl[k * w + g])),
                 };
-                sim.push_task(
+                plan.push_task(
                     cell_of(id),
                     Task {
                         kind,
@@ -131,41 +150,18 @@ impl<S: PathSemiring> ClosureEngine<S> for FixedArrayEngine {
             }
         }
 
-        sim.set_max_cycles((batch.len() as u64 + 8) * (n as u64) * 40 + 100_000);
-        let stats = sim.run()?;
-        let outs = sim.outputs();
-        let mut results = Vec::with_capacity(batch.len());
-        for inst in 0..batch.len() {
-            let mut r = DenseMatrix::<S>::zeros(n, n);
-            for j in 0..n {
-                let col = &outs[out0 + inst * n + j];
-                assert_eq!(col.len(), n, "output column {j} incomplete");
-                r.set_col(j, col);
-            }
-            results.push(r);
-        }
-        Ok((results, stats))
+        plan.set_max_cycles((batch_len as u64 + 8) * (n as u64) * 40 + 100_000);
+        plan.finish()
     }
 }
 
-/// §3.2's linear fixed-size array: each G-graph row collapsed into one cell.
-#[derive(Clone, Debug, Default)]
-pub struct FixedLinearEngine;
-
-impl FixedLinearEngine {
-    /// Creates the engine.
-    pub fn new() -> Self {
-        Self
-    }
-}
-
-impl<S: PathSemiring> ClosureEngine<S> for FixedLinearEngine {
+impl<S: PathSemiring> ClosureEngine<S> for FixedArrayEngine {
     fn name(&self) -> &'static str {
-        "fixed-linear"
+        "fixed-array"
     }
 
     fn cells(&self) -> usize {
-        0 // n cells for problem size n
+        0 // problem-size dependent; see cells_for
     }
 
     fn closure_many(
@@ -173,28 +169,47 @@ impl<S: PathSemiring> ClosureEngine<S> for FixedLinearEngine {
         mats: &[DenseMatrix<S>],
     ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
         let (n, batch) = prepare_batch(mats)?;
+        run_cached_plan(&self.plans, &self.sims, n, &batch, || {
+            Self::build_plan(n, batch.len())
+        })
+    }
+}
+
+/// §3.2's linear fixed-size array: each G-graph row collapsed into one cell.
+#[derive(Clone, Debug, Default)]
+pub struct FixedLinearEngine {
+    plans: PlanCache,
+    sims: SimSlot,
+}
+
+impl FixedLinearEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn build_plan(n: usize, batch_len: usize) -> CompiledPlan {
         let gg = GGraph::new(n);
 
-        let mut sim = ArraySim::<S>::new(n);
+        let mut plan = PlanBuilder::new(n, batch_len, n);
         // Bank k: cell k's pivot loopback; bank n+k: row k → k+1 columns.
         for _ in 0..2 * n {
-            sim.add_bank();
+            plan.add_bank();
         }
         let loop_bank = |k: usize| k;
         let col_bank = |k: usize| n + k;
-        sim.set_memory_connections(2 * n);
-        let out0 = sim.add_outputs(batch.len() * n);
+        plan.set_memory_connections(2 * n);
+        let out0 = plan.add_outputs(batch_len * n);
 
         // Host: the collapsed row 0 consumes one column at a time, so the
         // single-injection host keeps up (rate 1/(n+1) of a word per cycle).
-        for (inst, a) in batch.iter().enumerate() {
+        for inst in 0..batch_len {
             for g in 0..n {
-                sim.host_mut()
-                    .enqueue_stream(0, stream_key(inst, 0, g), a.col(g));
+                plan.feed_host(0, stream_key(inst, 0, g), inst, g);
             }
         }
 
-        for (inst, _) in batch.iter().enumerate() {
+        for inst in 0..batch_len {
             for id in gg.iter() {
                 let (k, g) = (id.k, id.g);
                 let h = gg.h_of(id);
@@ -206,39 +221,25 @@ impl<S: PathSemiring> ClosureEngine<S> for FixedLinearEngine {
                 };
                 let col_in = match role {
                     GNodeRole::DelayTail => None,
-                    _ if k == 0 => Some(StreamSrc::Host {
-                        key: stream_key(inst, 0, g),
-                    }),
-                    _ => Some(StreamSrc::Bank {
-                        bank: col_bank(k - 1),
-                        key: stream_key(inst, k - 1, h),
-                    }),
+                    _ if k == 0 => Some(plan.host_src(0, stream_key(inst, 0, g))),
+                    _ => Some(plan.bank_src(col_bank(k - 1), stream_key(inst, k - 1, h))),
                 };
                 let pivot_in = match role {
                     GNodeRole::PivotHead => None,
-                    _ => Some(StreamSrc::Bank {
-                        bank: loop_bank(k),
-                        key: stream_key(inst, k, h - 1),
-                    }),
+                    _ => Some(plan.bank_src(loop_bank(k), stream_key(inst, k, h - 1))),
                 };
                 let col_out = match role {
                     GNodeRole::PivotHead => None,
                     _ if k == n - 1 => Some(StreamDst::Output {
                         stream: out0 + inst * n + (h - n),
                     }),
-                    _ => Some(StreamDst::Bank {
-                        bank: col_bank(k),
-                        key: stream_key(inst, k, h),
-                    }),
+                    _ => Some(plan.bank_dst(col_bank(k), stream_key(inst, k, h))),
                 };
                 let pivot_out = match role {
                     GNodeRole::DelayTail => None,
-                    _ => Some(StreamDst::Bank {
-                        bank: loop_bank(k),
-                        key: stream_key(inst, k, h),
-                    }),
+                    _ => Some(plan.bank_dst(loop_bank(k), stream_key(inst, k, h))),
                 };
-                sim.push_task(
+                plan.push_task(
                     k,
                     Task {
                         kind,
@@ -257,21 +258,30 @@ impl<S: PathSemiring> ClosureEngine<S> for FixedLinearEngine {
             }
         }
 
-        let ideal = (n as u64) * (n as u64) * (n as u64 + 1);
-        sim.set_max_cycles(batch.len() as u64 * ideal * 20 + 100_000);
-        let stats = sim.run()?;
-        let outs = sim.outputs();
-        let mut results = Vec::with_capacity(batch.len());
-        for inst in 0..batch.len() {
-            let mut r = DenseMatrix::<S>::zeros(n, n);
-            for j in 0..n {
-                let col = &outs[out0 + inst * n + j];
-                assert_eq!(col.len(), n, "output column {j} incomplete");
-                r.set_col(j, col);
-            }
-            results.push(r);
-        }
-        Ok((results, stats))
+        // The m = 1 (per-column) case of the shared budget formula.
+        let ideal = ideal_cycles_per_instance(n, 1);
+        plan.set_max_cycles(batch_len as u64 * ideal * 20 + 100_000);
+        plan.finish()
+    }
+}
+
+impl<S: PathSemiring> ClosureEngine<S> for FixedLinearEngine {
+    fn name(&self) -> &'static str {
+        "fixed-linear"
+    }
+
+    fn cells(&self) -> usize {
+        0 // n cells for problem size n
+    }
+
+    fn closure_many(
+        &self,
+        mats: &[DenseMatrix<S>],
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        let (n, batch) = prepare_batch(mats)?;
+        run_cached_plan(&self.plans, &self.sims, n, &batch, || {
+            Self::build_plan(n, batch.len())
+        })
     }
 }
 
@@ -363,5 +373,20 @@ mod tests {
         let (got, _) = ClosureEngine::<MaxMin>::closure(&eng, &a).unwrap();
         assert_eq!(got, warshall(&a));
         assert_eq!(*got.get(0, 3), 3);
+    }
+
+    #[test]
+    fn fixed_engines_rerun_bit_identically_from_cache() {
+        let a = bool_adj(5, &[(0, 2), (2, 4), (4, 1), (1, 0)]);
+        let arr = FixedArrayEngine::new();
+        let (r1, s1) = ClosureEngine::<Bool>::closure(&arr, &a).unwrap();
+        let (r2, s2) = ClosureEngine::<Bool>::closure(&arr, &a).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+        let lin = FixedLinearEngine::new();
+        let (r1, s1) = ClosureEngine::<Bool>::closure(&lin, &a).unwrap();
+        let (r2, s2) = ClosureEngine::<Bool>::closure(&lin, &a).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
     }
 }

@@ -13,8 +13,12 @@
 //! Blocks are scheduled by vertical paths: `h`-block-major, `k`-blocks
 //! top-to-bottom inside (the 2-D analogue of Fig. 20b).
 
-use crate::engine::{prepare_batch, stream_key, ClosureEngine, EngineError};
-use systolic_arraysim::{ArraySim, RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
+use crate::engine::{
+    ideal_cycles_per_instance, prepare_batch, stream_key, ClosureEngine, EngineError,
+};
+use crate::fixed::run_cached_plan;
+use crate::plan::{CompiledPlan, PlanBuilder, PlanCache, SimSlot};
+use systolic_arraysim::{RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
 use systolic_semiring::{DenseMatrix, PathSemiring};
 use systolic_transform::{GGraph, GNodeRole};
 
@@ -22,13 +26,19 @@ use systolic_transform::{GGraph, GNodeRole};
 #[derive(Clone, Debug)]
 pub struct GridEngine {
     s: usize,
+    plans: PlanCache,
+    sims: SimSlot,
 }
 
 impl GridEngine {
     /// Creates an engine with an `s × s` grid (`m = s²` cells, `s ≥ 1`).
     pub fn new(s: usize) -> Self {
         assert!(s >= 1, "need at least a 1×1 grid");
-        Self { s }
+        Self {
+            s,
+            plans: PlanCache::default(),
+            sims: SimSlot::default(),
+        }
     }
 
     /// Creates the engine from a total cell budget `m`, which must be a
@@ -49,29 +59,16 @@ impl GridEngine {
     pub fn side(&self) -> usize {
         self.s
     }
-}
 
-impl<S: PathSemiring> ClosureEngine<S> for GridEngine {
-    fn name(&self) -> &'static str {
-        "grid-partitioned"
-    }
-
-    fn cells(&self) -> usize {
-        self.s * self.s
-    }
-
-    fn closure_many(
-        &self,
-        mats: &[DenseMatrix<S>],
-    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        let (n, batch) = prepare_batch(mats)?;
+    /// Compiles the grid schedule for one `(n, batch_len)` shape.
+    fn build_plan(&self, n: usize, batch_len: usize) -> CompiledPlan {
         let s = self.s;
         let gg = GGraph::new(n);
         let bcols = (2 * n).div_ceil(s);
         let brows = n.div_ceil(s);
         let cell_id = |ri: usize, ci: usize| ri * s + ci;
 
-        let mut sim = ArraySim::<S>::new(s * s);
+        let mut plan = PlanBuilder::new(n, batch_len, s * s);
         // Horizontal pivot links (ri,ci) → (ri,ci+1); vertical column links
         // (ri,ci) → (ri+1,ci).
         let mut hl = vec![usize::MAX; s * s];
@@ -79,40 +76,36 @@ impl<S: PathSemiring> ClosureEngine<S> for GridEngine {
         for ri in 0..s {
             for ci in 0..s {
                 if ci + 1 < s {
-                    hl[cell_id(ri, ci)] = sim.add_link();
+                    hl[cell_id(ri, ci)] = plan.add_link();
                 }
                 if ri + 1 < s {
-                    vl[cell_id(ri, ci)] = sim.add_link();
+                    vl[cell_id(ri, ci)] = plan.add_link();
                 }
             }
         }
         // Column banks (top/bottom edge) 0..s, pivot banks (left/right edge)
         // s..2s.
         for _ in 0..2 * s {
-            sim.add_bank();
+            plan.add_bank();
         }
         let col_bank = |ci: usize| ci;
         let piv_bank = |ri: usize| s + ri;
-        sim.set_memory_connections(2 * s);
-        let out0 = sim.add_outputs(batch.len() * n);
+        plan.set_memory_connections(2 * s);
+        let out0 = plan.add_outputs(batch_len * n);
 
         // Host demands in schedule order (instance, h-block, cell column).
-        for (inst, a) in batch.iter().enumerate() {
+        for inst in 0..batch_len {
             for bc in 0..bcols {
                 for ci in 0..s {
                     let h = bc * s + ci;
                     if h < n {
-                        sim.host_mut().enqueue_stream(
-                            cell_id(0, ci),
-                            stream_key(inst, 0, h),
-                            a.col(h),
-                        );
+                        plan.feed_host(cell_id(0, ci), stream_key(inst, 0, h), inst, h);
                     }
                 }
             }
         }
 
-        for (inst, _) in batch.iter().enumerate() {
+        for inst in 0..batch_len {
             for bc in 0..bcols {
                 for br in 0..brows {
                     for ri in 0..s {
@@ -131,22 +124,16 @@ impl<S: PathSemiring> ClosureEngine<S> for GridEngine {
                             };
                             let col_in = match role {
                                 GNodeRole::DelayTail => None,
-                                _ if k == 0 => Some(StreamSrc::Host {
-                                    key: stream_key(inst, 0, h),
-                                }),
+                                _ if k == 0 => {
+                                    Some(plan.host_src(cell_id(ri, ci), stream_key(inst, 0, h)))
+                                }
                                 _ if ri > 0 => Some(StreamSrc::Link(vl[cell_id(ri - 1, ci)])),
-                                _ => Some(StreamSrc::Bank {
-                                    bank: col_bank(ci),
-                                    key: stream_key(inst, k - 1, h),
-                                }),
+                                _ => Some(plan.bank_src(col_bank(ci), stream_key(inst, k - 1, h))),
                             };
                             let pivot_in = match role {
                                 GNodeRole::PivotHead => None,
                                 _ if ci > 0 => Some(StreamSrc::Link(hl[cell_id(ri, ci - 1)])),
-                                _ => Some(StreamSrc::Bank {
-                                    bank: piv_bank(ri),
-                                    key: stream_key(inst, k, h - 1),
-                                }),
+                                _ => Some(plan.bank_src(piv_bank(ri), stream_key(inst, k, h - 1))),
                             };
                             let col_out = match role {
                                 GNodeRole::PivotHead => None,
@@ -154,20 +141,14 @@ impl<S: PathSemiring> ClosureEngine<S> for GridEngine {
                                     stream: out0 + inst * n + (h - n),
                                 }),
                                 _ if ri + 1 < s => Some(StreamDst::Link(vl[cell_id(ri, ci)])),
-                                _ => Some(StreamDst::Bank {
-                                    bank: col_bank(ci),
-                                    key: stream_key(inst, k, h),
-                                }),
+                                _ => Some(plan.bank_dst(col_bank(ci), stream_key(inst, k, h))),
                             };
                             let pivot_out = match role {
                                 GNodeRole::DelayTail => None,
                                 _ if ci + 1 < s => Some(StreamDst::Link(hl[cell_id(ri, ci)])),
-                                _ => Some(StreamDst::Bank {
-                                    bank: piv_bank(ri),
-                                    key: stream_key(inst, k, h),
-                                }),
+                                _ => Some(plan.bank_dst(piv_bank(ri), stream_key(inst, k, h))),
                             };
-                            sim.push_task(
+                            plan.push_task(
                                 cell_id(ri, ci),
                                 Task {
                                     kind,
@@ -189,22 +170,30 @@ impl<S: PathSemiring> ClosureEngine<S> for GridEngine {
             }
         }
 
-        let m = (s * s) as u64;
-        let ideal = (n as u64).pow(2) * (n as u64 + 1) / m + 1;
-        sim.set_max_cycles(batch.len() as u64 * ideal * 40 + 200_000);
-        let stats = sim.run()?;
-        let outs = sim.outputs();
-        let mut results = Vec::with_capacity(batch.len());
-        for inst in 0..batch.len() {
-            let mut r = DenseMatrix::<S>::zeros(n, n);
-            for j in 0..n {
-                let col = &outs[out0 + inst * n + j];
-                assert_eq!(col.len(), n, "output column {j} incomplete");
-                r.set_col(j, col);
-            }
-            results.push(r);
-        }
-        Ok((results, stats))
+        let m = s * s;
+        let ideal = ideal_cycles_per_instance(n, m) + 1;
+        plan.set_max_cycles(batch_len as u64 * ideal * 40 + 200_000);
+        plan.finish()
+    }
+}
+
+impl<S: PathSemiring> ClosureEngine<S> for GridEngine {
+    fn name(&self) -> &'static str {
+        "grid-partitioned"
+    }
+
+    fn cells(&self) -> usize {
+        self.s * self.s
+    }
+
+    fn closure_many(
+        &self,
+        mats: &[DenseMatrix<S>],
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        let (n, batch) = prepare_batch(mats)?;
+        run_cached_plan(&self.plans, &self.sims, n, &batch, || {
+            self.build_plan(n, batch.len())
+        })
     }
 }
 

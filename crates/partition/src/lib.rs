@@ -47,6 +47,7 @@ pub mod fixed;
 pub mod grid;
 pub mod linear;
 pub mod parallel;
+pub mod plan;
 pub mod recover;
 pub mod schedule;
 pub mod verify;
@@ -57,6 +58,7 @@ pub use fixed::{FixedArrayEngine, FixedLinearEngine};
 pub use grid::GridEngine;
 pub use linear::LinearEngine;
 pub use parallel::ParallelEngine;
+pub use plan::CompiledPlan;
 pub use recover::{Escalation, FaultAware, RecoveringEngine, RecoveryPolicy};
 pub use schedule::{GsetSchedule, ScheduleEntry};
 pub use verify::{col_folds, row_folds, Verifier};

@@ -15,8 +15,15 @@
 //!   paper's `m + 1` connections to external memories;
 //! * row 0 reads its columns from the host R-chain (Fig. 21) and row `n-1`
 //!   writes the result columns to the output collectors.
+//!
+//! The schedule depends only on the problem shape, so it is compiled once
+//! per `(n, batch_len)` into a [`CompiledPlan`] and memoized; repeat calls
+//! reset and reload a cached simulator instead of rebuilding anything.
 
-use crate::engine::{prepare_batch, stream_key, ClosureEngine, EngineError};
+use crate::engine::{
+    ideal_cycles_per_instance, prepare_batch, stream_key, ClosureEngine, EngineError,
+};
+use crate::plan::{CompiledPlan, PlanBuilder, PlanCache, SimSlot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use systolic_arraysim::{
@@ -43,6 +50,10 @@ pub struct LinearEngine {
     nonce: AtomicU64,
     /// Faults applied during the most recent run (success or failure).
     last_faults: Mutex<Vec<FaultEvent>>,
+    /// Compiled schedules per `(n, batch_len)`, shared across clones.
+    plans: PlanCache,
+    /// Reusable simulator from the previous run (per engine value).
+    sims: SimSlot,
 }
 
 impl Clone for LinearEngine {
@@ -54,6 +65,8 @@ impl Clone for LinearEngine {
             plan: self.plan.clone(),
             nonce: AtomicU64::new(self.nonce.load(Ordering::Relaxed)),
             last_faults: Mutex::new(Vec::new()),
+            plans: self.plans.clone(),
+            sims: SimSlot::default(),
         }
     }
 }
@@ -69,6 +82,8 @@ impl LinearEngine {
             plan: None,
             nonce: AtomicU64::new(0),
             last_faults: Mutex::new(Vec::new()),
+            plans: PlanCache::default(),
+            sims: SimSlot::default(),
         }
     }
 
@@ -76,6 +91,7 @@ impl LinearEngine {
     /// the full schedule for Gantt rendering (Fig. 20 visualization).
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self.sims.clear(); // a cached simulator would lack span buffers
         self
     }
 
@@ -92,6 +108,8 @@ impl LinearEngine {
             plan: None,
             nonce: AtomicU64::new(0),
             last_faults: Mutex::new(Vec::new()),
+            plans: PlanCache::default(),
+            sims: SimSlot::default(),
         }
     }
 
@@ -114,65 +132,63 @@ impl LinearEngine {
         self.last_faults.lock().expect("fault log poisoned").clone()
     }
 
+    /// Takes the most recent run's fault events without cloning them.
+    pub(crate) fn take_recent_fault_events(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.last_faults.lock().expect("fault log poisoned"))
+    }
+
+    /// Drops the memoized plans and the cached simulator, forcing the next
+    /// call to compile from scratch (the fault-nonce sequence continues
+    /// unchanged). Mainly for cache-vs-fresh equivalence tests.
+    pub fn clear_caches(&self) {
+        self.plans.clear();
+        self.sims.clear();
+    }
+
     /// Number of G-set blocks for problem size `n`: `⌈2n / m⌉` (the skewed
     /// G-graph spans `h ∈ 0..2n`).
     pub fn blocks(&self, n: usize) -> usize {
         (2 * n).div_ceil(self.m)
     }
-}
 
-impl<S: PathSemiring> ClosureEngine<S> for LinearEngine {
-    fn name(&self) -> &'static str {
-        "linear-partitioned"
-    }
-
-    fn cells(&self) -> usize {
-        self.m
-    }
-
-    fn closure_many(
-        &self,
-        mats: &[DenseMatrix<S>],
-    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        let (n, batch) = prepare_batch(mats)?;
+    /// Compiles the schedule for one `(n, batch_len)` shape: the full task
+    /// program of every cell, the host demand order and the stream wiring,
+    /// with all stream keys interned to dense slots.
+    fn build_plan(&self, n: usize, batch_len: usize) -> CompiledPlan {
         let m = self.m;
         let gg = GGraph::new(n);
         let blocks = self.blocks(n);
 
-        let mut sim = ArraySim::<S>::new(m);
+        let mut plan = PlanBuilder::new(n, batch_len, m);
         // Pivot links cell c → c+1 (delayed where faulty cells are bypassed).
         let links: Vec<usize> = self
             .link_delays
             .iter()
-            .map(|&d| sim.add_link_with_delay(d))
+            .map(|&d| plan.add_link_with_delay(d))
             .collect();
         // Cell banks 0..m, pivot bank m.
         for _ in 0..=m {
-            sim.add_bank();
+            plan.add_bank();
         }
         let pivot_bank = m;
-        sim.set_memory_connections(m + 1);
-        if self.trace {
-            sim.enable_trace();
-        }
-        let out0 = sim.add_outputs(batch.len() * n);
+        plan.set_memory_connections(m + 1);
+        let out0 = plan.add_outputs(batch_len * n);
 
         // Host demand order mirrors the schedule: instance, block, cell.
-        for (inst, a) in batch.iter().enumerate() {
+        for inst in 0..batch_len {
             for b in 0..blocks {
                 for c in 0..m {
                     let h = b * m + c;
                     if h < n && gg.at_h(0, h).is_some() {
                         // Row 0 consumes column h in natural row order.
-                        sim.host_mut()
-                            .enqueue_stream(c, stream_key(inst, 0, h), a.col(h));
+                        plan.feed_host(c, stream_key(inst, 0, h), inst, h);
                     }
                 }
             }
         }
 
         // Task programs.
-        for (inst, _) in batch.iter().enumerate() {
+        for inst in 0..batch_len {
             for b in 0..blocks {
                 for k in 0..n {
                     for c in 0..m {
@@ -186,42 +202,28 @@ impl<S: PathSemiring> ClosureEngine<S> for LinearEngine {
                         };
                         let col_in = match role {
                             GNodeRole::DelayTail => None,
-                            _ if k == 0 => Some(StreamSrc::Host {
-                                key: stream_key(inst, 0, h),
-                            }),
-                            _ => Some(StreamSrc::Bank {
-                                bank: c,
-                                key: stream_key(inst, k - 1, h),
-                            }),
+                            _ if k == 0 => Some(plan.host_src(c, stream_key(inst, 0, h))),
+                            _ => Some(plan.bank_src(c, stream_key(inst, k - 1, h))),
                         };
                         let pivot_in = match role {
                             GNodeRole::PivotHead => None,
                             _ if c > 0 => Some(StreamSrc::Link(links[c - 1])),
-                            _ => Some(StreamSrc::Bank {
-                                bank: pivot_bank,
-                                key: stream_key(inst, k, h - 1),
-                            }),
+                            _ => Some(plan.bank_src(pivot_bank, stream_key(inst, k, h - 1))),
                         };
                         let col_out = match role {
                             GNodeRole::PivotHead => None,
                             _ if k == n - 1 => Some(StreamDst::Output {
                                 stream: out0 + inst * n + (h - n),
                             }),
-                            _ => Some(StreamDst::Bank {
-                                bank: c,
-                                key: stream_key(inst, k, h),
-                            }),
+                            _ => Some(plan.bank_dst(c, stream_key(inst, k, h))),
                         };
                         let pivot_out = match role {
                             GNodeRole::DelayTail => None,
                             _ if c < m - 1 => Some(StreamDst::Link(links[c])),
-                            _ => Some(StreamDst::Bank {
-                                bank: pivot_bank,
-                                key: stream_key(inst, k, h),
-                            }),
+                            _ => Some(plan.bank_dst(pivot_bank, stream_key(inst, k, h))),
                         };
                         let useful_ops = gg.useful_ops(id) as u64;
-                        sim.push_task(
+                        plan.push_task(
                             c,
                             Task {
                                 kind,
@@ -243,22 +245,42 @@ impl<S: PathSemiring> ClosureEngine<S> for LinearEngine {
         }
 
         // Generous budget: ideal cycles are ~ n²(n+1)/m per instance.
-        let ideal = (n as u64).pow(2) * (n as u64 + 1) / m as u64 + 1;
-        sim.set_max_cycles(batch.len() as u64 * ideal * 20 + 100_000);
+        let ideal = ideal_cycles_per_instance(n, m) + 1;
+        plan.set_max_cycles(batch_len as u64 * ideal * 20 + 100_000);
+        plan.finish()
+    }
 
-        if let Some(plan) = &self.plan {
-            sim.set_fault_plan(plan.reseeded(self.nonce.fetch_add(1, Ordering::Relaxed)));
+    /// Runs a prepared (reflexive) batch through the cached plan/simulator,
+    /// arming `armed` verbatim when given. The fault log is recorded into
+    /// `last_faults` iff a plan was armed.
+    fn run_batch<S: PathSemiring>(
+        &self,
+        n: usize,
+        batch: &[DenseMatrix<S>],
+        armed: Option<FaultPlan>,
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        let plan = self
+            .plans
+            .get_or_build(n, batch.len(), || self.build_plan(n, batch.len()));
+        let mut sim: ArraySim<S> = self
+            .sims
+            .take(&plan)
+            .unwrap_or_else(|| plan.instantiate(self.trace));
+        plan.load(&mut sim, batch);
+
+        let record = armed.is_some();
+        if let Some(fp) = armed {
+            sim.set_fault_plan(fp);
         }
-
         let run = sim.run();
-        if self.plan.is_some() {
+        if record {
             // Record what was injected even when the run failed — blame
             // attribution needs the sites of a deadlocked attempt too.
-            *self.last_faults.lock().expect("fault log poisoned") =
-                sim.fault_log().map_or_else(Vec::new, |l| l.events.clone());
+            *self.last_faults.lock().expect("fault log poisoned") = sim.take_fault_events();
         }
         let stats = run?;
         let outs = sim.outputs();
+        let out0 = 0;
         let mut results = Vec::with_capacity(batch.len());
         for inst in 0..batch.len() {
             let mut r = DenseMatrix::<S>::zeros(n, n);
@@ -276,7 +298,43 @@ impl<S: PathSemiring> ClosureEngine<S> for LinearEngine {
             }
             results.push(r);
         }
+        self.sims.store(plan, sim);
         Ok((results, stats))
+    }
+
+    /// [`ClosureEngine::closure_many`] with an explicit pre-reseeded fault
+    /// plan, bypassing this engine's own plan/nonce. Lets the degraded
+    /// array wrapper reuse a persistent inner engine (and its caches) while
+    /// reproducing its historical reseeding chain exactly.
+    pub(crate) fn closure_many_with_plan<S: PathSemiring>(
+        &self,
+        mats: &[DenseMatrix<S>],
+        armed: Option<FaultPlan>,
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        let (n, batch) = prepare_batch(mats)?;
+        self.run_batch(n, &batch, armed)
+    }
+}
+
+impl<S: PathSemiring> ClosureEngine<S> for LinearEngine {
+    fn name(&self) -> &'static str {
+        "linear-partitioned"
+    }
+
+    fn cells(&self) -> usize {
+        self.m
+    }
+
+    fn closure_many(
+        &self,
+        mats: &[DenseMatrix<S>],
+    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        let (n, batch) = prepare_batch(mats)?;
+        let armed = self
+            .plan
+            .as_ref()
+            .map(|p| p.reseeded(self.nonce.fetch_add(1, Ordering::Relaxed)));
+        self.run_batch(n, &batch, armed)
     }
 }
 
@@ -384,5 +442,44 @@ mod tests {
         let a = DenseMatrix::<Bool>::zeros(1, 1);
         let eng = LinearEngine::new(2);
         assert!(ClosureEngine::<Bool>::closure(&eng, &a).is_err());
+    }
+
+    #[test]
+    fn cached_plan_reruns_bit_identically() {
+        let a = bool_adj(7, &[(0, 3), (3, 6), (6, 1), (1, 5), (5, 0), (2, 4)]);
+        let b = bool_adj(7, &[(6, 0), (0, 6), (2, 5)]);
+        let eng = LinearEngine::new(3);
+        let batch = [a, b];
+        // First call compiles; second reuses plan + simulator; third (after
+        // clearing the caches) recompiles from scratch.
+        let (r1, s1) = ClosureEngine::<Bool>::closure_many(&eng, &batch).unwrap();
+        let (r2, s2) = ClosureEngine::<Bool>::closure_many(&eng, &batch).unwrap();
+        eng.clear_caches();
+        let (r3, s3) = ClosureEngine::<Bool>::closure_many(&eng, &batch).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+        // RunStats equality ignores only wall time.
+        assert_eq!(s1, s2);
+        assert_eq!(s1, s3);
+    }
+
+    #[test]
+    fn cache_survives_shape_and_semiring_changes() {
+        let eng = LinearEngine::new(2);
+        let a5 = bool_adj(5, &[(0, 1), (1, 2)]);
+        let a6 = bool_adj(6, &[(0, 1), (1, 2)]);
+        let (g1, _) = ClosureEngine::<Bool>::closure(&eng, &a5).unwrap();
+        let (g2, _) = ClosureEngine::<Bool>::closure(&eng, &a6).unwrap();
+        let (g3, _) = ClosureEngine::<Bool>::closure(&eng, &a5).unwrap();
+        assert_eq!(g1, warshall(&a5));
+        assert_eq!(g2, warshall(&a6));
+        assert_eq!(g1, g3);
+        // Same shape, different semiring: the plan is reused, the cached
+        // simulator is type-mismatched and rebuilt.
+        let mut w = DenseMatrix::<MinPlus>::zeros(5, 5);
+        w.set(0, 1, 2);
+        w.set(1, 2, 3);
+        let (g4, _) = ClosureEngine::<MinPlus>::closure(&eng, &w).unwrap();
+        assert_eq!(g4, warshall(&w));
     }
 }

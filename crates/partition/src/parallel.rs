@@ -11,6 +11,13 @@
 //! Merged [`RunStats`] are folded in instance order (not completion
 //! order), so every measured counter is deterministic and independent of
 //! the worker count. `wall_nanos` is the end-to-end batch wall time.
+//!
+//! Engine replicas are created by `Clone`, which shares the wrapped
+//! engine's compiled-plan cache (see [`crate::plan::CompiledPlan`]): the
+//! single-instance schedule is compiled once and every shard replays it.
+//! Each replica still owns its private simulator (cloning never shares
+//! one), so workers run without synchronizing on anything but the cache's
+//! one-time fill.
 
 use crate::engine::{validate_batch, ClosureEngine, EngineError};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -22,6 +22,12 @@
 //! instance order, so deterministic) carries a `FaultReport` that also
 //! includes the injected/detected counts of every *rejected* attempt, plus
 //! the retry and bypass totals.
+//!
+//! Retries are cheap: the wrapped engine memoizes its compiled schedule
+//! (see [`crate::plan::CompiledPlan`]), so a retry replays the cached plan
+//! on a reset simulator instead of rebuilding the G-set schedule per
+//! attempt. Only an escalation to a new bypass configuration (a different
+//! healthy-cell topology) compiles a new plan.
 
 use crate::engine::{ClosureEngine, EngineError};
 use crate::fault::FaultyLinearEngine;

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Perf smoke for the compile-once plan cache: runs the batched_closure and
+# plan_reuse benches with pinned sample counts and records the results in
+# BENCH_partition.json at the repo root.
+#
+# Non-gating: check.sh runs this but ignores its exit status — wall-clock
+# numbers depend on the machine. The recorded pre-PR baseline for
+# batched_closure/linear_m4/32x32 (schedule rebuilt on every call) was a
+# 110.1 ms median on the reference container.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export SYSTOLIC_BENCH_SAMPLES="${SYSTOLIC_BENCH_SAMPLES:-7}"
+export SYSTOLIC_BENCH_WARMUP_MS="${SYSTOLIC_BENCH_WARMUP_MS:-500}"
+BASELINE_MS=110.1
+OUT=BENCH_partition.json
+
+lines=$(
+  cargo bench -p systolic-bench --bench batched_closure 2>/dev/null
+  cargo bench -p systolic-bench --bench plan_reuse 2>/dev/null
+)
+printf '%s\n' "$lines"
+
+printf '%s\n' "$lines" | awk \
+  -v baseline="$BASELINE_MS" -v samples="$SYSTOLIC_BENCH_SAMPLES" '
+  function to_ms(s,   v, u) {
+    v = s; sub(/[^0-9.].*$/, "", v)
+    u = s; sub(/^[0-9.]+/, "", u)
+    if (u == "ns") return v / 1e6
+    if (u == "ms") return v
+    if (u == "s")  return v * 1e3
+    return v / 1e3  # µs
+  }
+  / median / {
+    id = $1
+    for (i = 1; i <= NF; i++) {
+      if ($i == "median") med = to_ms($(i + 1))
+      if ($i == "mean")   avg = to_ms($(i + 1))
+      if ($i == "min")    low = to_ms($(i + 1))
+    }
+    n++
+    rows[n] = sprintf("    {\"id\": \"%s\", \"median_ms\": %.3f, \"mean_ms\": %.3f, \"min_ms\": %.3f}", id, med, avg, low)
+    if (id == "batched_closure/linear_m4/32x32") accept = med
+  }
+  END {
+    print "{"
+    print "  \"bench\": \"plan-cache smoke (scripts/bench_smoke.sh)\","
+    printf "  \"samples\": %d,\n", samples
+    printf "  \"baseline_median_ms\": %.1f,\n", baseline
+    print "  \"results\": ["
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    print "  ],"
+    if (accept > 0)
+      printf "  \"speedup_vs_baseline\": %.2f\n", baseline / accept
+    else
+      print "  \"speedup_vs_baseline\": null"
+    print "}"
+  }' > "$OUT"
+
+echo "bench_smoke: wrote $OUT"
+grep speedup_vs_baseline "$OUT"

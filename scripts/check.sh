@@ -8,4 +8,7 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 
+# Perf smoke (non-gating: wall-clock numbers are machine-dependent).
+./scripts/bench_smoke.sh || echo "check.sh: bench_smoke failed (non-gating)"
+
 echo "check.sh: all gates passed"

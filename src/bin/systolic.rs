@@ -8,6 +8,7 @@
 //! systolic gantt    <n> <m>                                 cell-occupancy chart
 //! systolic info     <n> [m]                                 paper's analytic measures
 //! systolic campaign [--seed S] [--rate R] [--instances K] …  fault-injection campaign
+//! systolic plancache [--n N] [--cells M] [--instances K]    plan-cache reuse check
 //! ```
 //!
 //! Edge files are whitespace-separated `u v` (or `u v w` for `paths`) pairs
@@ -32,6 +33,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("  systolic gantt    <n> <m>");
     eprintln!("  systolic info     <n> [m]");
     eprintln!("  systolic campaign [--seed S] [--n N] [--cells M] [--instances K] [--rate R] [--retries T] [--hot CELL:WEIGHT]");
+    eprintln!("  systolic plancache [--n N] [--cells M] [--instances K] [--iters I]");
     std::process::exit(2);
 }
 
@@ -353,6 +355,83 @@ fn cmd_campaign(args: &[String]) {
     }
 }
 
+fn cmd_plancache(args: &[String]) {
+    use std::time::Instant;
+    use systolic::closure::gnp;
+    let (mut n, mut m, mut instances, mut iters) = (24usize, 4usize, 8usize, 5u32);
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i)
+                .map(String::as_str)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", args[i - 1])))
+        };
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = value(i).parse().unwrap_or_else(|_| fail("bad --n"));
+            }
+            "--cells" => {
+                i += 1;
+                m = value(i).parse().unwrap_or_else(|_| fail("bad --cells"));
+            }
+            "--instances" => {
+                i += 1;
+                instances = value(i).parse().unwrap_or_else(|_| fail("bad --instances"));
+            }
+            "--iters" => {
+                i += 1;
+                iters = value(i).parse().unwrap_or_else(|_| fail("bad --iters"));
+            }
+            other => fail(&format!("unknown plancache flag `{other}`")),
+        }
+        i += 1;
+    }
+    if n < 2 || m < 1 || instances == 0 || iters == 0 {
+        fail("plancache needs n ≥ 2, cells ≥ 1, at least one instance and one iteration");
+    }
+    let batch: Vec<_> = (0..instances)
+        .map(|i| gnp(n, 0.15, 91 + i as u64).adjacency_matrix())
+        .collect();
+    let cached_eng = LinearEngine::new(m);
+    let (first_res, first_stats) = ClosureEngine::<Bool>::closure_many(&cached_eng, &batch)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let (cached_res, cached_stats) = ClosureEngine::<Bool>::closure_many(&cached_eng, &batch)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let (fresh_res, fresh_stats) =
+        ClosureEngine::<Bool>::closure_many(&LinearEngine::new(m), &batch)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+    let identical = cached_res == fresh_res
+        && first_res == fresh_res
+        && cached_stats == fresh_stats
+        && first_stats == fresh_stats;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = ClosureEngine::<Bool>::closure_many(&LinearEngine::new(m), &batch).unwrap();
+    }
+    let fresh_t = t0.elapsed().as_secs_f64() / f64::from(iters);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = ClosureEngine::<Bool>::closure_many(&cached_eng, &batch).unwrap();
+    }
+    let cached_t = t0.elapsed().as_secs_f64() / f64::from(iters);
+    println!(
+        "linear m = {m}, n = {n}, batch {instances}: {} cycles per batch",
+        fresh_stats.cycles
+    );
+    println!(
+        "fresh build {:.2} ms, cached plan {:.2} ms, speedup {:.2}×",
+        1e3 * fresh_t,
+        1e3 * cached_t,
+        fresh_t / cached_t
+    );
+    println!("cached-plan run byte-identical to fresh build: {identical}");
+    if !identical {
+        eprintln!("error: plan cache changed results or stats");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -363,6 +442,7 @@ fn main() {
             "gantt" => cmd_gantt(rest),
             "info" => cmd_info(rest),
             "campaign" => cmd_campaign(rest),
+            "plancache" => cmd_plancache(rest),
             other => fail(&format!("unknown command `{other}`")),
         },
         None => fail("missing command"),

@@ -97,6 +97,35 @@ fn info_prints_the_paper_formulas() {
 }
 
 #[test]
+fn plancache_verifies_cached_reuse() {
+    let out = bin()
+        .args([
+            "plancache",
+            "--n",
+            "10",
+            "--cells",
+            "3",
+            "--instances",
+            "3",
+            "--iters",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("byte-identical to fresh build: true"),
+        "{text}"
+    );
+    assert!(text.contains("speedup"), "{text}");
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -23,7 +23,7 @@ fn missing_stream_is_reported_as_deadlock() {
     let mut sim = ArraySim::<MinPlus>::new(2);
     let b = sim.add_bank();
     let mut t = task(TaskKind::DelayTail, 3);
-    t.pivot_in = Some(StreamSrc::Bank { bank: b, key: 123 });
+    t.pivot_in = Some(StreamSrc::Bank { bank: b, slot: 123 });
     sim.push_task(0, t);
     match sim.run() {
         Err(SimError::Deadlock {
@@ -50,18 +50,18 @@ fn circular_link_dependency_deadlocks() {
     let b = sim.add_bank();
     let l01 = sim.add_link();
     let l10 = sim.add_link();
-    for k in [0u64, 1] {
+    for k in [0usize, 1] {
         for v in [true, false, true] {
             sim.bank_mut(b).preload(k, v);
         }
     }
     let mut t0 = task(TaskKind::Fuse, 3);
-    t0.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+    t0.col_in = Some(StreamSrc::Bank { bank: b, slot: 0 });
     t0.pivot_in = Some(StreamSrc::Link(l10));
     t0.pivot_out = Some(StreamDst::Link(l01));
     sim.push_task(0, t0);
     let mut t1 = task(TaskKind::Fuse, 3);
-    t1.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+    t1.col_in = Some(StreamSrc::Bank { bank: b, slot: 1 });
     t1.pivot_in = Some(StreamSrc::Link(l01));
     t1.pivot_out = Some(StreamDst::Link(l10));
     sim.push_task(1, t1);
@@ -73,7 +73,7 @@ fn timeout_budget_is_honored() {
     let mut sim = ArraySim::<Bool>::new(1);
     let b = sim.add_bank();
     let mut t = task(TaskKind::Pass, 4);
-    t.col_in = Some(StreamSrc::Bank { bank: b, key: 1 });
+    t.col_in = Some(StreamSrc::Bank { bank: b, slot: 1 });
     sim.push_task(0, t);
     sim.set_max_cycles(2);
     assert_eq!(sim.run(), Err(SimError::Timeout { max_cycles: 2 }));
@@ -131,7 +131,7 @@ fn pass_through_chain_preserves_order_under_backpressure() {
         sim.bank_mut(b).preload(0, v as u64);
     }
     let mut t0 = task(TaskKind::Pass, n);
-    t0.col_in = Some(StreamSrc::Bank { bank: b, key: 0 });
+    t0.col_in = Some(StreamSrc::Bank { bank: b, slot: 0 });
     t0.col_out = Some(StreamDst::Link(l0));
     sim.push_task(0, t0);
     let mut t1 = task(TaskKind::Pass, n);
