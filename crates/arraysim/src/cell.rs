@@ -1,4 +1,10 @@
 //! Cells and their task programs.
+//!
+//! A cell's firing rules depend only on stream *availability*, never on
+//! the values carried (values are touched solely through `S::fuse` /
+//! `S::zero` and moves), so the payload may be any semiring element — one
+//! Boolean, a `u64` of 64 bit-sliced Booleans, a min-plus weight — with
+//! bit-identical timing.
 
 use crate::host::Host;
 use crate::inject::{corrupt_value, FaultInjector, LinkFate};

@@ -266,6 +266,12 @@ impl FaultPlan {
 /// multiplicative one. Guaranteed to change the element in every
 /// non-trivial semiring (where `0̸ ≠ 1`), and maps interior values to `0̸`,
 /// which exercises both "lost edge" and "phantom edge" corruptions.
+///
+/// This is the one place the simulator manufactures a *value*, which makes
+/// fault injection the one lane-width-dependent mechanism: over a packed
+/// semiring like `BoolLanes` a single corruption would hit all 64 resident
+/// instances at once. Lane-packed engines therefore run armed plans on the
+/// scalar path (DESIGN §10).
 pub fn corrupt_value<S: Semiring>(e: &S::Elem) -> S::Elem {
     if S::is_zero(e) {
         S::one()

@@ -1,4 +1,14 @@
 //! The simulation driver.
+//!
+//! The whole data plane — cell payloads, link words, bank slots, host
+//! streams, output collectors — is generic over the semiring element
+//! `S::Elem` and never branches on its value, so the element's *lane
+//! width* is the semiring's choice: a scalar run is the 1-lane
+//! instantiation, while `systolic_semiring::BoolLanes` runs 64 bit-sliced
+//! Boolean instances through one simulation with identical cycle-level
+//! behavior. The only value-dependent machinery is fault injection
+//! ([`crate::inject`]), which is why lane-packed engines fall back to the
+//! scalar path when a fault plan is armed.
 
 use crate::cell::{Cell, Fabric, Step, Task};
 use crate::host::Host;

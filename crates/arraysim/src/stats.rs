@@ -227,6 +227,53 @@ impl RunStats {
         self.fault.merge(&other.fault);
         self.fault_events.extend(other.fault_events.iter().copied());
     }
+
+    /// Expands a clean single run into the stats of `lanes` identical
+    /// independent runs: exactly [`RunStats::merge`] folded over `lanes`
+    /// copies of `self`, minus the wall-time sum (each lane shared the one
+    /// simulated run, so wall time is kept as measured).
+    ///
+    /// This is how a lane-packed run reports per-instance accounting: every
+    /// simulated event moved one word per lane, so additive counters scale
+    /// by the lane count while geometry, peaks and phase *boundaries*
+    /// (extrema under merge) are those of the single shared run.
+    ///
+    /// Only clean runs scale — a fault event belongs to one concrete run,
+    /// not to every lane (armed fault plans take the scalar path instead).
+    pub fn scaled(&self, lanes: u64) -> RunStats {
+        debug_assert!(
+            self.fault_events.is_empty() && self.fault == Default::default(),
+            "fault accounting cannot be lane-scaled"
+        );
+        let mut out = self.clone();
+        out.cycles *= lanes;
+        for b in &mut out.busy {
+            *b *= lanes;
+        }
+        for s in &mut out.stalls {
+            *s *= lanes;
+        }
+        out.useful_ops *= lanes;
+        out.host_words *= lanes;
+        out.bank_writes *= lanes;
+        out.bank_reads *= lanes;
+        out.link_words *= lanes;
+        out.output_words *= lanes;
+        out.phases.load_cycles *= lanes;
+        out.phases.compute_cycles *= lanes;
+        out.phases.drain_cycles *= lanes;
+        for h in &mut out.busy_histogram {
+            *h *= lanes;
+        }
+        out.spans = self
+            .spans
+            .iter()
+            .cycle()
+            .take(self.spans.len() * lanes as usize)
+            .copied()
+            .collect();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +373,46 @@ mod tests {
         assert_eq!(m.peak_bank_resident, 6);
         assert_eq!(m.phases.total(), 30);
         assert_eq!(m.wall_nanos, 120);
+    }
+
+    #[test]
+    fn scaled_equals_lanewise_merge() {
+        let s = RunStats {
+            cycles: 38,
+            cells: 4,
+            busy: vec![20, 18, 15, 9],
+            stalls: vec![1, 0, 3, 2],
+            useful_ops: 72,
+            host_words: 24,
+            host_first: Some(0),
+            host_last: Some(30),
+            host_peak_resident: 9,
+            bank_writes: 40,
+            bank_reads: 40,
+            max_bank_writes_per_cycle: 3,
+            peak_bank_resident: 12,
+            link_words: 55,
+            output_words: 16,
+            memory_connections: 5,
+            phases: PhaseStats {
+                load_cycles: 2,
+                compute_cycles: 33,
+                drain_cycles: 3,
+            },
+            busy_histogram: [0, 1, 0, 0, 2, 0, 0, 1, 0, 0],
+            wall_nanos: 1234,
+            ..Default::default()
+        };
+        for lanes in [1u64, 2, 63, 64] {
+            let mut merged = s.clone();
+            for _ in 1..lanes {
+                merged.merge(&s);
+            }
+            // Equality already ignores wall time; scaled keeps the single
+            // shared run's measurement instead of merge's sum.
+            assert_eq!(s.scaled(lanes), merged, "lanes={lanes}");
+            assert_eq!(s.scaled(lanes).wall_nanos, s.wall_nanos);
+        }
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Links, banks and stream endpoints.
 //!
+//! Stream words are opaque semiring elements: a "word" here is whatever
+//! `S::Elem` is, so one link transfer can carry 64 bit-sliced Boolean
+//! lanes (`systolic_semiring::LaneWord`) as cheaply as one scalar.
+//!
 //! Banks (and the host's R-block memories) store logical streams in
 //! Vec-backed *slot tables*: schedule compilation interns each 64-bit
 //! `stream_key` into a dense slot index once, so the cycle loop indexes a

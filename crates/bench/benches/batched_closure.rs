@@ -1,14 +1,18 @@
-//! The plan-compilation acceptance workload: one serial `closure_many`
-//! batch (32 instances, n = 32, m = 4) on a single reused `LinearEngine`.
+//! The batch-throughput acceptance workload: one `closure_many` batch
+//! (32 instances, n = 32, m = 4) on a single reused engine, scalar vs
+//! lane-packed.
 //!
 //! With compiled-plan memoization the schedule is built once for the
 //! batch shape and every subsequent call only streams data through the
-//! cached simulator; `scripts/bench_smoke.sh` records this bench's
-//! median in `BENCH_partition.json`.
+//! cached simulator. The scalar `LinearEngine` chains the 32 instances
+//! through the array one at a time; `PackedEngine` bit-slices them into
+//! the lanes of one `u64` word and simulates a single instance's worth of
+//! events. `scripts/bench_smoke.sh` records both medians in
+//! `BENCH_partition.json` and gates on the packed/scalar ratio.
 
 use std::time::Duration;
 use systolic_bench::parallel_batch_input;
-use systolic_partition::{ClosureEngine, LinearEngine};
+use systolic_partition::{ClosureEngine, LinearEngine, PackedEngine};
 use systolic_util::{black_box, Bench};
 
 fn main() {
@@ -23,5 +27,10 @@ fn main() {
     let engine = LinearEngine::new(m);
     bench.bench(format!("linear_m{m}/{instances}x{n}"), || {
         black_box(engine.closure_many(&batch).unwrap());
+    });
+
+    let packed = PackedEngine::new(m);
+    bench.bench(format!("packed_m{m}/{instances}x{n}"), || {
+        black_box(packed.closure_many(&batch).unwrap());
     });
 }

@@ -71,6 +71,16 @@ pub trait ClosureEngine<S: PathSemiring> {
         let (mut v, stats) = self.closure_many(std::slice::from_ref(a))?;
         Ok((v.pop().expect("one instance in, one out"), stats))
     }
+
+    /// Smallest batch slice this engine processes at full efficiency.
+    ///
+    /// Batch sharders (e.g. [`crate::ParallelEngine`]) hand out work in
+    /// multiples of this: 1 for scalar engines (the default), the lane
+    /// count for lane-packed engines, whose throughput collapses when a
+    /// sharder feeds them one instance — one lane — at a time.
+    fn preferred_chunk(&self) -> usize {
+        1
+    }
 }
 
 /// Largest batch the 16-bit instance field of [`stream_key`] can address.

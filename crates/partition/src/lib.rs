@@ -24,6 +24,13 @@
 //! bit-identical results for any thread count, merged stats folded in
 //! instance order.
 //!
+//! [`PackedEngine`] bit-slices Boolean batches: up to 64 same-`n`
+//! instances travel in the lanes of one `u64` word through a single
+//! simulated run of the cached single-instance plan — bit-identical to
+//! [`LinearEngine`] with ~64× the batch throughput. It composes under
+//! [`ParallelEngine`], which shards such batches in whole lane groups
+//! ([`ClosureEngine::preferred_chunk`]).
+//!
 //! ```
 //! use systolic_partition::{ClosureEngine, LinearEngine};
 //! use systolic_semiring::{warshall, Bool, DenseMatrix};
@@ -46,6 +53,7 @@ pub mod fault;
 pub mod fixed;
 pub mod grid;
 pub mod linear;
+pub mod packed;
 pub mod parallel;
 pub mod plan;
 pub mod recover;
@@ -57,6 +65,7 @@ pub use fault::{grid_fault_capacity, linear_fault_capacity, FaultyLinearEngine};
 pub use fixed::{FixedArrayEngine, FixedLinearEngine};
 pub use grid::GridEngine;
 pub use linear::LinearEngine;
+pub use packed::PackedEngine;
 pub use parallel::ParallelEngine;
 pub use plan::CompiledPlan;
 pub use recover::{Escalation, FaultAware, RecoveringEngine, RecoveryPolicy};

@@ -19,6 +19,11 @@
 //! The schedule depends only on the problem shape, so it is compiled once
 //! per `(n, batch_len)` into a [`CompiledPlan`] and memoized; repeat calls
 //! reset and reload a cached simulator instead of rebuilding anything.
+//! It also never inspects *values*, so the engine is generic over the
+//! semiring — including the 64-lane `BoolLanes` packing
+//! [`crate::PackedEngine`] drives through it, which shares this engine's
+//! plan cache (a packed group and a scalar single run use the same
+//! `(n, 1)` plan).
 
 use crate::engine::{
     ideal_cycles_per_instance, prepare_batch, stream_key, ClosureEngine, EngineError,

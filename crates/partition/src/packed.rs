@@ -1,0 +1,222 @@
+//! Lane-packed batch execution: 64 Boolean instances per simulated run.
+//!
+//! The linear array's schedule is a pure function of the problem shape
+//! (that is why [`crate::plan::CompiledPlan`] exists), and over the
+//! Boolean semiring the *data* of up to [`LANES`] same-`n` instances fits
+//! in the lanes of one `u64` word ([`systolic_semiring::lanes`]). So a
+//! `closure_many` batch need not chain its instances through the array one
+//! scalar element per stream event: [`PackedEngine`] transposes each group
+//! of ≤ 64 instances into a single [`BoolLanes`] matrix, runs the wrapped
+//! [`LinearEngine`]'s ready-tracking loop **once** per group against the
+//! cached single-instance plan, and transposes the result back — the same
+//! simulated events now carry 64 results each.
+//!
+//! Results are bit-identical to the scalar engine (per-lane `OR`/`AND`
+//! *is* the Boolean semiring, and the schedule never looks at values).
+//! Merged [`RunStats`] keep the scalar per-instance contract: a group's
+//! stats are [`RunStats::scaled`] by its lane count, which equals the
+//! instance-order merge of the per-instance scalar runs — so packed,
+//! scalar and thread-parallel batch stats all agree under `PartialEq`.
+//!
+//! **Fault fallback.** Fault injection corrupts *values* at concrete
+//! sites, which is meaningless across 64 superimposed instances (one
+//! flipped word would fault all lanes at once, breaking per-instance blame
+//! and the replay contract). An armed [`FaultPlan`] therefore routes the
+//! whole batch to the wrapped engine's scalar path unchanged — PR 2's
+//! inject/verify/recover semantics are untouched (see DESIGN §10).
+//!
+//! [`FaultPlan`]: systolic_arraysim::FaultPlan
+
+use crate::engine::{validate_batch, ClosureEngine, EngineError};
+use crate::linear::LinearEngine;
+use systolic_arraysim::{FaultEvent, RunStats};
+use systolic_semiring::{pack_lanes, unpack_lanes, Bool, BoolLanes, DenseMatrix, LANES};
+
+/// Bit-sliced Boolean executor over a [`LinearEngine`].
+///
+/// ```
+/// use systolic_partition::{ClosureEngine, PackedEngine};
+/// use systolic_semiring::{warshall, Bool, DenseMatrix};
+///
+/// let mut a = DenseMatrix::<Bool>::zeros(5, 5);
+/// a.set(0, 3, true);
+/// a.set(3, 1, true);
+/// let batch = vec![a.clone(); 70]; // two lane groups
+/// let eng = PackedEngine::new(4);
+/// let (closed, _stats) = eng.closure_many(&batch).unwrap();
+/// assert_eq!(closed[69], warshall(&a));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PackedEngine {
+    inner: LinearEngine,
+}
+
+impl PackedEngine {
+    /// Creates a packed engine over a fresh `m`-cell [`LinearEngine`].
+    pub fn new(m: usize) -> Self {
+        Self::from_engine(LinearEngine::new(m))
+    }
+
+    /// Wraps an existing engine (keeping its plan cache, link delays and
+    /// any armed fault plan — the latter forces the scalar path).
+    pub fn from_engine(inner: LinearEngine) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped scalar engine.
+    pub fn inner(&self) -> &LinearEngine {
+        &self.inner
+    }
+
+    /// Drops the wrapped engine's memoized plans and cached simulators.
+    pub fn clear_caches(&self) {
+        self.inner.clear_caches();
+    }
+}
+
+impl ClosureEngine<Bool> for PackedEngine {
+    fn name(&self) -> &'static str {
+        "linear-packed"
+    }
+
+    fn cells(&self) -> usize {
+        ClosureEngine::<Bool>::cells(&self.inner)
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        LANES
+    }
+
+    fn closure_many(
+        &self,
+        mats: &[DenseMatrix<Bool>],
+    ) -> Result<(Vec<DenseMatrix<Bool>>, RunStats), EngineError> {
+        if self.inner.fault_plan().is_some() {
+            // Scalar fallback: value faults don't compose across lanes.
+            return self.inner.closure_many(mats);
+        }
+        validate_batch(mats)?;
+        let started = std::time::Instant::now();
+        let mut results = Vec::with_capacity(mats.len());
+        let mut merged: Option<RunStats> = None;
+        for (gi, group) in mats.chunks(LANES).enumerate() {
+            let packed = pack_lanes(group);
+            let (closed, stats) = ClosureEngine::<BoolLanes>::closure(&self.inner, &packed)
+                .map_err(|e| {
+                    match e {
+                        // A packed structural corruption has no single lane;
+                        // charge the group's first instance.
+                        EngineError::Corrupt { detail, .. } => EngineError::Corrupt {
+                            instance: gi * LANES,
+                            detail: format!("lane group of {}: {detail}", group.len()),
+                        },
+                        other => other,
+                    }
+                })?;
+            results.extend(unpack_lanes(&closed, group.len()));
+            let stats = stats.scaled(group.len() as u64);
+            match &mut merged {
+                None => merged = Some(stats),
+                Some(acc) => acc.merge(&stats),
+            }
+        }
+        let mut merged = merged.expect("validated batch is non-empty");
+        merged.wall_nanos = started.elapsed().as_nanos() as u64;
+        Ok((results, merged))
+    }
+}
+
+impl crate::recover::FaultAware<Bool> for PackedEngine {
+    fn recent_faults(&self) -> Vec<FaultEvent> {
+        // Faulty runs only ever execute on the scalar fallback path.
+        self.inner.recent_fault_events()
+    }
+
+    fn blame_cell(&self, event: &FaultEvent) -> Option<usize> {
+        crate::recover::FaultAware::<Bool>::blame_cell(&self.inner, event)
+    }
+
+    fn bypass_plan(&self, faulty: &[usize]) -> Option<crate::fault::FaultyLinearEngine> {
+        crate::recover::FaultAware::<Bool>::bypass_plan(&self.inner, faulty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_arraysim::FaultPlan;
+    use systolic_semiring::warshall;
+    use systolic_util::Rng;
+
+    fn random_bool(n: usize, rng: &mut Rng) -> DenseMatrix<Bool> {
+        DenseMatrix::from_fn(n, n, |i, j| i != j && rng.gen_bool(0.25))
+    }
+
+    #[test]
+    fn packed_equals_scalar_and_warshall() {
+        let mut rng = Rng::seed_from_u64(9);
+        let batch: Vec<_> = (0..67).map(|_| random_bool(6, &mut rng)).collect();
+        let eng = PackedEngine::new(3);
+        let scalar = LinearEngine::new(3);
+        let (got, _) = eng.closure_many(&batch).unwrap();
+        assert_eq!(got.len(), batch.len());
+        for (a, c) in batch.iter().zip(&got) {
+            assert_eq!(*c, warshall(a));
+            assert_eq!(*c, scalar.closure(a).unwrap().0);
+        }
+    }
+
+    #[test]
+    fn merged_stats_keep_the_per_instance_contract() {
+        let mut rng = Rng::seed_from_u64(15);
+        let batch: Vec<_> = (0..5).map(|_| random_bool(5, &mut rng)).collect();
+        let scalar = LinearEngine::new(2);
+        let mut expect: Option<RunStats> = None;
+        for a in &batch {
+            let (_, s) = scalar.closure(a).unwrap();
+            match &mut expect {
+                None => expect = Some(s),
+                Some(acc) => acc.merge(&s),
+            }
+        }
+        let eng = PackedEngine::new(2);
+        let (_, got) = eng.closure_many(&batch).unwrap();
+        assert_eq!(got, expect.unwrap());
+    }
+
+    #[test]
+    fn armed_fault_plan_takes_the_scalar_path() {
+        let plan = FaultPlan::transients(77, 1e-3);
+        let mut rng = Rng::seed_from_u64(21);
+        let batch: Vec<_> = (0..3).map(|_| random_bool(5, &mut rng)).collect();
+        let packed = PackedEngine::from_engine(LinearEngine::new(2).with_fault_plan(plan.clone()));
+        let scalar = LinearEngine::new(2).with_fault_plan(plan);
+        // Same plan, same nonce sequence: byte-identical behavior, faults
+        // included — the packed wrapper is invisible under armed faults.
+        let p = packed.closure_many(&batch);
+        let s = ClosureEngine::<Bool>::closure_many(&scalar, &batch);
+        assert_eq!(p, s);
+        assert_eq!(
+            crate::recover::FaultAware::<Bool>::recent_faults(&packed),
+            scalar.recent_fault_events()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_batches_like_the_scalar_engine() {
+        let eng = PackedEngine::new(2);
+        let empty: Vec<DenseMatrix<Bool>> = vec![];
+        assert!(matches!(
+            eng.closure_many(&empty),
+            Err(EngineError::BadInput(_))
+        ));
+        let mixed = vec![
+            DenseMatrix::<Bool>::zeros(3, 3),
+            DenseMatrix::<Bool>::zeros(4, 4),
+        ];
+        assert!(matches!(
+            eng.closure_many(&mixed),
+            Err(EngineError::BadInput(_))
+        ));
+    }
+}

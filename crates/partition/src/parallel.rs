@@ -3,14 +3,18 @@
 //! The paper's arrays process a *batch* of problem instances by chaining
 //! them through one simulated array. [`ParallelEngine`] instead shards the
 //! batch across replicas of the wrapped engine, one replica per worker of a
-//! persistent thread pool, with workers stealing instances from a shared
-//! index. Each instance still runs the exact single-instance simulation,
-//! so results are bit-identical to the serial engine for any thread count;
-//! only host wall-clock time changes.
+//! persistent thread pool, with workers stealing slices of
+//! [`ClosureEngine::preferred_chunk`] instances from a shared index (one
+//! instance at a time for scalar engines; whole lane groups for
+//! [`crate::PackedEngine`], which would waste 63 of its 64 lanes on
+//! single-instance steals). Each chunk still runs exactly as the wrapped
+//! engine would run it, so results are bit-identical to the serial engine
+//! for any thread count; only host wall-clock time changes.
 //!
-//! Merged [`RunStats`] are folded in instance order (not completion
-//! order), so every measured counter is deterministic and independent of
-//! the worker count. `wall_nanos` is the end-to-end batch wall time.
+//! Merged [`RunStats`] are folded in chunk order (not completion order) —
+//! instance order when the chunk is 1 — so every measured counter is
+//! deterministic and independent of the worker count. `wall_nanos` is the
+//! end-to-end batch wall time.
 //!
 //! Engine replicas are created by `Clone`, which shares the wrapped
 //! engine's compiled-plan cache (see [`crate::plan::CompiledPlan`]): the
@@ -72,7 +76,20 @@ impl<E> ParallelEngine<E> {
     }
 }
 
-type InstanceResult<S> = Result<(DenseMatrix<S>, RunStats), EngineError>;
+type ChunkResult<S> = Result<(Vec<DenseMatrix<S>>, RunStats), EngineError>;
+
+/// Rebases a chunk-relative [`EngineError::Corrupt`] instance index onto
+/// the full batch, so callers see the same coordinates the serial engine
+/// would report.
+fn offset_instance(e: EngineError, base: usize) -> EngineError {
+    match e {
+        EngineError::Corrupt { instance, detail } => EngineError::Corrupt {
+            instance: base + instance,
+            detail,
+        },
+        other => other,
+    }
+}
 
 impl<S, E> ClosureEngine<S> for ParallelEngine<E>
 where
@@ -94,24 +111,28 @@ where
     ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
         validate_batch(mats)?;
         let started = std::time::Instant::now();
+        let chunk = self.inner.preferred_chunk().max(1);
         let batch: Arc<Vec<DenseMatrix<S>>> = Arc::new(mats.to_vec());
-        let slots: Arc<Mutex<Vec<Option<InstanceResult<S>>>>> =
-            Arc::new(Mutex::new(vec![None; batch.len()]));
+        let chunks = batch.len().div_ceil(chunk);
+        let slots: Arc<Mutex<Vec<Option<ChunkResult<S>>>>> =
+            Arc::new(Mutex::new(vec![None; chunks]));
         let next = Arc::new(AtomicUsize::new(0));
 
-        let workers = self.pool.threads().min(batch.len());
+        let workers = self.pool.threads().min(chunks);
         let run = self.pool.scoped_run(workers, |_| {
             let engine = self.inner.clone();
             let batch = Arc::clone(&batch);
             let slots = Arc::clone(&slots);
             let next = Arc::clone(&next);
             Box::new(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= batch.len() {
+                let ci = next.fetch_add(1, Ordering::Relaxed);
+                if ci >= chunks {
                     break;
                 }
-                let r = engine.closure(&batch[i]);
-                slots.lock().expect("result store poisoned")[i] = Some(r);
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(batch.len());
+                let r = engine.closure_many(&batch[lo..hi]);
+                slots.lock().expect("result store poisoned")[ci] = Some(r);
             })
         });
         // Engine panics are bugs, not recoverable failures: re-raise with
@@ -124,17 +145,21 @@ where
             .expect("all workers joined")
             .into_inner()
             .expect("result store poisoned");
-        let mut results = Vec::with_capacity(slots.len());
+        let mut results = Vec::with_capacity(batch.len());
         let mut merged: Option<RunStats> = None;
-        for (i, slot) in slots.into_iter().enumerate() {
-            // Propagate the lowest-index failure, matching the serial
-            // engine, which would have failed on that instance first.
-            let (m, stats) = slot.unwrap_or_else(|| panic!("instance {i} never ran"))?;
+        for (ci, slot) in slots.into_iter().enumerate() {
+            // Propagate the lowest-chunk failure, matching the serial
+            // engine, which would have failed on that slice first.
+            let r = slot.unwrap_or_else(|| panic!("chunk {ci} never ran"));
+            let (ms, stats) = match r {
+                Ok(ok) => ok,
+                Err(e) => return Err(offset_instance(e, ci * chunk)),
+            };
             match &mut merged {
                 None => merged = Some(stats),
                 Some(acc) => acc.merge(&stats),
             }
-            results.push(m);
+            results.extend(ms);
         }
         let mut merged = merged.expect("validated batch is non-empty");
         merged.wall_nanos = started.elapsed().as_nanos() as u64;

@@ -42,6 +42,10 @@ use systolic_semiring::{DenseMatrix, PathSemiring};
 /// The default methods describe an engine with no fault instrumentation:
 /// nothing to report, no blame, no bypass — [`RecoveringEngine`] over such
 /// an engine still verifies and retries, it just cannot escalate.
+/// [`crate::PackedEngine`] implements this by delegation: armed fault
+/// plans run on its inner scalar engine (lane packing and fault injection
+/// don't compose, see DESIGN §10), so blame and bypass see exactly the
+/// scalar engine's events.
 pub trait FaultAware<S: PathSemiring>: ClosureEngine<S> {
     /// Faults applied during the engine's most recent run (success or
     /// failure); empty for uninstrumented engines.

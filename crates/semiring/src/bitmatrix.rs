@@ -178,15 +178,19 @@ impl BitMatrix {
         // relaxed ordering suffices.
         let shared: Arc<Vec<AtomicU64>> =
             Arc::new(m.words.iter().map(|&w| AtomicU64::new(w)).collect());
+        // One pivot-row snapshot buffer and one band partition, reused
+        // across all n pivots: the per-pivot work is then only the wpr
+        // snapshot stores plus the band dispatch, no allocation. The
+        // scoped_run barrier orders the snapshot writes before the bands'
+        // reads (and the previous round's writes before the snapshot), so
+        // relaxed ordering suffices throughout.
+        let pivot: Arc<Vec<AtomicU64>> = Arc::new((0..wpr).map(|_| AtomicU64::new(0)).collect());
         let rows_per = n.div_ceil(threads);
         let bands = n.div_ceil(rows_per);
         for k in 0..n {
-            let pivot: Arc<Vec<u64>> = Arc::new(
-                shared[k * wpr..(k + 1) * wpr]
-                    .iter()
-                    .map(|a| a.load(Ordering::Relaxed))
-                    .collect(),
-            );
+            for (dst, src) in pivot.iter().zip(&shared[k * wpr..(k + 1) * wpr]) {
+                dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
             let run = pool.scoped_run(bands, |band| {
                 let shared = Arc::clone(&shared);
                 let pivot = Arc::clone(&pivot);
@@ -199,7 +203,8 @@ impl BitMatrix {
                             & 1
                             == 1;
                         if has {
-                            for (dst, &src) in row.iter().zip(pivot.iter()) {
+                            for (dst, src) in row.iter().zip(pivot.iter()) {
+                                let src = src.load(Ordering::Relaxed);
                                 if src != 0 {
                                     dst.fetch_or(src, Ordering::Relaxed);
                                 }

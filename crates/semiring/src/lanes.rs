@@ -1,0 +1,234 @@
+//! Bit-sliced Boolean lanes: 64 independent instances per machine word.
+//!
+//! The partitioned arrays' schedules depend only on the problem *shape*,
+//! never on the matrix entries, so any number of same-shape Boolean
+//! instances can share one simulated run if their values travel together.
+//! Over the Boolean semiring that sharing is free: pack instance `l`'s
+//! element into bit `l` of a `u64` and the per-lane `OR`/`AND` of all 64
+//! lanes is a single word `|`/`&` (the same SWAR row-OR trick
+//! [`crate::BitMatrix`] uses). [`BoolLanes`] is that 64-lane semiring;
+//! [`pack_lanes`]/[`unpack_lanes`] transpose a batch of scalar Boolean
+//! matrices into one lane-word matrix and back.
+//!
+//! [`BoolLanes`] is a lawful [`PathSemiring`] (it is the 64-fold product
+//! of [`Bool`] with itself, and semiring laws hold lane-wise), so every
+//! generic kernel and engine in the workspace accepts it unchanged — the
+//! scalar Boolean path is simply the 1-lane instantiation.
+
+use crate::instances::Bool;
+use crate::matrix::DenseMatrix;
+use crate::traits::{PathSemiring, Semiring};
+use std::fmt;
+
+/// Number of Boolean lanes a [`LaneWord`] carries.
+pub const LANES: usize = 64;
+
+/// A machine word carrying [`LANES`] independent Boolean values, one per
+/// bit: lane `l` of the word is bit `l`.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash)]
+pub struct LaneWord(u64);
+
+impl LaneWord {
+    /// Word with every lane set to `v`.
+    #[inline]
+    pub fn splat(v: bool) -> Self {
+        Self(if v { u64::MAX } else { 0 })
+    }
+
+    /// Word with the given raw bit pattern (bit `l` = lane `l`).
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        Self(bits)
+    }
+
+    /// Raw bit pattern (bit `l` = lane `l`).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Value of lane `lane`.
+    #[inline]
+    pub fn get(self, lane: usize) -> bool {
+        debug_assert!(lane < LANES);
+        (self.0 >> lane) & 1 == 1
+    }
+
+    /// Sets lane `lane` to `v`.
+    #[inline]
+    pub fn set(&mut self, lane: usize, v: bool) {
+        debug_assert!(lane < LANES);
+        let mask = 1u64 << lane;
+        if v {
+            self.0 |= mask;
+        } else {
+            self.0 &= !mask;
+        }
+    }
+}
+
+impl fmt::Debug for LaneWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LaneWord({:#018x})", self.0)
+    }
+}
+
+/// The 64-lane Boolean semiring: per-lane `OR` as `⊕` and per-lane `AND`
+/// as `⊗`, both single word instructions. Zero is all-lanes-false, one is
+/// all-lanes-true.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BoolLanes;
+
+impl Semiring for BoolLanes {
+    type Elem = LaneWord;
+    const NAME: &'static str = "boolean-64-lane";
+
+    #[inline]
+    fn zero() -> LaneWord {
+        LaneWord(0)
+    }
+    #[inline]
+    fn one() -> LaneWord {
+        LaneWord(u64::MAX)
+    }
+    #[inline]
+    fn add(a: &LaneWord, b: &LaneWord) -> LaneWord {
+        LaneWord(a.0 | b.0)
+    }
+    #[inline]
+    fn mul(a: &LaneWord, b: &LaneWord) -> LaneWord {
+        LaneWord(a.0 & b.0)
+    }
+    #[inline]
+    fn fuse(x: &LaneWord, p: &LaneWord, q: &LaneWord) -> LaneWord {
+        LaneWord(x.0 | (p.0 & q.0))
+    }
+}
+impl PathSemiring for BoolLanes {}
+
+/// Transposes a batch of `1..=64` same-shape Boolean matrices into one
+/// lane-word matrix: element `(i, j)` of the result carries
+/// `mats[l].get(i, j)` in lane `l`. Unused lanes are zero (the empty
+/// graph, whose closure under a reflexive convention is the identity).
+///
+/// # Panics
+/// Panics on an empty batch, more than [`LANES`] matrices, or shape
+/// mismatch within the batch.
+pub fn pack_lanes(mats: &[DenseMatrix<Bool>]) -> DenseMatrix<BoolLanes> {
+    assert!(
+        !mats.is_empty() && mats.len() <= LANES,
+        "pack_lanes takes 1..={LANES} matrices, got {}",
+        mats.len()
+    );
+    let (rows, cols) = (mats[0].rows(), mats[0].cols());
+    assert!(
+        mats.iter().all(|m| m.rows() == rows && m.cols() == cols),
+        "pack_lanes requires same-shape matrices"
+    );
+    DenseMatrix::from_fn(rows, cols, |i, j| {
+        let mut w = LaneWord::default();
+        for (lane, m) in mats.iter().enumerate() {
+            w.set(lane, *m.get(i, j));
+        }
+        w
+    })
+}
+
+/// Extracts one lane of a lane-word matrix as a scalar Boolean matrix.
+pub fn unpack_lane(packed: &DenseMatrix<BoolLanes>, lane: usize) -> DenseMatrix<Bool> {
+    assert!(lane < LANES, "lane {lane} out of range");
+    DenseMatrix::from_fn(packed.rows(), packed.cols(), |i, j| {
+        packed.get(i, j).get(lane)
+    })
+}
+
+/// Extracts the first `count` lanes of a lane-word matrix, in lane order —
+/// the inverse of [`pack_lanes`] for a batch of `count` matrices.
+pub fn unpack_lanes(packed: &DenseMatrix<BoolLanes>, count: usize) -> Vec<DenseMatrix<Bool>> {
+    assert!(count <= LANES, "count {count} out of range");
+    (0..count).map(|l| unpack_lane(packed, l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::warshall;
+    use crate::laws::{check_path_laws, check_semiring_laws};
+
+    #[test]
+    fn lane_get_set_roundtrip() {
+        let mut w = LaneWord::default();
+        assert!(!w.get(0) && !w.get(63));
+        w.set(0, true);
+        w.set(63, true);
+        w.set(17, true);
+        assert!(w.get(0) && w.get(17) && w.get(63));
+        assert!(!w.get(16));
+        w.set(17, false);
+        assert!(!w.get(17));
+        assert_eq!(w.bits(), (1 << 63) | 1);
+        assert_eq!(LaneWord::from_bits(w.bits()), w);
+        assert_eq!(LaneWord::splat(true).bits(), u64::MAX);
+        assert_eq!(LaneWord::splat(false), BoolLanes::zero());
+    }
+
+    #[test]
+    fn lanes_satisfy_semiring_and_path_laws() {
+        let mut rng = systolic_util::Rng::seed_from_u64(64);
+        for _ in 0..64 {
+            let a = LaneWord::from_bits(rng.next_u64());
+            let b = LaneWord::from_bits(rng.next_u64());
+            let c = LaneWord::from_bits(rng.next_u64());
+            check_semiring_laws::<BoolLanes>(&a, &b, &c).unwrap();
+            check_path_laws::<BoolLanes>(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn ops_are_lanewise_bool_ops() {
+        let a = LaneWord::from_bits(0b1100);
+        let b = LaneWord::from_bits(0b1010);
+        assert_eq!(BoolLanes::add(&a, &b).bits(), 0b1110);
+        assert_eq!(BoolLanes::mul(&a, &b).bits(), 0b1000);
+        let x = LaneWord::from_bits(0b0001);
+        assert_eq!(BoolLanes::fuse(&x, &a, &b).bits(), 0b1001);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut rng = systolic_util::Rng::seed_from_u64(7);
+        for count in [1usize, 2, 63, 64] {
+            let mats: Vec<_> = (0..count)
+                .map(|_| DenseMatrix::<Bool>::from_fn(5, 5, |_, _| rng.gen_bool(0.3)))
+                .collect();
+            let packed = pack_lanes(&mats);
+            assert_eq!(unpack_lanes(&packed, count), mats, "count={count}");
+            // Unused lanes are the empty graph.
+            if count < LANES {
+                assert_eq!(
+                    unpack_lane(&packed, LANES - 1),
+                    DenseMatrix::<Bool>::zeros(5, 5)
+                );
+            }
+        }
+    }
+
+    /// The load-bearing property of the whole data plane: running the
+    /// generic Warshall kernel once over lane words computes all packed
+    /// closures simultaneously.
+    #[test]
+    fn warshall_over_lanes_is_64_closures_at_once() {
+        let mut rng = systolic_util::Rng::seed_from_u64(42);
+        let mats: Vec<_> = (0..LANES)
+            .map(|_| DenseMatrix::<Bool>::from_fn(7, 7, |i, j| i != j && rng.gen_bool(0.2)))
+            .collect();
+        let packed_closure = warshall(&pack_lanes(&mats));
+        for (lane, m) in mats.iter().enumerate() {
+            assert_eq!(
+                unpack_lane(&packed_closure, lane),
+                warshall(m),
+                "lane {lane}"
+            );
+        }
+    }
+}

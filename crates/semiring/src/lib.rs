@@ -10,7 +10,9 @@
 //! * [`Bool`] — reachability / transitive closure (the paper's instance),
 //! * [`MinPlus`] — all-pairs shortest paths (Floyd–Warshall),
 //! * [`MaxMin`] — maximum-capacity (bottleneck) paths,
-//! * [`MinMax`] — minimax paths (smallest maximum edge weight).
+//! * [`MinMax`] — minimax paths (smallest maximum edge weight),
+//! * [`BoolLanes`] — 64 independent Boolean instances bit-sliced into the
+//!   lanes of one `u64` ([`lanes`]), the batch-throughput data plane.
 //!
 //! The non-idempotent [`Counting`] semiring is provided for matrix-product
 //! substrates and law testing; it is deliberately **not** a [`PathSemiring`]
@@ -44,6 +46,7 @@
 pub mod bitmatrix;
 pub mod instances;
 pub mod kernels;
+pub mod lanes;
 pub mod laws;
 pub mod matrix;
 pub mod traits;
@@ -54,5 +57,6 @@ pub use kernels::{
     closure_by_squaring, matmul, matmul_acc, reflexive, warshall, warshall_blocked,
     warshall_inplace,
 };
+pub use lanes::{pack_lanes, unpack_lane, unpack_lanes, BoolLanes, LaneWord, LANES};
 pub use matrix::DenseMatrix;
 pub use traits::{PathSemiring, Semiring};

@@ -1,19 +1,35 @@
 #!/usr/bin/env bash
-# Perf smoke for the compile-once plan cache: runs the batched_closure and
+# Perf smoke for the partitioned engines: runs the batched_closure and
 # plan_reuse benches with pinned sample counts and records the results in
 # BENCH_partition.json at the repo root.
 #
-# Non-gating: check.sh runs this but ignores its exit status — wall-clock
-# numbers depend on the machine. The recorded pre-PR baseline for
-# batched_closure/linear_m4/32x32 (schedule rebuilt on every call) was a
-# 110.1 ms median on the reference container.
+# The scalar baseline compounds across PRs: the gate compares this run's
+# batched_closure/linear_m4/32x32 median against the median recorded in
+# the *previous* BENCH_partition.json (falling back to the original
+# pre-plan-cache 110.1 ms measurement when none exists), so a regression
+# anywhere in the trajectory is visible, not just vs the first PR.
+#
+# Gates (non-gating from check.sh — wall-clock numbers are
+# machine-dependent — but this script itself exits nonzero on failure):
+#   * linear_m4 must stay within 3x of the prior recorded median,
+#   * packed_m4 must be >= 8x faster than linear_m4 (the 64-lane
+#     bit-sliced data plane's acceptance bar).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export SYSTOLIC_BENCH_SAMPLES="${SYSTOLIC_BENCH_SAMPLES:-7}"
 export SYSTOLIC_BENCH_WARMUP_MS="${SYSTOLIC_BENCH_WARMUP_MS:-500}"
-BASELINE_MS=110.1
+ORIGINAL_BASELINE_MS=110.1
 OUT=BENCH_partition.json
+
+# Prior scalar median from the last recorded run, if any.
+PRIOR_MS=""
+if [ -f "$OUT" ]; then
+  PRIOR_MS=$(sed -n \
+    's/.*"id": "batched_closure\/linear_m4\/32x32", "median_ms": \([0-9.]*\).*/\1/p' \
+    "$OUT" | head -n1)
+fi
+BASELINE_MS="${PRIOR_MS:-$ORIGINAL_BASELINE_MS}"
 
 lines=$(
   cargo bench -p systolic-bench --bench batched_closure 2>/dev/null
@@ -41,21 +57,48 @@ printf '%s\n' "$lines" | awk \
     n++
     rows[n] = sprintf("    {\"id\": \"%s\", \"median_ms\": %.3f, \"mean_ms\": %.3f, \"min_ms\": %.3f}", id, med, avg, low)
     if (id == "batched_closure/linear_m4/32x32") accept = med
+    if (id == "batched_closure/packed_m4/32x32") packed = med
   }
   END {
     print "{"
-    print "  \"bench\": \"plan-cache smoke (scripts/bench_smoke.sh)\","
+    print "  \"bench\": \"partition perf smoke (scripts/bench_smoke.sh)\","
     printf "  \"samples\": %d,\n", samples
     printf "  \"baseline_median_ms\": %.1f,\n", baseline
     print "  \"results\": ["
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
     print "  ],"
     if (accept > 0)
-      printf "  \"speedup_vs_baseline\": %.2f\n", baseline / accept
+      printf "  \"speedup_vs_baseline\": %.2f,\n", baseline / accept
     else
-      print "  \"speedup_vs_baseline\": null"
+      print "  \"speedup_vs_baseline\": null,"
+    if (accept > 0 && packed > 0)
+      printf "  \"packed_speedup_vs_linear\": %.2f\n", accept / packed
+    else
+      print "  \"packed_speedup_vs_linear\": null"
     print "}"
   }' > "$OUT"
 
-echo "bench_smoke: wrote $OUT"
-grep speedup_vs_baseline "$OUT"
+echo "bench_smoke: wrote $OUT (baseline ${BASELINE_MS} ms)"
+grep -E 'speedup' "$OUT"
+
+# Gate 1: the scalar path must not regress badly vs the prior record.
+awk -v out="$OUT" '
+  /"speedup_vs_baseline"/ {
+    gsub(/[,"]/, ""); v = $2
+    if (v == "null" || v + 0 < 0.33) {
+      printf "bench_smoke: FAIL scalar regression gate (speedup_vs_baseline=%s < 0.33)\n", v
+      exit 1
+    }
+  }' "$OUT"
+
+# Gate 2: the 64-lane packed engine must beat the scalar engine >= 8x.
+awk -v out="$OUT" '
+  /"packed_speedup_vs_linear"/ {
+    gsub(/[,"]/, ""); v = $2
+    if (v == "null" || v + 0 < 8.0) {
+      printf "bench_smoke: FAIL packed gate (packed_speedup_vs_linear=%s < 8)\n", v
+      exit 1
+    }
+  }' "$OUT"
+
+echo "bench_smoke: gates passed"

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Full repo gate: build, test, lint, format. Run before every commit.
+# Full repo gate: build, lint, format, test. Run before every commit.
+# Clippy and fmt run ahead of the test suite (and the bench smoke) so
+# formatting drift and lint regressions fail in seconds, not minutes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace --all-targets
-cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+cargo test -q --workspace
 
 # Perf smoke (non-gating: wall-clock numbers are machine-dependent).
 ./scripts/bench_smoke.sh || echo "check.sh: bench_smoke failed (non-gating)"

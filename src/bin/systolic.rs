@@ -9,6 +9,7 @@
 //! systolic info     <n> [m]                                 paper's analytic measures
 //! systolic campaign [--seed S] [--rate R] [--instances K] …  fault-injection campaign
 //! systolic plancache [--n N] [--cells M] [--instances K]    plan-cache reuse check
+//! systolic packed   [--n N] [--cells M] [--instances K]     lane-packed identity check
 //! ```
 //!
 //! Edge files are whitespace-separated `u v` (or `u v w` for `paths`) pairs
@@ -20,7 +21,7 @@ use systolic::closure::{
     shortest_paths_with_routes, Backend, ClosureSolver, DiGraph, WeightedDiGraph,
 };
 use systolic::metrics::LinearModel;
-use systolic::partition::{ClosureEngine, GsetSchedule, LinearEngine};
+use systolic::partition::{ClosureEngine, GsetSchedule, LinearEngine, PackedEngine};
 use systolic_semiring::Bool;
 
 fn fail(msg: &str) -> ! {
@@ -34,6 +35,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("  systolic info     <n> [m]");
     eprintln!("  systolic campaign [--seed S] [--n N] [--cells M] [--instances K] [--rate R] [--retries T] [--hot CELL:WEIGHT]");
     eprintln!("  systolic plancache [--n N] [--cells M] [--instances K] [--iters I]");
+    eprintln!("  systolic packed   [--n N] [--cells M] [--instances K] [--iters I]");
     std::process::exit(2);
 }
 
@@ -432,6 +434,92 @@ fn cmd_plancache(args: &[String]) {
     }
 }
 
+fn cmd_packed(args: &[String]) {
+    use std::time::Instant;
+    use systolic::closure::gnp;
+    use systolic_arraysim::RunStats;
+    let (mut n, mut m, mut instances, mut iters) = (24usize, 4usize, 64usize, 5u32);
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i)
+                .map(String::as_str)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", args[i - 1])))
+        };
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = value(i).parse().unwrap_or_else(|_| fail("bad --n"));
+            }
+            "--cells" => {
+                i += 1;
+                m = value(i).parse().unwrap_or_else(|_| fail("bad --cells"));
+            }
+            "--instances" => {
+                i += 1;
+                instances = value(i).parse().unwrap_or_else(|_| fail("bad --instances"));
+            }
+            "--iters" => {
+                i += 1;
+                iters = value(i).parse().unwrap_or_else(|_| fail("bad --iters"));
+            }
+            other => fail(&format!("unknown packed flag `{other}`")),
+        }
+        i += 1;
+    }
+    if n < 2 || m < 1 || instances == 0 || iters == 0 {
+        fail("packed needs n ≥ 2, cells ≥ 1, at least one instance and one iteration");
+    }
+    let batch: Vec<_> = (0..instances)
+        .map(|i| gnp(n, 0.15, 64 + i as u64).adjacency_matrix())
+        .collect();
+    // Scalar reference: per-instance runs, stats merged in instance order
+    // (the contract the packed engine must reproduce bit-for-bit).
+    let scalar = LinearEngine::new(m);
+    let mut want = Vec::with_capacity(instances);
+    let mut want_stats: Option<RunStats> = None;
+    for a in &batch {
+        let (c, s) = scalar.closure(a).unwrap_or_else(|e| fail(&e.to_string()));
+        want.push(c);
+        match &mut want_stats {
+            None => want_stats = Some(s),
+            Some(acc) => acc.merge(&s),
+        }
+    }
+    let want_stats = want_stats.expect("non-empty batch");
+    let packed = PackedEngine::new(m);
+    let (got, got_stats) = packed
+        .closure_many(&batch)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let identical = got == want && got_stats == want_stats;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = ClosureEngine::<Bool>::closure_many(&scalar, &batch).unwrap();
+    }
+    let scalar_t = t0.elapsed().as_secs_f64() / f64::from(iters);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = packed.closure_many(&batch).unwrap();
+    }
+    let packed_t = t0.elapsed().as_secs_f64() / f64::from(iters);
+    println!(
+        "packed m = {m}, n = {n}, batch {instances} ({} lane group{}):",
+        instances.div_ceil(64),
+        if instances > 64 { "s" } else { "" }
+    );
+    println!(
+        "scalar batch {:.2} ms, lane-packed {:.2} ms, speedup {:.2}×",
+        1e3 * scalar_t,
+        1e3 * packed_t,
+        scalar_t / packed_t
+    );
+    println!("packed results and merged stats byte-identical to scalar: {identical}");
+    if !identical {
+        eprintln!("error: lane-packed run diverged from the scalar engine");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -443,6 +531,7 @@ fn main() {
             "info" => cmd_info(rest),
             "campaign" => cmd_campaign(rest),
             "plancache" => cmd_plancache(rest),
+            "packed" => cmd_packed(rest),
             other => fail(&format!("unknown command `{other}`")),
         },
         None => fail("missing command"),

@@ -126,6 +126,34 @@ fn plancache_verifies_cached_reuse() {
 }
 
 #[test]
+fn packed_verifies_lane_identity() {
+    // 70 instances = one full lane group plus a partial one.
+    let out = bin()
+        .args([
+            "packed",
+            "--n",
+            "8",
+            "--cells",
+            "3",
+            "--instances",
+            "70",
+            "--iters",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 lane groups"), "{text}");
+    assert!(text.contains("byte-identical to scalar: true"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

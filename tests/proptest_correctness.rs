@@ -38,6 +38,28 @@ fn software_kernels_agree() {
 }
 
 #[test]
+fn blocked_warshall_handles_non_dividing_tiles() {
+    Checker::new("blocked warshall non-dividing tiles", 24).run(|rng| {
+        let a = bool_matrix(rng, 13);
+        let n = a.rows();
+        let want = warshall(&a);
+        // Every tile size that does NOT divide n, including b > n (one
+        // ragged tile covering everything) — the ragged boundary tiles are
+        // the case the divisible-b tests never reach.
+        for b in (1..=n + 2).filter(|&b| !n.is_multiple_of(b)) {
+            assert_eq!(warshall_blocked(&a, b), want, "n={n} b={b}");
+        }
+        // And a weighted semiring through the same ragged tiling.
+        let d = weight_matrix(rng, 11);
+        let m = d.rows();
+        for b in (2..=m + 1).filter(|&b| !m.is_multiple_of(b)) {
+            assert_eq!(warshall_blocked(&d, b), warshall(&d), "minplus m={m} b={b}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
 fn ggraph_stream_semantics_equal_warshall() {
     Checker::new("G-graph eval equals Warshall", 24).run(|rng| {
         let a = bool_matrix(rng, 12);
