@@ -572,6 +572,7 @@ impl<S: Semiring> ArraySim<S> {
                 .max()
                 .unwrap_or(0),
             peak_bank_resident: self.peak_bank_resident,
+            bank_peak_resident: self.banks.iter().map(Bank::peak_resident).collect(),
             link_words: self.links.iter().map(|l| l.words).sum(),
             output_words: self.outputs.iter().map(Vec::len).sum::<usize>() as u64,
             memory_connections: self.memory_connections,

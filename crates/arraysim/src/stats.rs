@@ -74,6 +74,12 @@ pub struct RunStats {
     pub max_bank_writes_per_cycle: u64,
     /// Peak words resident across all banks (external-memory footprint).
     pub peak_bank_resident: usize,
+    /// Per-bank high-water marks: the largest number of words each bank
+    /// held at once, indexed by bank. This is the *local-storage* measure
+    /// of a mapping — for the coalescing (LSGP) engine, banks `0..m` are
+    /// the cells' private column stores, so `bank_peak_resident[c]` is
+    /// cell `c`'s measured `Θ(n²/m)` words of local memory.
+    pub bank_peak_resident: Vec<usize>,
     /// Words transported over neighbor links.
     pub link_words: u64,
     /// Words delivered to output collectors.
@@ -117,6 +123,7 @@ impl PartialEq for RunStats {
             && self.bank_reads == other.bank_reads
             && self.max_bank_writes_per_cycle == other.max_bank_writes_per_cycle
             && self.peak_bank_resident == other.peak_bank_resident
+            && self.bank_peak_resident == other.bank_peak_resident
             && self.link_words == other.link_words
             && self.output_words == other.output_words
             && self.memory_connections == other.memory_connections
@@ -211,6 +218,17 @@ impl RunStats {
             .max_bank_writes_per_cycle
             .max(other.max_bank_writes_per_cycle);
         self.peak_bank_resident = self.peak_bank_resident.max(other.peak_bank_resident);
+        if self.bank_peak_resident.len() < other.bank_peak_resident.len() {
+            self.bank_peak_resident
+                .resize(other.bank_peak_resident.len(), 0);
+        }
+        for (d, s) in self
+            .bank_peak_resident
+            .iter_mut()
+            .zip(other.bank_peak_resident.iter())
+        {
+            *d = (*d).max(*s);
+        }
         self.link_words += other.link_words;
         self.output_words += other.output_words;
         self.memory_connections = self.memory_connections.max(other.memory_connections);
@@ -336,6 +354,7 @@ mod tests {
             host_first: Some(2),
             host_last: Some(9),
             peak_bank_resident: 6,
+            bank_peak_resident: vec![4, 2],
             phases: PhaseStats {
                 load_cycles: 2,
                 compute_cycles: 7,
@@ -354,6 +373,7 @@ mod tests {
             host_first: Some(1),
             host_last: Some(5),
             peak_bank_resident: 4,
+            bank_peak_resident: vec![1, 3, 5],
             phases: PhaseStats {
                 load_cycles: 3,
                 compute_cycles: 15,
@@ -371,6 +391,11 @@ mod tests {
         assert_eq!(m.host_first, Some(1));
         assert_eq!(m.host_last, Some(9));
         assert_eq!(m.peak_bank_resident, 6);
+        assert_eq!(
+            m.bank_peak_resident,
+            vec![4, 3, 5],
+            "per-bank peaks take the element-wise max, zero-extended"
+        );
         assert_eq!(m.phases.total(), 30);
         assert_eq!(m.wall_nanos, 120);
     }
@@ -391,6 +416,7 @@ mod tests {
             bank_reads: 40,
             max_bank_writes_per_cycle: 3,
             peak_bank_resident: 12,
+            bank_peak_resident: vec![7, 5],
             link_words: 55,
             output_words: 16,
             memory_connections: 5,

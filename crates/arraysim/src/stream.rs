@@ -191,6 +191,7 @@ pub struct Bank<E> {
     /// Maximum words written in any single cycle.
     pub max_writes_per_cycle: u64,
     resident: usize,
+    peak_resident: usize,
 }
 
 impl<E> Default for Bank<E> {
@@ -217,6 +218,7 @@ impl<E> Bank<E> {
             writes_this_cycle: 0,
             max_writes_per_cycle: 0,
             resident: 0,
+            peak_resident: 0,
         }
     }
 
@@ -240,6 +242,7 @@ impl<E> Bank<E> {
         self.writes += 1;
         self.writes_this_cycle += 1;
         self.resident += 1;
+        self.peak_resident = self.peak_resident.max(self.resident);
     }
 
     /// Pre-loads a word readable immediately (initial matrix residence).
@@ -247,6 +250,7 @@ impl<E> Bank<E> {
         self.ensure_slot(slot);
         self.fifos[slot].push_back((0, e));
         self.resident += 1;
+        self.peak_resident = self.peak_resident.max(self.resident);
     }
 
     /// True when stream `slot` has a word readable at cycle `now`.
@@ -293,6 +297,14 @@ impl<E> Bank<E> {
         self.resident
     }
 
+    /// Largest number of words this bank ever held at once — the bank's
+    /// own local-storage high-water mark (the per-cell `Θ(n²/m)` measure
+    /// of the coalescing mapping; the simulator aggregates the global peak
+    /// separately).
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
     /// Parks `cell` until stream `slot` is next written; returns an
     /// evicted waiter.
     pub(crate) fn park_reader(&mut self, slot: usize, cell: u32) -> Option<u32> {
@@ -326,6 +338,7 @@ impl<E> Bank<E> {
         self.writes_this_cycle = 0;
         self.max_writes_per_cycle = 0;
         self.resident = 0;
+        self.peak_resident = 0;
     }
 
     /// Corrupts the `nth % resident` resident word in place via `f`,
@@ -508,6 +521,20 @@ mod tests {
     }
 
     #[test]
+    fn bank_peak_resident_is_a_high_water_mark() {
+        let mut b = Bank::new();
+        b.preload(0, 'a');
+        b.write(1, 0, 'b');
+        assert_eq!(b.peak_resident(), 2);
+        assert_eq!(b.read(0, 1), Some('a'));
+        assert_eq!(b.read(1, 1), Some('b'));
+        assert_eq!(b.resident(), 0);
+        assert_eq!(b.peak_resident(), 2, "peak survives drains");
+        b.write(2, 5, 'c');
+        assert_eq!(b.peak_resident(), 2, "lower residency leaves the peak");
+    }
+
+    #[test]
     fn bank_reset_keeps_slots_and_clears_state() {
         let mut b = Bank::with_slots(vec![7, 3]);
         b.write(0, 0, 'a');
@@ -516,6 +543,7 @@ mod tests {
         b.reset();
         assert_eq!(b.slots(), 2);
         assert_eq!(b.resident(), 0);
+        assert_eq!(b.peak_resident(), 0);
         assert_eq!(b.writes, 0);
         assert_eq!(b.reads, 0);
         assert_eq!(b.max_writes_per_cycle, 0);

@@ -173,4 +173,38 @@ mod tests {
         let got = CoalescingModel::new(6, 3).closure(&a);
         assert_eq!(got, warshall(&a));
     }
+
+    #[test]
+    fn simulated_lsgp_engine_realizes_the_model() {
+        // The model's predictions, checked against the *simulated* LSGP
+        // engine (`systolic-partition::LsgpEngine`). The engine's measured
+        // per-cell peak is exactly ⌈n/m⌉·n — the live column window — and
+        // the model's ⌈2n/m⌉·n counts every owned column, so when m | n
+        // the measured/analytic ratio is exactly 1/2: same Θ(n²/m), and
+        // the model is a safe upper bound.
+        use systolic_partition::{ClosureEngine, LsgpEngine};
+        for (n, m) in [(12usize, 3usize), (16, 4), (24, 8)] {
+            let mut a = DenseMatrix::<Bool>::zeros(n, n);
+            for i in 0..n {
+                a.set(i, (i * 5 + 3) % n, true);
+            }
+            let eng = LsgpEngine::new(m);
+            let (got, stats) = ClosureEngine::<Bool>::closure(&eng, &a).unwrap();
+            assert_eq!(got, warshall(&a), "n={n} m={m}");
+
+            let mdl = CoalescingModel::new(n, m);
+            let peak = eng.peak_local_words(&stats);
+            assert_eq!(peak, n.div_ceil(m) * n, "n={n} m={m}: peak local words");
+            assert_eq!(2 * peak, mdl.local_words_per_cell(), "n={n} m={m}");
+            // Makespan: measured cycles exceed the sequential component
+            // time only by pipeline fill/skew (≤ 30% at these sizes).
+            let slack = stats.cycles as f64 / mdl.makespan_cycles() as f64;
+            assert!(
+                (1.0..=1.3).contains(&slack),
+                "n={n} m={m}: {} cycles vs model {} (slack {slack:.3})",
+                stats.cycles,
+                mdl.makespan_cycles()
+            );
+        }
+    }
 }

@@ -1,18 +1,19 @@
 //! The batch-throughput acceptance workload: one `closure_many` batch
-//! (32 instances, n = 32, m = 4) on a single reused engine, scalar vs
-//! lane-packed.
+//! (32 instances, n = 32, m = 4) on a single reused engine, per mapping.
 //!
 //! With compiled-plan memoization the schedule is built once for the
 //! batch shape and every subsequent call only streams data through the
 //! cached simulator. The scalar `LinearEngine` chains the 32 instances
-//! through the array one at a time; `PackedEngine` bit-slices them into
-//! the lanes of one `u64` word and simulates a single instance's worth of
-//! events. `scripts/bench_smoke.sh` records both medians in
+//! through the array one at a time; `LsgpEngine` runs the same batch on
+//! the coalescing mapping (same cell count, Θ(n²/m) local buffering);
+//! `PackedEngine` bit-slices the instances into the lanes of one `u64`
+//! word and simulates a single instance's worth of events.
+//! `scripts/bench_smoke.sh` records every mapping's median in
 //! `BENCH_partition.json` and gates on the packed/scalar ratio.
 
 use std::time::Duration;
 use systolic_bench::parallel_batch_input;
-use systolic_partition::{ClosureEngine, LinearEngine, PackedEngine};
+use systolic_partition::{ClosureEngine, LinearEngine, LsgpEngine, PackedEngine};
 use systolic_util::{black_box, Bench};
 
 fn main() {
@@ -27,6 +28,11 @@ fn main() {
     let engine = LinearEngine::new(m);
     bench.bench(format!("linear_m{m}/{instances}x{n}"), || {
         black_box(engine.closure_many(&batch).unwrap());
+    });
+
+    let lsgp = LsgpEngine::new(m);
+    bench.bench(format!("lsgp_m{m}/{instances}x{n}"), || {
+        black_box(lsgp.closure_many(&batch).unwrap());
     });
 
     let packed = PackedEngine::new(m);

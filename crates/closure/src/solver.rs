@@ -5,6 +5,7 @@ use systolic_arraysim::RunStats;
 use systolic_baselines::NunezEngine;
 use systolic_partition::{
     ClosureEngine, EngineError, FixedArrayEngine, FixedLinearEngine, GridEngine, LinearEngine,
+    LsgpEngine,
 };
 use systolic_semiring::{warshall, BitMatrix, DenseMatrix, MaxMin, MinMax, MinPlus, PathSemiring};
 
@@ -29,6 +30,11 @@ pub enum Backend {
     Grid {
         /// Grid side `√m`.
         side: usize,
+    },
+    /// Simulated coalescing (LSGP, §2) ring with `cells` cells.
+    Lsgp {
+        /// Cell count `m`.
+        cells: usize,
     },
     /// Núñez–Torralba blocked decomposition with tile side `tile`.
     Blocked {
@@ -113,6 +119,7 @@ impl ClosureSolver {
             Backend::FixedLinear => run(&FixedLinearEngine::new()),
             Backend::Linear { cells } => run(&LinearEngine::new(cells)),
             Backend::Grid { side } => run(&GridEngine::new(side)),
+            Backend::Lsgp { cells } => run(&LsgpEngine::new(cells)),
             Backend::Blocked { tile } => {
                 let (m, _cost) = NunezEngine::new(tile).closure(a);
                 Ok((
@@ -213,6 +220,7 @@ mod tests {
             Backend::FixedLinear,
             Backend::Linear { cells: 3 },
             Backend::Grid { side: 2 },
+            Backend::Lsgp { cells: 3 },
             Backend::Blocked {
                 tile: n.div_ceil(2),
             },

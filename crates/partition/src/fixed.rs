@@ -12,65 +12,38 @@
 //!   single cell: `n` cells, throughput `1/(n(n+1))`, with the row's pivot
 //!   stream recirculating through a per-cell loopback buffer.
 //!
-//! Both engines compile their schedule once per `(n, batch_len)` shape
-//! into a memoized [`CompiledPlan`] and reuse a reset simulator across
-//! calls (see [`crate::plan`]).
+//! Both are thin [`Mapping`] impls over the shared [`MappedEngine`]
+//! executor: schedules compile once per `(n, batch_len)` shape into a
+//! memoized `CompiledPlan` and reuse a reset simulator across calls (see
+//! [`crate::plan`]).
 
-use crate::engine::{
-    ideal_cycles_per_instance, prepare_batch, stream_key, ClosureEngine, EngineError,
-};
-use crate::plan::{CompiledPlan, PlanBuilder, PlanCache, SimSlot};
-use systolic_arraysim::{ArraySim, RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
-use systolic_semiring::{DenseMatrix, PathSemiring};
+use crate::engine::{ideal_cycles_per_instance, stream_key};
+use crate::mapping::{MappedEngine, Mapping};
+use crate::plan::{CompiledPlan, PlanBuilder};
+use systolic_arraysim::{StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
 use systolic_transform::{GGraph, GNodeRole, GnodeId};
 
-/// Runs a prepared batch through an engine's cached plan and simulator.
-/// Shared by the plain (fault-free) engines of this module and the grid.
-pub(crate) fn run_cached_plan<S: PathSemiring>(
-    plans: &PlanCache,
-    sims: &SimSlot,
-    n: usize,
-    batch: &[DenseMatrix<S>],
-    build: impl FnOnce() -> CompiledPlan,
-) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-    let plan = plans.get_or_build(n, batch.len(), build);
-    let mut sim: ArraySim<S> = sims.take(&plan).unwrap_or_else(|| plan.instantiate(false));
-    plan.load(&mut sim, batch);
-    let stats = sim.run()?;
-    let outs = sim.outputs();
-    let mut results = Vec::with_capacity(batch.len());
-    for inst in 0..batch.len() {
-        let mut r = DenseMatrix::<S>::zeros(n, n);
-        for j in 0..n {
-            let col = &outs[inst * n + j];
-            assert_eq!(col.len(), n, "output column {j} incomplete");
-            r.set_col(j, col);
-        }
-        results.push(r);
-    }
-    sims.store(plan, sim);
-    Ok((results, stats))
-}
-
-/// The Fig. 17 fixed-size array: one cell per G-node.
+/// The Fig. 17 mapping: one cell per G-node, neighbor links only.
 #[derive(Clone, Debug, Default)]
-pub struct FixedArrayEngine {
-    plans: PlanCache,
-    sims: SimSlot,
-}
+pub struct FixedArrayMapping;
 
-impl FixedArrayEngine {
-    /// Creates the engine (the array size adapts to the problem size).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
+impl FixedArrayMapping {
     /// Cells used for problem size `n`.
     pub fn cells_for(n: usize) -> usize {
         n * (n + 1)
     }
+}
 
-    fn build_plan(n: usize, batch_len: usize) -> CompiledPlan {
+impl Mapping for FixedArrayMapping {
+    fn name(&self) -> &'static str {
+        "fixed-array"
+    }
+
+    fn cells(&self) -> usize {
+        0 // problem-size dependent; see cells_for
+    }
+
+    fn build_plan(&self, n: usize, batch_len: usize) -> CompiledPlan {
         let gg = GGraph::new(n);
         let w = n + 1;
         let cell_of = |id: GnodeId| id.k * w + id.g;
@@ -155,40 +128,35 @@ impl FixedArrayEngine {
     }
 }
 
-impl<S: PathSemiring> ClosureEngine<S> for FixedArrayEngine {
-    fn name(&self) -> &'static str {
-        "fixed-array"
-    }
+/// The Fig. 17 fixed-size array: one cell per G-node.
+pub type FixedArrayEngine = MappedEngine<FixedArrayMapping>;
 
-    fn cells(&self) -> usize {
-        0 // problem-size dependent; see cells_for
-    }
-
-    fn closure_many(
-        &self,
-        mats: &[DenseMatrix<S>],
-    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        let (n, batch) = prepare_batch(mats)?;
-        run_cached_plan(&self.plans, &self.sims, n, &batch, || {
-            Self::build_plan(n, batch.len())
-        })
-    }
-}
-
-/// §3.2's linear fixed-size array: each G-graph row collapsed into one cell.
-#[derive(Clone, Debug, Default)]
-pub struct FixedLinearEngine {
-    plans: PlanCache,
-    sims: SimSlot,
-}
-
-impl FixedLinearEngine {
-    /// Creates the engine.
+impl FixedArrayEngine {
+    /// Creates the engine (the array size adapts to the problem size).
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn build_plan(n: usize, batch_len: usize) -> CompiledPlan {
+    /// Cells used for problem size `n`.
+    pub fn cells_for(n: usize) -> usize {
+        FixedArrayMapping::cells_for(n)
+    }
+}
+
+/// §3.2's mapping collapsing each G-graph row into one cell.
+#[derive(Clone, Debug, Default)]
+pub struct FixedLinearMapping;
+
+impl Mapping for FixedLinearMapping {
+    fn name(&self) -> &'static str {
+        "fixed-linear"
+    }
+
+    fn cells(&self) -> usize {
+        0 // n cells for problem size n
+    }
+
+    fn build_plan(&self, n: usize, batch_len: usize) -> CompiledPlan {
         let gg = GGraph::new(n);
 
         let mut plan = PlanBuilder::new(n, batch_len, n);
@@ -265,30 +233,21 @@ impl FixedLinearEngine {
     }
 }
 
-impl<S: PathSemiring> ClosureEngine<S> for FixedLinearEngine {
-    fn name(&self) -> &'static str {
-        "fixed-linear"
-    }
+/// §3.2's linear fixed-size array: each G-graph row collapsed into one cell.
+pub type FixedLinearEngine = MappedEngine<FixedLinearMapping>;
 
-    fn cells(&self) -> usize {
-        0 // n cells for problem size n
-    }
-
-    fn closure_many(
-        &self,
-        mats: &[DenseMatrix<S>],
-    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        let (n, batch) = prepare_batch(mats)?;
-        run_cached_plan(&self.plans, &self.sims, n, &batch, || {
-            Self::build_plan(n, batch.len())
-        })
+impl FixedLinearEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use systolic_semiring::{warshall, Bool, MaxMin};
+    use crate::engine::ClosureEngine;
+    use systolic_semiring::{warshall, Bool, DenseMatrix, MaxMin};
 
     fn bool_adj(n: usize, edges: &[(usize, usize)]) -> DenseMatrix<Bool> {
         let mut a = DenseMatrix::<Bool>::zeros(n, n);

@@ -12,52 +12,42 @@
 //! memories. Within a block both stream families ride neighbor links.
 //! Blocks are scheduled by vertical paths: `h`-block-major, `k`-blocks
 //! top-to-bottom inside (the 2-D analogue of Fig. 20b).
+//!
+//! The geometry lives in [`GridMapping`]; execution is the shared
+//! [`MappedEngine`].
 
-use crate::engine::{
-    ideal_cycles_per_instance, prepare_batch, stream_key, ClosureEngine, EngineError,
-};
-use crate::fixed::run_cached_plan;
-use crate::plan::{CompiledPlan, PlanBuilder, PlanCache, SimSlot};
-use systolic_arraysim::{RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
-use systolic_semiring::{DenseMatrix, PathSemiring};
+use crate::engine::{ideal_cycles_per_instance, stream_key, EngineError};
+use crate::mapping::{MappedEngine, Mapping};
+use crate::plan::{CompiledPlan, PlanBuilder};
+use systolic_arraysim::{StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
 use systolic_transform::{GGraph, GNodeRole};
 
-/// Cut-and-pile executor on a `√m × √m` grid.
+/// The cut-and-pile mapping onto a `√m × √m` grid.
 #[derive(Clone, Debug)]
-pub struct GridEngine {
+pub struct GridMapping {
     s: usize,
-    plans: PlanCache,
-    sims: SimSlot,
 }
 
-impl GridEngine {
-    /// Creates an engine with an `s × s` grid (`m = s²` cells, `s ≥ 1`).
+impl GridMapping {
+    /// Creates the mapping for an `s × s` grid (`m = s²` cells, `s ≥ 1`).
     pub fn new(s: usize) -> Self {
         assert!(s >= 1, "need at least a 1×1 grid");
-        Self {
-            s,
-            plans: PlanCache::default(),
-            sims: SimSlot::default(),
-        }
-    }
-
-    /// Creates the engine from a total cell budget `m`, which must be a
-    /// perfect square.
-    ///
-    /// # Errors
-    /// Returns the offending `m` when it is not a perfect square.
-    pub fn from_cells(m: usize) -> Result<Self, usize> {
-        let s = (m as f64).sqrt().round() as usize;
-        if s * s == m && s >= 1 {
-            Ok(Self::new(s))
-        } else {
-            Err(m)
-        }
+        Self { s }
     }
 
     /// Grid side length `√m`.
     pub fn side(&self) -> usize {
         self.s
+    }
+}
+
+impl Mapping for GridMapping {
+    fn name(&self) -> &'static str {
+        "grid-partitioned"
+    }
+
+    fn cells(&self) -> usize {
+        self.s * self.s
     }
 
     /// Compiles the grid schedule for one `(n, batch_len)` shape.
@@ -177,30 +167,45 @@ impl GridEngine {
     }
 }
 
-impl<S: PathSemiring> ClosureEngine<S> for GridEngine {
-    fn name(&self) -> &'static str {
-        "grid-partitioned"
+/// Cut-and-pile executor on a `√m × √m` grid.
+pub type GridEngine = MappedEngine<GridMapping>;
+
+impl GridEngine {
+    /// Creates an engine with an `s × s` grid (`m = s²` cells, `s ≥ 1`).
+    pub fn new(s: usize) -> Self {
+        Self::from_mapping(GridMapping::new(s))
     }
 
-    fn cells(&self) -> usize {
-        self.s * self.s
+    /// Creates the engine from a total cell budget `m`, which must be a
+    /// perfect square.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::BadInput`] when `m` is not a perfect square.
+    pub fn from_cells(m: usize) -> Result<Self, EngineError> {
+        let s = (m as f64).sqrt().round() as usize;
+        if s * s == m && s >= 1 {
+            Ok(Self::new(s))
+        } else {
+            Err(EngineError::BadInput(format!(
+                "grid cell budget m={m} is not a perfect square \
+                 (nearest squares: {} and {})",
+                s.saturating_sub(1).pow(2),
+                (s + 1).pow(2)
+            )))
+        }
     }
 
-    fn closure_many(
-        &self,
-        mats: &[DenseMatrix<S>],
-    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        let (n, batch) = prepare_batch(mats)?;
-        run_cached_plan(&self.plans, &self.sims, n, &batch, || {
-            self.build_plan(n, batch.len())
-        })
+    /// Grid side length `√m`.
+    pub fn side(&self) -> usize {
+        self.mapping().side()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use systolic_semiring::{warshall, Bool, MinPlus};
+    use crate::engine::ClosureEngine;
+    use systolic_semiring::{warshall, Bool, DenseMatrix, MinPlus};
 
     fn bool_adj(n: usize, edges: &[(usize, usize)]) -> DenseMatrix<Bool> {
         let mut a = DenseMatrix::<Bool>::zeros(n, n);
@@ -247,7 +252,13 @@ mod tests {
     fn from_cells_accepts_squares_only() {
         assert!(GridEngine::from_cells(9).is_ok());
         assert_eq!(GridEngine::from_cells(9).unwrap().side(), 3);
-        assert!(GridEngine::from_cells(8).is_err());
+        match GridEngine::from_cells(8) {
+            Err(EngineError::BadInput(msg)) => {
+                assert!(msg.contains("m=8"), "{msg}");
+                assert!(msg.contains("perfect square"), "{msg}");
+            }
+            other => panic!("expected BadInput for m=8, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,20 +1,26 @@
-//! Cut-and-pile partitioning of the transitive-closure G-graph onto
-//! fixed-size systolic arrays — the paper's core contribution (§2–§3).
+//! Partitioning of the transitive-closure G-graph onto fixed-size
+//! systolic arrays — the paper's core contribution (§2–§3).
 //!
-//! Four array engines, all generic over a bounded idempotent semiring and
-//! all executing on the cycle-level simulator (`systolic-arraysim`):
+//! Every engine is a [`Mapping`] (pure geometry: cell count, task
+//! placement, stream wiring) executed by the one generic [`MappedEngine`]
+//! (plan memoization, simulator recycling, fault arming, trace capture,
+//! output reassembly). All are generic over a bounded idempotent semiring
+//! and run on the cycle-level simulator (`systolic-arraysim`):
 //!
 //! * [`FixedArrayEngine`] — the Fig. 17 G-graph implemented directly as an
 //!   `n × (n+1)` array (fixed-size problems, throughput `1/n`).
 //! * [`FixedLinearEngine`] — each G-graph row collapsed into one cell
 //!   (§3.2's linear fixed array, throughput `1/(n(n+1))`).
-//! * [`LinearEngine`] — cut-and-pile onto `m` cells (Fig. 18): G-sets are
-//!   `m` consecutive skewed positions of one row, scheduled by vertical
-//!   paths (Fig. 20a), one private memory bank per cell plus one pivot
-//!   boundary bank (`m + 1` memory connections).
+//! * [`LinearEngine`] — cut-and-pile (LPGS) onto `m` cells (Fig. 18):
+//!   G-sets are `m` consecutive skewed positions of one row, scheduled by
+//!   vertical paths (Fig. 20a), one private memory bank per cell plus one
+//!   pivot boundary bank (`m + 1` memory connections).
 //! * [`GridEngine`] — cut-and-pile onto `√m × √m` cells (Fig. 19):
 //!   G-sets are `√m × √m` blocks in `(k, h)` space with triangular
 //!   boundary sets, `2√m` memory connections.
+//! * [`LsgpEngine`] — coalescing (LSGP, §2): cell `c` owns the `h`-columns
+//!   with `h ≡ c (mod m)`, buffering its own column streams locally
+//!   (`Θ(n²/m)` words per cell, measured) while pivots ride a ring.
 //!
 //! [`schedule`] exposes the G-set schedule itself (Fig. 20) with a
 //! dependence-legality checker, used by experiment E10.
@@ -53,6 +59,8 @@ pub mod fault;
 pub mod fixed;
 pub mod grid;
 pub mod linear;
+pub mod lsgp;
+pub mod mapping;
 pub mod packed;
 pub mod parallel;
 pub mod plan;
@@ -62,9 +70,11 @@ pub mod verify;
 
 pub use engine::{ClosureEngine, EngineError};
 pub use fault::{grid_fault_capacity, linear_fault_capacity, FaultyLinearEngine};
-pub use fixed::{FixedArrayEngine, FixedLinearEngine};
-pub use grid::GridEngine;
-pub use linear::LinearEngine;
+pub use fixed::{FixedArrayEngine, FixedArrayMapping, FixedLinearEngine, FixedLinearMapping};
+pub use grid::{GridEngine, GridMapping};
+pub use linear::{LinearEngine, LpgsMapping};
+pub use lsgp::{LsgpEngine, LsgpMapping};
+pub use mapping::{MappedEngine, Mapping};
 pub use packed::PackedEngine;
 pub use parallel::ParallelEngine;
 pub use plan::CompiledPlan;

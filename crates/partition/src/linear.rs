@@ -1,4 +1,4 @@
-//! The linear partitioned array of Fig. 18.
+//! The linear partitioned array of Fig. 18 (cut-and-pile / LPGS).
 //!
 //! `m` cells in a chain. In skewed coordinates `h = g + k` (see
 //! `systolic-transform::ggraph`), cell `c` is responsible for every G-node
@@ -16,91 +16,44 @@
 //! * row 0 reads its columns from the host R-chain (Fig. 21) and row `n-1`
 //!   writes the result columns to the output collectors.
 //!
-//! The schedule depends only on the problem shape, so it is compiled once
-//! per `(n, batch_len)` into a [`CompiledPlan`] and memoized; repeat calls
-//! reset and reload a cached simulator instead of rebuilding anything.
-//! It also never inspects *values*, so the engine is generic over the
-//! semiring — including the 64-lane `BoolLanes` packing
+//! The schedule is pure geometry, so it lives in [`LpgsMapping`] and the
+//! shared [`MappedEngine`] executor does everything else: the plan is
+//! compiled once per `(n, batch_len)` into a [`CompiledPlan`] and
+//! memoized; repeat calls reset and reload a cached simulator instead of
+//! rebuilding anything. It also never inspects *values*, so the engine is
+//! generic over the semiring — including the 64-lane `BoolLanes` packing
 //! [`crate::PackedEngine`] drives through it, which shares this engine's
 //! plan cache (a packed group and a scalar single run use the same
 //! `(n, 1)` plan).
 
-use crate::engine::{
-    ideal_cycles_per_instance, prepare_batch, stream_key, ClosureEngine, EngineError,
-};
-use crate::plan::{CompiledPlan, PlanBuilder, PlanCache, SimSlot};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use systolic_arraysim::{
-    ArraySim, FaultEvent, FaultPlan, RunStats, StreamDst, StreamSrc, Task, TaskKind, TaskLabel,
-};
-use systolic_semiring::{DenseMatrix, PathSemiring};
+use crate::engine::{ideal_cycles_per_instance, stream_key};
+use crate::mapping::{MappedEngine, Mapping};
+use crate::plan::{CompiledPlan, PlanBuilder};
+use systolic_arraysim::{FaultEvent, StreamDst, StreamSrc, Task, TaskKind, TaskLabel};
+use systolic_semiring::PathSemiring;
 use systolic_transform::{GGraph, GNodeRole};
 
-/// Cut-and-pile executor on a linear array of `m` cells.
-#[derive(Debug)]
-pub struct LinearEngine {
+/// The cut-and-pile (LPGS) mapping onto a linear chain of `m` cells.
+#[derive(Clone, Debug)]
+pub struct LpgsMapping {
     m: usize,
     /// Pivot-link latency between consecutive cells (all 1 in the healthy
     /// array; larger where faulty cells are bypassed, see
     /// [`crate::fault::FaultyLinearEngine`]).
     link_delays: Vec<u64>,
-    trace: bool,
-    /// Transient-fault plan armed on every run (None = clean array).
-    plan: Option<FaultPlan>,
-    /// Per-run reseed nonce: consecutive `closure_many` calls on the same
-    /// engine see decorrelated fault sequences (a retry must not replay the
-    /// identical fault), while a fresh engine with the same plan reproduces
-    /// the same sequence of sequences.
-    nonce: AtomicU64,
-    /// Faults applied during the most recent run (success or failure).
-    last_faults: Mutex<Vec<FaultEvent>>,
-    /// Compiled schedules per `(n, batch_len)`, shared across clones.
-    plans: PlanCache,
-    /// Reusable simulator from the previous run (per engine value).
-    sims: SimSlot,
 }
 
-impl Clone for LinearEngine {
-    fn clone(&self) -> Self {
-        Self {
-            m: self.m,
-            link_delays: self.link_delays.clone(),
-            trace: self.trace,
-            plan: self.plan.clone(),
-            nonce: AtomicU64::new(self.nonce.load(Ordering::Relaxed)),
-            last_faults: Mutex::new(Vec::new()),
-            plans: self.plans.clone(),
-            sims: SimSlot::default(),
-        }
-    }
-}
-
-impl LinearEngine {
-    /// Creates an engine with `m ≥ 1` cells.
+impl LpgsMapping {
+    /// Creates the mapping for `m ≥ 1` cells with unit link delays.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1, "need at least one cell");
         Self {
             m,
             link_delays: vec![1; m.saturating_sub(1)],
-            trace: false,
-            plan: None,
-            nonce: AtomicU64::new(0),
-            last_faults: Mutex::new(Vec::new()),
-            plans: PlanCache::default(),
-            sims: SimSlot::default(),
         }
     }
 
-    /// Enables task-span tracing; the run's `RunStats::spans` then holds
-    /// the full schedule for Gantt rendering (Fig. 20 visualization).
-    pub fn with_trace(mut self) -> Self {
-        self.trace = true;
-        self.sims.clear(); // a cached simulator would lack span buffers
-        self
-    }
-
-    /// Creates an engine whose pivot links have the given latencies
+    /// Creates the mapping with explicit pivot-link latencies
     /// (`delays.len() == m - 1`); used by the fault-bypass reconfiguration.
     pub fn with_link_delays(m: usize, delays: Vec<u64>) -> Self {
         assert!(m >= 1, "need at least one cell");
@@ -109,51 +62,23 @@ impl LinearEngine {
         Self {
             m,
             link_delays: delays,
-            trace: false,
-            plan: None,
-            nonce: AtomicU64::new(0),
-            last_faults: Mutex::new(Vec::new()),
-            plans: PlanCache::default(),
-            sims: SimSlot::default(),
         }
-    }
-
-    /// Arms a transient-fault plan: every subsequent run injects faults
-    /// from a fresh reseeding of `plan` (see the `nonce` field docs).
-    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.plan = Some(plan);
-        self
-    }
-
-    /// The armed fault plan, if any.
-    pub fn fault_plan(&self) -> Option<&FaultPlan> {
-        self.plan.as_ref()
-    }
-
-    /// Faults applied during the most recent run on this engine value
-    /// (empty without a plan). Recorded on both success and error, so a
-    /// deadlocked or corrupt run can still be blamed.
-    pub fn recent_fault_events(&self) -> Vec<FaultEvent> {
-        self.last_faults.lock().expect("fault log poisoned").clone()
-    }
-
-    /// Takes the most recent run's fault events without cloning them.
-    pub(crate) fn take_recent_fault_events(&self) -> Vec<FaultEvent> {
-        std::mem::take(&mut self.last_faults.lock().expect("fault log poisoned"))
-    }
-
-    /// Drops the memoized plans and the cached simulator, forcing the next
-    /// call to compile from scratch (the fault-nonce sequence continues
-    /// unchanged). Mainly for cache-vs-fresh equivalence tests.
-    pub fn clear_caches(&self) {
-        self.plans.clear();
-        self.sims.clear();
     }
 
     /// Number of G-set blocks for problem size `n`: `⌈2n / m⌉` (the skewed
     /// G-graph spans `h ∈ 0..2n`).
     pub fn blocks(&self, n: usize) -> usize {
         (2 * n).div_ceil(self.m)
+    }
+}
+
+impl Mapping for LpgsMapping {
+    fn name(&self) -> &'static str {
+        "linear-partitioned"
+    }
+
+    fn cells(&self) -> usize {
+        self.m
     }
 
     /// Compiles the schedule for one `(n, batch_len)` shape: the full task
@@ -254,92 +179,26 @@ impl LinearEngine {
         plan.set_max_cycles(batch_len as u64 * ideal * 20 + 100_000);
         plan.finish()
     }
-
-    /// Runs a prepared (reflexive) batch through the cached plan/simulator,
-    /// arming `armed` verbatim when given. The fault log is recorded into
-    /// `last_faults` iff a plan was armed.
-    fn run_batch<S: PathSemiring>(
-        &self,
-        n: usize,
-        batch: &[DenseMatrix<S>],
-        armed: Option<FaultPlan>,
-    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        let plan = self
-            .plans
-            .get_or_build(n, batch.len(), || self.build_plan(n, batch.len()));
-        let mut sim: ArraySim<S> = self
-            .sims
-            .take(&plan)
-            .unwrap_or_else(|| plan.instantiate(self.trace));
-        plan.load(&mut sim, batch);
-
-        let record = armed.is_some();
-        if let Some(fp) = armed {
-            sim.set_fault_plan(fp);
-        }
-        let run = sim.run();
-        if record {
-            // Record what was injected even when the run failed — blame
-            // attribution needs the sites of a deadlocked attempt too.
-            *self.last_faults.lock().expect("fault log poisoned") = sim.take_fault_events();
-        }
-        let stats = run?;
-        let outs = sim.outputs();
-        let out0 = 0;
-        let mut results = Vec::with_capacity(batch.len());
-        for inst in 0..batch.len() {
-            let mut r = DenseMatrix::<S>::zeros(n, n);
-            for j in 0..n {
-                let col = &outs[out0 + inst * n + j];
-                if col.len() != n {
-                    // A dropped/duplicated stream word that still drained:
-                    // structurally corrupt output, not a simulator bug.
-                    return Err(EngineError::Corrupt {
-                        instance: inst,
-                        detail: format!("output column {j} has {} of {n} words", col.len()),
-                    });
-                }
-                r.set_col(j, col);
-            }
-            results.push(r);
-        }
-        self.sims.store(plan, sim);
-        Ok((results, stats))
-    }
-
-    /// [`ClosureEngine::closure_many`] with an explicit pre-reseeded fault
-    /// plan, bypassing this engine's own plan/nonce. Lets the degraded
-    /// array wrapper reuse a persistent inner engine (and its caches) while
-    /// reproducing its historical reseeding chain exactly.
-    pub(crate) fn closure_many_with_plan<S: PathSemiring>(
-        &self,
-        mats: &[DenseMatrix<S>],
-        armed: Option<FaultPlan>,
-    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        let (n, batch) = prepare_batch(mats)?;
-        self.run_batch(n, &batch, armed)
-    }
 }
 
-impl<S: PathSemiring> ClosureEngine<S> for LinearEngine {
-    fn name(&self) -> &'static str {
-        "linear-partitioned"
+/// Cut-and-pile executor on a linear array of `m` cells.
+pub type LinearEngine = MappedEngine<LpgsMapping>;
+
+impl LinearEngine {
+    /// Creates an engine with `m ≥ 1` cells.
+    pub fn new(m: usize) -> Self {
+        Self::from_mapping(LpgsMapping::new(m))
     }
 
-    fn cells(&self) -> usize {
-        self.m
+    /// Creates an engine whose pivot links have the given latencies
+    /// (`delays.len() == m - 1`); used by the fault-bypass reconfiguration.
+    pub fn with_link_delays(m: usize, delays: Vec<u64>) -> Self {
+        Self::from_mapping(LpgsMapping::with_link_delays(m, delays))
     }
 
-    fn closure_many(
-        &self,
-        mats: &[DenseMatrix<S>],
-    ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
-        let (n, batch) = prepare_batch(mats)?;
-        let armed = self
-            .plan
-            .as_ref()
-            .map(|p| p.reseeded(self.nonce.fetch_add(1, Ordering::Relaxed)));
-        self.run_batch(n, &batch, armed)
+    /// Number of G-set blocks for problem size `n`: `⌈2n / m⌉`.
+    pub fn blocks(&self, n: usize) -> usize {
+        self.mapping().blocks(n)
     }
 }
 
@@ -350,25 +209,27 @@ impl<S: PathSemiring> crate::recover::FaultAware<S> for LinearEngine {
 
     fn blame_cell(&self, event: &FaultEvent) -> Option<usize> {
         use systolic_arraysim::FaultKind;
+        let m = self.mapping().cells();
         match event.kind {
             FaultKind::CorruptEmit { cell } | FaultKind::StickCell { cell, .. } => Some(cell),
             // Link c sits between cells c and c+1; blame its writer.
             FaultKind::DropWord { link } | FaultKind::DuplicateWord { link } => Some(link),
             // Banks 0..m are private to their cell; bank m is the shared
             // pivot-boundary bank and indicts no single cell.
-            FaultKind::BankFlip { bank } => (bank < self.m).then_some(bank),
+            FaultKind::BankFlip { bank } => (bank < m).then_some(bank),
         }
     }
 
     fn bypass_plan(&self, faulty: &[usize]) -> Option<crate::fault::FaultyLinearEngine> {
-        crate::fault::FaultyLinearEngine::new(self.m, faulty).ok()
+        crate::fault::FaultyLinearEngine::new(self.mapping().cells(), faulty).ok()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use systolic_semiring::{warshall, Bool, MinPlus};
+    use crate::engine::ClosureEngine;
+    use systolic_semiring::{warshall, Bool, DenseMatrix, MinPlus};
 
     fn bool_adj(n: usize, edges: &[(usize, usize)]) -> DenseMatrix<Bool> {
         let mut a = DenseMatrix::<Bool>::zeros(n, n);

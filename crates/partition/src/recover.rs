@@ -72,6 +72,7 @@ pub trait FaultAware<S: PathSemiring>: ClosureEngine<S> {
 impl<S: PathSemiring> FaultAware<S> for crate::grid::GridEngine {}
 impl<S: PathSemiring> FaultAware<S> for crate::fixed::FixedArrayEngine {}
 impl<S: PathSemiring> FaultAware<S> for crate::fixed::FixedLinearEngine {}
+impl<S: PathSemiring> FaultAware<S> for crate::lsgp::LsgpEngine {}
 
 /// What to do when an instance keeps failing after `max_retries` retries.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

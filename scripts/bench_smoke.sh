@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Perf smoke for the partitioned engines: runs the batched_closure and
-# plan_reuse benches with pinned sample counts and records the results in
-# BENCH_partition.json at the repo root.
+# plan_reuse benches with pinned sample counts and records the results —
+# one row per mapping (linear_m4, lsgp_m4, packed_m4, plus the plan_reuse
+# shapes) — in BENCH_partition.json at the repo root.
 #
 # The scalar baseline compounds across PRs: the gate compares this run's
 # batched_closure/linear_m4/32x32 median against the median recorded in

@@ -1,7 +1,7 @@
 //! `systolic` — command-line front end to the reproduction.
 //!
 //! ```text
-//! systolic closure  [--backend B] [--threads T] [--show] <edges-file|->
+//! systolic closure  [--backend B] [--mapping M] [--threads T] [--show] <edges-file|->
 //!                                                            transitive closure
 //! systolic paths    <weighted-edges-file> <src> <dst>       shortest route
 //! systolic schedule <n> <m> [--grid]                        G-set schedule summary
@@ -28,7 +28,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!();
     eprintln!("usage:");
-    eprintln!("  systolic closure  [--backend linear:M|grid:S|fixed|fixed-linear|reference|bit|blocked:B] [--threads T] [--show] <file|->");
+    eprintln!("  systolic closure  [--backend linear:M|grid:S|lsgp:M|fixed|fixed-linear|reference|bit|blocked:B] [--mapping lpgs:M|lsgp:M|grid:S|fixed|fixed-linear] [--threads T] [--show] <file|->");
     eprintln!("  systolic paths    <file> <src> <dst>");
     eprintln!("  systolic schedule <n> <m> [--grid]");
     eprintln!("  systolic gantt    <n> <m>");
@@ -90,12 +90,42 @@ fn parse_backend(spec: &str) -> Backend {
     match name {
         "linear" => Backend::Linear { cells: num(4) },
         "grid" => Backend::Grid { side: num(2) },
+        "lsgp" => Backend::Lsgp { cells: num(4) },
         "fixed" => Backend::FixedArray,
         "fixed-linear" => Backend::FixedLinear,
         "reference" => Backend::Reference,
         "bit" => Backend::BitParallel,
         "blocked" => Backend::Blocked { tile: num(4) },
         _ => fail(&format!("unknown backend `{spec}`")),
+    }
+}
+
+/// `--mapping` speaks the mapping layer's vocabulary (`lpgs` is the
+/// paper's name for the cut-and-pile linear array) and resolves to the
+/// same simulated backends.
+fn parse_mapping(spec: &str) -> Backend {
+    let (name, arg) = match spec.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    let num = |d: usize| -> usize {
+        arg.and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+            if arg.is_none() {
+                d
+            } else {
+                fail("bad mapping argument")
+            }
+        })
+    };
+    match name {
+        "lpgs" => Backend::Linear { cells: num(4) },
+        "lsgp" => Backend::Lsgp { cells: num(4) },
+        "grid" => Backend::Grid { side: num(2) },
+        "fixed" => Backend::FixedArray,
+        "fixed-linear" => Backend::FixedLinear,
+        _ => fail(&format!(
+            "unknown mapping `{spec}` (expected lpgs[:M], lsgp[:M], grid[:S], fixed, fixed-linear)"
+        )),
     }
 }
 
@@ -113,6 +143,14 @@ fn cmd_closure(args: &[String]) {
                     args.get(i)
                         .map(String::as_str)
                         .unwrap_or_else(|| fail("--backend needs a value")),
+                );
+            }
+            "--mapping" => {
+                i += 1;
+                backend = parse_mapping(
+                    args.get(i)
+                        .map(String::as_str)
+                        .unwrap_or_else(|| fail("--mapping needs a value")),
                 );
             }
             "--threads" => {

@@ -36,6 +36,44 @@ fn closure_on_edge_file() {
 }
 
 #[test]
+fn closure_with_mapping_flag() {
+    let f = write_temp("edges-mapping", "0 1\n1 2\n2 0\n2 3\n");
+    // --mapping speaks the mapping layer's names; lsgp runs the simulated
+    // coalescing engine, lpgs is an alias of the linear backend.
+    let out = bin()
+        .args(["closure", "--mapping", "lsgp:3"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("13 reachable pairs"), "{text}");
+    assert!(text.contains("lsgp-coalescing"), "{text}");
+
+    let out = bin()
+        .args(["closure", "--mapping", "lpgs:3"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("linear-partitioned"), "{text}");
+
+    let out = bin()
+        .args(["closure", "--mapping", "hexagonal"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mapping"));
+    std::fs::remove_file(f).ok();
+}
+
+#[test]
 fn closure_reads_stdin() {
     let mut child = bin()
         .args(["closure", "--backend", "reference", "-"])

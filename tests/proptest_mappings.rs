@@ -1,0 +1,139 @@
+//! Property-based cross-mapping equivalence: every mapping in the engine
+//! stack — cut-and-pile linear at several widths, the fixed-size arrays,
+//! the 2-D grid, and the coalescing LSGP ring — must produce *bit-identical*
+//! closures to the Warshall reference and to each other, over both `Bool`
+//! and `MinPlus`, and a cached (memoized-plan, recycled-simulator) second
+//! run must reproduce the first exactly. This is the contract that lets
+//! `MappedEngine<M>` treat mappings as interchangeable geometry.
+
+use systolic::partition::{
+    ClosureEngine, FixedArrayEngine, FixedLinearEngine, GridEngine, LinearEngine, LsgpEngine,
+};
+use systolic_semiring::{warshall, Bool, DenseMatrix, MinPlus, PathSemiring};
+use systolic_util::{Checker, Rng};
+
+fn bool_batch(rng: &mut Rng, n: usize, len: usize) -> Vec<DenseMatrix<Bool>> {
+    (0..len)
+        .map(|_| DenseMatrix::from_fn(n, n, |_, _| rng.gen_bool(0.3)))
+        .collect()
+}
+
+fn weight_batch(rng: &mut Rng, n: usize, len: usize) -> Vec<DenseMatrix<MinPlus>> {
+    (0..len)
+        .map(|_| {
+            DenseMatrix::from_fn(n, n, |_, _| {
+                if rng.gen_bool(0.5) {
+                    u64::MAX
+                } else {
+                    rng.gen_range_u64(1, 50)
+                }
+            })
+        })
+        .collect()
+}
+
+/// Runs `batch` twice on `engine` (compile, then cached replay); both runs
+/// must match the Warshall reference per instance, bit for bit.
+fn assert_matches_reference<S, E>(engine: &E, batch: &[DenseMatrix<S>], what: &str)
+where
+    S: PathSemiring,
+    E: ClosureEngine<S>,
+    DenseMatrix<S>: PartialEq + std::fmt::Debug,
+{
+    let (first, _) = engine
+        .closure_many(batch)
+        .unwrap_or_else(|e| panic!("{what}: {e}"));
+    for (i, (got, a)) in first.iter().zip(batch).enumerate() {
+        assert_eq!(*got, warshall(a), "{what}: instance {i} vs Warshall");
+    }
+    let (replay, _) = engine
+        .closure_many(batch)
+        .unwrap_or_else(|e| panic!("{what} (cached): {e}"));
+    assert_eq!(first, replay, "{what}: cached replay changed the results");
+}
+
+fn check_all<S>(rng: &mut Rng, batch: &[DenseMatrix<S>], semiring: &str)
+where
+    S: PathSemiring,
+    DenseMatrix<S>: PartialEq + std::fmt::Debug,
+{
+    let n = batch[0].rows();
+    // Linear LPGS at a narrow, a matching, and an oversized width.
+    for m in [1usize, 2 + rng.gen_usize(3), 2 * n + 1] {
+        let eng = LinearEngine::new(m);
+        assert_matches_reference(&eng, batch, &format!("linear m={m} {semiring}"));
+    }
+    // Coalescing LSGP across the same spread (m > 2n leaves cells idle).
+    for m in [1usize, 2 + rng.gen_usize(3), 2 * n + 1] {
+        let eng = LsgpEngine::new(m);
+        assert_matches_reference(&eng, batch, &format!("lsgp m={m} {semiring}"));
+    }
+    let s = 1 + rng.gen_usize(3); // 1..=3
+    assert_matches_reference(
+        &GridEngine::new(s),
+        batch,
+        &format!("grid s={s} {semiring}"),
+    );
+    assert_matches_reference(
+        &FixedArrayEngine::new(),
+        batch,
+        &format!("fixed {semiring}"),
+    );
+    assert_matches_reference(
+        &FixedLinearEngine::new(),
+        batch,
+        &format!("fixed-linear {semiring}"),
+    );
+}
+
+#[test]
+fn all_mappings_agree_with_warshall_and_each_other() {
+    Checker::new("all mappings agree with Warshall and each other", 10).run(|rng| {
+        let n = 2 + rng.gen_usize(7); // 2..=8
+        let len = 1 + rng.gen_usize(3); // 1..=3
+        let bools = bool_batch(rng, n, len);
+        let weights = weight_batch(rng, n, len);
+        check_all(rng, &bools, "Bool");
+        check_all(rng, &weights, "MinPlus");
+        Ok(())
+    });
+}
+
+/// The mapping layer's storage dichotomy, cross-checked on random
+/// instances: coalescing's measured per-cell buffer grows with `n²/m`
+/// while cut-and-pile's per-cell banks stay within one column of words —
+/// the paper's reason for preferring cut-and-pile.
+#[test]
+fn lsgp_buffers_where_lpgs_streams() {
+    Checker::new("lsgp buffers where lpgs streams", 8).run(|rng| {
+        let n = 6 + rng.gen_usize(7); // 6..=12
+        let m = 2 + rng.gen_usize(3); // 2..=4
+        let batch = bool_batch(rng, n, 1);
+
+        let lsgp = LsgpEngine::new(m);
+        let (_, coalesced) = lsgp.closure_many(&batch).unwrap();
+        let lsgp_peak = lsgp.peak_local_words(&coalesced);
+
+        let lpgs = LinearEngine::new(m);
+        let (_, piled) = ClosureEngine::<Bool>::closure_many(&lpgs, &batch).unwrap();
+        let lpgs_peak = piled
+            .bank_peak_resident
+            .iter()
+            .take(m)
+            .copied()
+            .max()
+            .unwrap_or(0);
+
+        // LSGP holds at least the live column window (Θ(n²/m)); LPGS's
+        // private banks never exceed one in-flight column stream.
+        assert!(
+            lsgp_peak >= n * n.div_ceil(m),
+            "n={n} m={m}: lsgp peak {lsgp_peak} below the live window"
+        );
+        assert!(
+            lpgs_peak <= 2 * n,
+            "n={n} m={m}: lpgs peak {lpgs_peak} exceeds one column stream"
+        );
+        Ok(())
+    });
+}
