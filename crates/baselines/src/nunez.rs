@@ -9,14 +9,19 @@
 //! different from one algorithm to another") and the chaining needs host
 //! control between every sub-problem.
 
+use systolic_partition::EngineError;
 use systolic_semiring::{matmul, matmul_acc, warshall_inplace, DenseMatrix, PathSemiring};
 
 /// Functional blocked transitive closure with tile size `b` (the \[22\]
 /// decomposition; identical in structure to
 /// [`systolic_semiring::warshall_blocked`], restated here with explicit
 /// sub-problem accounting).
+///
+/// # Panics
+/// Panics on a zero tile size; use [`NunezEngine::closure`] to handle
+/// that as an error.
 pub fn nunez_closure<S: PathSemiring>(a: &DenseMatrix<S>, b: usize) -> DenseMatrix<S> {
-    NunezEngine::new(b).closure(a).0
+    NunezEngine::new(b).closure(a).expect("valid tile size").0
 }
 
 /// Cost/control accounting of one blocked run.
@@ -66,14 +71,34 @@ pub struct NunezEngine {
 }
 
 impl NunezEngine {
-    /// Creates an engine for a `b × b` array (`b ≥ 1`).
+    /// Creates an engine for a `b × b` array. A zero tile is
+    /// representable but rejected by [`NunezEngine::closure`] with
+    /// [`EngineError::BadInput`].
     pub fn new(b: usize) -> Self {
-        assert!(b >= 1);
         Self { b }
     }
 
     /// Computes `A⁺` and the cost account.
-    pub fn closure<S: PathSemiring>(&self, a: &DenseMatrix<S>) -> (DenseMatrix<S>, NunezCost) {
+    ///
+    /// # Errors
+    /// [`EngineError::BadInput`] on a zero tile size or a non-square
+    /// input.
+    pub fn closure<S: PathSemiring>(
+        &self,
+        a: &DenseMatrix<S>,
+    ) -> Result<(DenseMatrix<S>, NunezCost), EngineError> {
+        if self.b == 0 {
+            return Err(EngineError::BadInput(
+                "blocked closure needs a positive tile size (b ≥ 1)".into(),
+            ));
+        }
+        if !a.is_square() {
+            return Err(EngineError::BadInput(format!(
+                "blocked closure input must be square, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
         let n = a.rows();
         let b = self.b;
         let mut x = systolic_semiring::reflexive(a);
@@ -141,7 +166,7 @@ impl NunezEngine {
                 }
             }
         }
-        (x, cost)
+        Ok((x, cost))
     }
 }
 
@@ -181,7 +206,7 @@ mod tests {
         ] {
             a.set(i, j, w);
         }
-        let (got, _) = NunezEngine::new(2).closure(&a);
+        let (got, _) = NunezEngine::new(2).closure(&a).unwrap();
         assert_eq!(got, warshall(&a));
         assert_eq!(*got.get(0, 5), 5);
     }
@@ -194,16 +219,25 @@ mod tests {
         let b = 4;
         let t = n / b;
         let a = bool_adj(n, &[(0, 11), (11, 5)]);
-        let (_, cost) = NunezEngine::new(b).closure(&a);
+        let (_, cost) = NunezEngine::new(b).closure(&a).unwrap();
         assert_eq!(cost.diagonal_closures, t);
         assert_eq!(cost.multiplies, t * (2 * (t - 1) + (t - 1) * (t - 1)));
         assert_eq!(cost.control_steps, cost.diagonal_closures + cost.multiplies);
     }
 
     #[test]
+    fn zero_tile_is_an_error_not_a_panic() {
+        let a = bool_adj(4, &[(0, 1)]);
+        match NunezEngine::new(0).closure(&a) {
+            Err(EngineError::BadInput(msg)) => assert!(msg.contains("tile"), "{msg}"),
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn decomposition_has_nonzero_overhead_unlike_cut_and_pile() {
         let a = bool_adj(16, &[(0, 15), (15, 7), (7, 3)]);
-        let (_, cost) = NunezEngine::new(4).closure(&a);
+        let (_, cost) = NunezEngine::new(4).closure(&a).unwrap();
         assert!(cost.transfer_cycles > 0);
         assert!(cost.overhead_fraction() > 0.1, "{cost:?}");
         assert!(cost.load_store_words > 0);

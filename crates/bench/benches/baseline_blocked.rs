@@ -25,7 +25,7 @@ fn main() {
         });
         let eng = NunezEngine::new(8);
         bench.bench(format!("nunez_b8/{n}"), || {
-            black_box(eng.closure(&a));
+            black_box(eng.closure(&a).expect("valid tile size"));
         });
     }
 }

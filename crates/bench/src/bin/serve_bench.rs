@@ -1,0 +1,32 @@
+//! Machine-readable serve-stream perf lines for `scripts/bench_smoke.sh`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p systolic-bench --bin serve_bench [commands]
+//! ```
+//! Prints one `serve_stream/...` line per recompute path (software and
+//! batched). Exits nonzero if any `REACH` answer diverged from the
+//! full-recompute oracle — a throughput number is only worth recording
+//! when the protocol is right.
+
+use systolic_bench::serve::run_serve_bench;
+
+fn main() {
+    let count: usize = std::env::args()
+        .nth(1)
+        .map(|a| {
+            a.parse().unwrap_or_else(|_| {
+                eprintln!("serve_bench: bad command count `{a}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(20_000);
+    let software = run_serve_bench(64, count, 20_260_808, None);
+    println!("{}", software.smoke_line());
+    let batched = run_serve_bench(24, count.div_ceil(10), 20_260_808, Some(4));
+    println!("{}", batched.smoke_line());
+    if !(software.ok && batched.ok) {
+        eprintln!("serve_bench: REACH answers diverged from the recompute oracle");
+        std::process::exit(1);
+    }
+}

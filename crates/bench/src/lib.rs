@@ -1,5 +1,5 @@
 //! Experiment implementations regenerating every quantitative claim of the
-//! paper (the E01–E25 index of `DESIGN.md`).
+//! paper (the E01–E26 index of `DESIGN.md`).
 //!
 //! Each `eNN` function runs its experiment and returns a Markdown section
 //! with paper-vs-measured rows; the `experiments` binary assembles them
@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod serve;
 
 use campaign::{run_campaign, CampaignConfig};
 use std::fmt::Write as _;
@@ -474,7 +475,7 @@ pub fn e15() -> String {
     let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|");
     for (n, b) in [(24usize, 4usize), (24, 8), (32, 8)] {
         let a = adj(n, 70);
-        let (res, cost) = NunezEngine::new(b).closure(&a);
+        let (res, cost) = NunezEngine::new(b).closure(&a).expect("valid tile");
         assert_eq!(res, warshall(&a));
         let _ = writeln!(
             out,
@@ -993,6 +994,43 @@ pub fn e25() -> String {
     out
 }
 
+/// E26 — the long-running reachability service (`systolic serve`):
+/// sustained command throughput and per-`REACH` latency of the maintained
+/// closure under a pinned seeded stream (70% `REACH`, 20% `INSERT`, 10%
+/// `DELETE`). Inserts are rank-1 `R* ⊕ R*·e_uv·R*` bitset sweeps; deletes
+/// dirty the closure and coalesce into one per-SCC recompute at the next
+/// read — in software, or packed with other tenants through the admission
+/// batcher onto the 64-lane engine. Every answer is cross-checked against
+/// a full-recompute Warshall oracle before a number is reported.
+pub fn e26() -> String {
+    let mut out = String::from("## E26 — reachability service throughput & latency (serve)\n\n");
+    let _ = writeln!(
+        out,
+        "| recompute path | n | commands | REACH queries | cmd/s | p50 µs | p99 µs | max µs | oracle-checked |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---:|---|");
+    for (n, count, cells) in [(64usize, 20_000usize, None), (24, 2_000, Some(4usize))] {
+        let r = serve::run_serve_bench(n, count, 20_260_808, cells);
+        assert!(r.ok, "serve stream diverged from the recompute oracle");
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {:.0} | {:.1} | {:.1} | {:.1} | {} |",
+            r.id, r.n, r.commands, r.reaches, r.qps, r.p50_us, r.p99_us, r.max_us, r.ok
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\np50 is an O(1) bit probe of the maintained `R*`; the tail (p99/max) is \
+         where a preceding `DELETE` forces the per-SCC recompute, so it tracks the \
+         condensation cost rather than the query. Absolute numbers are \
+         machine-dependent — the perf smoke (`scripts/bench_smoke.sh`) records them \
+         in `BENCH_partition.json` and gates only on protocol correctness \
+         (`ok=true`). Reproduce with `systolic serve` or `cargo run --release -p \
+         systolic-bench --bin serve_bench`.\n"
+    );
+    out
+}
+
 /// Runs every experiment, returning the full Markdown report body.
 pub fn run_all() -> String {
     let mut out = String::new();
@@ -1022,6 +1060,7 @@ pub fn run_all() -> String {
         e23,
         e24,
         e25,
+        e26,
     ]
     .iter()
     .enumerate()

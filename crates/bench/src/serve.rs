@@ -1,0 +1,154 @@
+//! Serve-stream benchmark driver (E26): replays a pinned seeded command
+//! stream through a [`ReachService`], measuring per-`REACH` latency
+//! percentiles and sustained command throughput.
+//!
+//! The driver is self-gating on protocol correctness: every `REACH`
+//! answer is checked against a full-recompute Warshall oracle (outside
+//! the timed region), so a throughput number from a service that answers
+//! wrong is impossible — `ok` flips false and the smoke script fails.
+
+use std::sync::Arc;
+use std::time::Instant;
+use systolic_closure::DiGraph;
+use systolic_partition::{AdmissionBatcher, PackedEngine};
+use systolic_semiring::BitMatrix;
+use systolic_service::{seeded_stream, Command, ReachService, Response};
+
+/// One measured serve-stream run.
+#[derive(Clone, Debug)]
+pub struct ServeBenchReport {
+    /// Label (`software` or `batched_mM`).
+    pub id: String,
+    /// Vertices served.
+    pub n: usize,
+    /// Commands replayed.
+    pub commands: usize,
+    /// `REACH` queries among them.
+    pub reaches: usize,
+    /// Sustained commands per second (service time only, oracle excluded).
+    pub qps: f64,
+    /// Median `REACH` latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile `REACH` latency in microseconds.
+    pub p99_us: f64,
+    /// Worst `REACH` latency in microseconds (a delete-triggered recompute).
+    pub max_us: f64,
+    /// Every `REACH` answer matched the recompute oracle.
+    pub ok: bool,
+}
+
+impl ServeBenchReport {
+    /// One parse-stable line for the perf-smoke script.
+    pub fn smoke_line(&self) -> String {
+        format!(
+            "serve_stream/{} n={} cmds={} qps={:.0} p50_us={:.1} p99_us={:.1} max_us={:.1} ok={}",
+            self.id,
+            self.n,
+            self.commands,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+            self.ok
+        )
+    }
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Replays `seeded_stream(n, count, seed)` through a service; `cells`
+/// selects the batched recompute path on a packed engine of that many
+/// cells, `None` the software path.
+pub fn run_serve_bench(
+    n: usize,
+    count: usize,
+    seed: u64,
+    cells: Option<usize>,
+) -> ServeBenchReport {
+    let (id, mut svc) = match cells {
+        Some(m) => (
+            format!("batched_m{m}"),
+            ReachService::with_batcher(
+                DiGraph::new(n),
+                Arc::new(AdmissionBatcher::new(PackedEngine::new(m))),
+            ),
+        ),
+        None => ("software".to_string(), ReachService::new(DiGraph::new(n))),
+    };
+    let cmds = seeded_stream(n, count, seed);
+    let mut oracle = DiGraph::new(n);
+    let mut closed: Option<BitMatrix> = None;
+    let mut reach_us: Vec<f64> = Vec::new();
+    let mut total = std::time::Duration::ZERO;
+    let mut ok = true;
+    for &cmd in &cmds {
+        let t0 = Instant::now();
+        let resp = svc.execute(cmd);
+        let dt = t0.elapsed();
+        total += dt;
+        match (cmd, resp) {
+            (Command::Reach(u, v), Response::Reach { reachable, .. }) => {
+                reach_us.push(dt.as_secs_f64() * 1e6);
+                let want = closed
+                    .get_or_insert_with(|| {
+                        BitMatrix::from_dense(&oracle.adjacency_matrix()).transitive_closure()
+                    })
+                    .get(u, v);
+                ok &= reachable == want;
+            }
+            (Command::Insert(u, v), Response::Inserted { .. }) => {
+                if !oracle.has_edge(u, v) {
+                    oracle.add_edge(u, v);
+                    closed = None;
+                }
+            }
+            (Command::Delete(u, v), Response::Deleted { .. }) => {
+                if oracle.remove_edge(u, v) {
+                    closed = None;
+                }
+            }
+            _ => ok = false,
+        }
+    }
+    reach_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ServeBenchReport {
+        id,
+        n,
+        commands: cmds.len(),
+        reaches: reach_us.len(),
+        qps: cmds.len() as f64 / total.as_secs_f64().max(1e-9),
+        p50_us: percentile(&reach_us, 0.50),
+        p99_us: percentile(&reach_us, 0.99),
+        max_us: percentile(&reach_us, 1.0),
+        ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_run_is_correct_and_counts_add_up() {
+        let r = run_serve_bench(16, 400, 3, None);
+        assert!(r.ok, "service diverged from oracle");
+        assert_eq!(r.commands, 400);
+        assert!(r.reaches > 200 && r.reaches < 400);
+        assert!(r.p50_us <= r.p99_us && r.p99_us <= r.max_us);
+        assert!(r.qps > 0.0);
+        assert!(r.smoke_line().contains("ok=true"));
+    }
+
+    #[test]
+    fn batched_run_is_correct() {
+        let r = run_serve_bench(12, 120, 9, Some(2));
+        assert!(r.ok, "batched service diverged from oracle");
+        assert_eq!(r.id, "batched_m2");
+    }
+}

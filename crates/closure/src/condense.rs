@@ -5,7 +5,8 @@
 //! accordingly and builds the component DAG with topological levels — the
 //! analyses the `program_analysis` example performs, packaged.
 
-use crate::graph::Reachability;
+use crate::graph::{DiGraph, Reachability};
+use systolic_semiring::BitMatrix;
 
 /// SCC condensation of a closed graph.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,6 +75,150 @@ impl Condensation {
         }
     }
 
+    /// Builds the condensation directly from a graph's edges (iterative
+    /// Tarjan), without needing a closure first — the entry point of the
+    /// delete-fallback recompute path: condense the *current* graph, close
+    /// the (much smaller) component DAG, expand back to vertex pairs.
+    ///
+    /// Unlike [`Condensation::new`], `dag_edges` here are the graph's own
+    /// inter-component edges (deduplicated), not their transitive closure.
+    /// Component ids come out in reverse topological order (every DAG edge
+    /// runs from a higher id to a lower one), which
+    /// [`closure_via_condensation`] exploits.
+    pub fn from_graph(g: &DiGraph) -> Self {
+        let n = g.n();
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut component_of = vec![UNVISITED; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut next_index = 0usize;
+        // Explicit DFS frames: (vertex, next successor position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&(v, succ_pos)) = frames.last() {
+                if succ_pos == 0 {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = g.successors(v).get(succ_pos) {
+                    frames.last_mut().expect("frame present").1 += 1;
+                    if index[w] == UNVISITED {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    // v is finished: pop its SCC if it is a root.
+                    if lowlink[v] == index[v] {
+                        let id = components.len();
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack underflow");
+                            on_stack[w] = false;
+                            component_of[w] = id;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort_unstable();
+                        components.push(scc);
+                    }
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+        // Inter-component edges of the graph itself, deduplicated.
+        let mut edge_set = std::collections::BTreeSet::new();
+        for u in 0..n {
+            for &v in g.successors(u) {
+                let (cu, cv) = (component_of[u], component_of[v]);
+                if cu != cv {
+                    edge_set.insert((cu, cv));
+                }
+            }
+        }
+        let dag_edges: Vec<(usize, usize)> = edge_set.into_iter().collect();
+        // Longest-path levels (same fixed point as `new`; the DAG is acyclic
+        // so this terminates in ≤ len rounds).
+        let c = components.len();
+        let mut levels = vec![0usize; c];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b) in &dag_edges {
+                if levels[b] < levels[a] + 1 {
+                    levels[b] = levels[a] + 1;
+                    changed = true;
+                }
+            }
+        }
+        Self {
+            component_of,
+            components,
+            dag_edges,
+            levels,
+        }
+    }
+
+    /// Dense Boolean adjacency matrix of the component DAG (no diagonal).
+    pub fn dag_matrix(&self) -> systolic_semiring::DenseMatrix<systolic_semiring::Bool> {
+        let c = self.components.len();
+        let mut m = systolic_semiring::DenseMatrix::zeros(c, c);
+        for &(a, b) in &self.dag_edges {
+            m.set(a, b, true);
+        }
+        m
+    }
+
+    /// Expands a *closed* component-DAG reachability matrix back to the
+    /// vertex-level closure: `reach(u, v)` iff `closed(comp(u), comp(v))`
+    /// (with the reflexive diagonal implied by `closed`'s own diagonal).
+    ///
+    /// `closed` may be larger than the component count — extra padding
+    /// rows/columns (from batching recomputes at a common plan shape) are
+    /// ignored.
+    ///
+    /// # Panics
+    /// Panics if `closed` has fewer rows than there are components.
+    pub fn expand_closure(&self, closed: &systolic_semiring::BitMatrix) -> BitMatrix {
+        let c = self.components.len();
+        assert!(closed.n() >= c, "closed DAG matrix smaller than DAG");
+        let n = self.component_of.len();
+        // Column sets per component, shared by every member vertex of a
+        // reaching component.
+        let mut comp_cols: Vec<Vec<usize>> = Vec::with_capacity(c);
+        for cu in 0..c {
+            let mut cols = Vec::new();
+            for cv in 0..c {
+                if cu == cv || closed.get(cu, cv) {
+                    cols.extend_from_slice(&self.components[cv]);
+                }
+            }
+            comp_cols.push(cols);
+        }
+        let mut out = BitMatrix::zeros(n);
+        for u in 0..n {
+            for &v in &comp_cols[self.component_of[u]] {
+                out.set(u, v, true);
+            }
+        }
+        out
+    }
+
     /// Number of components.
     pub fn len(&self) -> usize {
         self.components.len()
@@ -88,6 +233,33 @@ impl Condensation {
     pub fn nontrivial(&self) -> impl Iterator<Item = &Vec<usize>> {
         self.components.iter().filter(|c| c.len() > 1)
     }
+}
+
+/// Full reflexive-transitive closure computed through the condensation:
+/// Tarjan SCCs, bitset closure of the (reverse-topological) component DAG,
+/// then expansion back to vertex pairs. This is the software reference for
+/// the service's delete-fallback path; the served variant routes the DAG
+/// closure through the admission batcher instead.
+pub fn closure_via_condensation(g: &DiGraph) -> BitMatrix {
+    let cond = Condensation::from_graph(g);
+    let c = cond.len();
+    if c == 0 {
+        return BitMatrix::zeros(0);
+    }
+    // Component ids are emitted sinks-first, so every DAG edge (a, b) has
+    // a > b: sweep ids upward and each successor row is already complete.
+    let mut dag_closed = BitMatrix::identity(c);
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); c];
+    for &(a, b) in &cond.dag_edges {
+        debug_assert!(a > b, "Tarjan ids must be reverse-topological");
+        succs[a].push(b);
+    }
+    for (a, row_succs) in succs.into_iter().enumerate() {
+        for s in row_succs {
+            dag_closed.or_row_into(s, a);
+        }
+    }
+    cond.expand_closure(&dag_closed)
 }
 
 #[cfg(test)]
@@ -146,5 +318,70 @@ mod tests {
         for &(a, b) in &c.dag_edges {
             assert!(c.levels[a] < c.levels[b]);
         }
+    }
+
+    fn graph(edges: &[(usize, usize)], n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn from_graph_matches_closure_based_partition() {
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (5, 0)];
+        let g = graph(&edges, 6);
+        let tarjan = Condensation::from_graph(&g);
+        let closed = condense(&edges, 6);
+        // Component ids may differ, but the vertex partition must agree.
+        let mut a: Vec<_> = tarjan.components.clone();
+        let mut b: Vec<_> = closed.components.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Tarjan ids are reverse-topological: edges go high → low.
+        for &(x, y) in &tarjan.dag_edges {
+            assert!(x > y, "edge {x}→{y} not reverse-topological");
+        }
+    }
+
+    #[test]
+    fn from_graph_handles_empty_and_edgeless() {
+        let c = Condensation::from_graph(&DiGraph::new(0));
+        assert!(c.is_empty());
+        let c = Condensation::from_graph(&DiGraph::new(3));
+        assert_eq!(c.len(), 3);
+        assert!(c.dag_edges.is_empty());
+    }
+
+    #[test]
+    fn closure_via_condensation_matches_warshall() {
+        use crate::generators::gnp;
+        use systolic_semiring::BitMatrix;
+        for (n, seed) in [(1usize, 7u64), (9, 11), (33, 13), (70, 17)] {
+            let g = gnp(n, 0.12, seed);
+            let oracle = BitMatrix::from_dense(&g.adjacency_matrix()).transitive_closure();
+            let via = closure_via_condensation(&g);
+            assert_eq!(via, oracle, "n={n} seed={seed}");
+        }
+        assert_eq!(closure_via_condensation(&DiGraph::new(0)).n(), 0);
+    }
+
+    #[test]
+    fn expand_closure_ignores_padding() {
+        // Path 0→1→2: three singleton components; pad the DAG matrix to 8.
+        let g = graph(&[(0, 1), (1, 2)], 3);
+        let cond = Condensation::from_graph(&g);
+        let c = cond.len();
+        let mut padded = BitMatrix::identity(8);
+        let mut exact = BitMatrix::identity(c);
+        for &(a, b) in &cond.dag_edges {
+            padded.set(a, b, true);
+            exact.set(a, b, true);
+        }
+        padded.warshall_in_place();
+        exact.warshall_in_place();
+        assert_eq!(cond.expand_closure(&padded), cond.expand_closure(&exact));
     }
 }

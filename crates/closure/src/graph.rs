@@ -39,6 +39,18 @@ impl DiGraph {
         }
     }
 
+    /// Removes edge `u → v`; returns whether it was present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        if let Some(pos) = self.adj[u].iter().position(|&x| x == v) {
+            self.adj[u].remove(pos);
+            self.edges -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Successors of `u`.
     pub fn successors(&self, u: usize) -> &[usize] {
         &self.adj[u]

@@ -1,0 +1,393 @@
+//! Incremental maintenance of a transitive closure under edge updates.
+//!
+//! Over a bounded idempotent (path) semiring, inserting edge `u → v` with
+//! weight `w` into a graph whose closure `R = A*` is known updates the
+//! closure in one rank-1 pass:
+//!
+//! ```text
+//! (A ⊕ w·e_uv)*  =  R ⊕ R·(w·e_uv)·R
+//! ```
+//!
+//! One pass suffices because boundedness (`1 ⊕ a = 1`) makes any path that
+//! crosses the new edge twice no better than one that crosses it once —
+//! `e·R·e ≤ e` element-wise. For the Boolean case this is the bitset-row OR
+//! of [`BitMatrix::insert_edge_closed`]; [`rank_one_update`] is the generic
+//! dense form used by the property tests (Bool and min-plus).
+//!
+//! Deletions have no such local rule — removing an edge can sever pairs
+//! whose witnesses all used it — so [`IncrementalClosure`] marks the
+//! closure *dirty* and recomputes through the SCC condensation
+//! ([`crate::condense`]) on the next query. Consecutive deletes coalesce
+//! into one recompute, and the two-phase
+//! [`prepare_recompute`](IncrementalClosure::prepare_recompute) /
+//! [`complete_recompute`](IncrementalClosure::complete_recompute) API lets
+//! a server batch many pending DAG closures into a single packed engine
+//! run.
+
+use crate::condense::{closure_via_condensation, Condensation};
+use crate::graph::DiGraph;
+use systolic_semiring::{BitMatrix, Bool, DenseMatrix, PathSemiring};
+
+/// Applies the rank-1 closure update `R ← R ⊕ R·(w·e_uv)·R` in place.
+///
+/// `r` must be a reflexive closure over a [`PathSemiring`] (bounded,
+/// idempotent — the laws that make one pass exact). Returns the number of
+/// entries that changed.
+pub fn rank_one_update<S: PathSemiring>(
+    r: &mut DenseMatrix<S>,
+    u: usize,
+    v: usize,
+    w: &S::Elem,
+) -> usize {
+    assert!(r.is_square(), "closure matrix must be square");
+    let n = r.rows();
+    assert!(u < n && v < n, "vertex out of range");
+    // Snapshot row v: it may itself gain entries mid-sweep (when v reaches u).
+    let row_v: Vec<S::Elem> = (0..n).map(|j| r.get(v, j).clone()).collect();
+    let mut changed = 0usize;
+    for i in 0..n {
+        let coeff = S::mul(r.get(i, u), w);
+        if S::is_zero(&coeff) {
+            continue;
+        }
+        for (j, rvj) in row_v.iter().enumerate() {
+            let delta = S::mul(&coeff, rvj);
+            if S::is_zero(&delta) {
+                continue;
+            }
+            let cur = r.get(i, j);
+            let next = S::add(cur, &delta);
+            if next != *cur {
+                r.set(i, j, next);
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Counters exposed through the service's `STATS` command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Total `INSERT` commands applied to the graph.
+    pub inserts: u64,
+    /// Inserts absorbed by the rank-1 update (closure was clean).
+    pub incremental_inserts: u64,
+    /// Reachable pairs added by rank-1 updates.
+    pub pairs_added: u64,
+    /// Total `DELETE` commands that removed a present edge.
+    pub deletes: u64,
+    /// Full recomputes triggered by deletes (coalesced: consecutive
+    /// deletes share one).
+    pub recomputes: u64,
+}
+
+/// A pending delete-fallback recompute, split out so a server can batch
+/// many DAG closures into one packed run. Produced by
+/// [`IncrementalClosure::prepare_recompute`]; the (possibly padded) closed
+/// DAG matrix goes back in through
+/// [`IncrementalClosure::complete_recompute`].
+#[derive(Clone, Debug)]
+pub struct RecomputeJob {
+    cond: Condensation,
+    /// Reflexive adjacency of the component DAG, padded up to
+    /// [`RecomputeJob::size`] so same-bucket jobs share an engine plan.
+    pub dag: DenseMatrix<Bool>,
+}
+
+impl RecomputeJob {
+    /// Padded DAG dimension (power of two, at least 2 — the minimum the
+    /// engines accept, and a coarse bucket that keeps plans warm).
+    pub fn size(&self) -> usize {
+        self.dag.rows()
+    }
+
+    /// Number of real (unpadded) components.
+    pub fn components(&self) -> usize {
+        self.cond.len()
+    }
+}
+
+/// Rounds a component count up to its plan bucket: the next power of two,
+/// floored at 2 (engines require `n ≥ 2`).
+pub fn dag_bucket(components: usize) -> usize {
+    components.next_power_of_two().max(2)
+}
+
+/// A transitive closure kept current under edge inserts and deletes.
+///
+/// Inserts are `O(n²/64)` rank-1 bitset updates; deletes mark the closure
+/// dirty and the next query pays one per-SCC recompute (via
+/// [`closure_via_condensation`], or an engine-backed batch through the
+/// two-phase API).
+#[derive(Clone, Debug)]
+pub struct IncrementalClosure {
+    graph: DiGraph,
+    closure: BitMatrix,
+    dirty: bool,
+    stats: IncrementalStats,
+}
+
+impl IncrementalClosure {
+    /// Builds the closure of `graph` and takes ownership of it.
+    pub fn new(graph: DiGraph) -> Self {
+        let closure = closure_via_condensation(&graph);
+        Self {
+            graph,
+            closure,
+            dirty: false,
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// True when a delete has invalidated the closure and a recompute is
+    /// pending.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Update counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// The closure matrix, recomputing in software first if dirty.
+    pub fn closure(&mut self) -> &BitMatrix {
+        self.refresh();
+        &self.closure
+    }
+
+    /// Reachability query (refreshes a dirty closure in software).
+    pub fn reach(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n() && v < self.n(), "vertex out of range");
+        self.refresh();
+        self.closure.get(u, v)
+    }
+
+    /// Inserts edge `u → v`. On a clean closure this is the rank-1 update;
+    /// on a dirty one the edge just joins the pending recompute. Returns
+    /// the number of newly reachable pairs (0 when dirty or implied).
+    pub fn insert(&mut self, u: usize, v: usize) -> usize {
+        assert!(u < self.n() && v < self.n(), "vertex out of range");
+        self.graph.add_edge(u, v);
+        self.stats.inserts += 1;
+        if self.dirty {
+            return 0;
+        }
+        self.stats.incremental_inserts += 1;
+        let added = self.closure.insert_edge_closed(u, v);
+        self.stats.pairs_added += added as u64;
+        added
+    }
+
+    /// Deletes edge `u → v` if present, marking the closure dirty.
+    /// Returns whether the edge existed. Deleting an absent edge leaves
+    /// the closure clean.
+    pub fn delete(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n() && v < self.n(), "vertex out of range");
+        if self.graph.remove_edge(u, v) {
+            self.stats.deletes += 1;
+            self.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Software recompute of a dirty closure (condensation path).
+    pub fn refresh(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.closure = closure_via_condensation(&self.graph);
+        self.dirty = false;
+        self.stats.recomputes += 1;
+    }
+
+    /// First half of an engine-batched recompute: condense the current
+    /// graph and emit its padded DAG adjacency (reflexive, bucket-sized by
+    /// [`dag_bucket`]). Returns `None` when the closure is clean.
+    pub fn prepare_recompute(&self) -> Option<RecomputeJob> {
+        if !self.dirty {
+            return None;
+        }
+        let cond = Condensation::from_graph(&self.graph);
+        let size = dag_bucket(cond.len());
+        let mut dag = DenseMatrix::<Bool>::zeros(size, size);
+        for d in 0..size {
+            dag.set(d, d, true);
+        }
+        for &(a, b) in &cond.dag_edges {
+            dag.set(a, b, true);
+        }
+        Some(RecomputeJob { cond, dag })
+    }
+
+    /// Second half: installs the closed DAG matrix (same shape as
+    /// [`RecomputeJob::dag`], padding ignored) and clears the dirty flag.
+    ///
+    /// # Panics
+    /// Panics if `closed` is smaller than the job's component count.
+    pub fn complete_recompute(&mut self, job: &RecomputeJob, closed: &DenseMatrix<Bool>) {
+        let bits = BitMatrix::from_dense(closed);
+        self.closure = job.cond.expand_closure(&bits);
+        self.dirty = false;
+        self.stats.recomputes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::gnp;
+    use systolic_semiring::{warshall, MinPlus};
+    use systolic_util::Rng;
+
+    fn oracle(g: &DiGraph) -> BitMatrix {
+        BitMatrix::from_dense(&g.adjacency_matrix()).transitive_closure()
+    }
+
+    #[test]
+    fn insert_stream_matches_recompute() {
+        let mut rng = Rng::seed_from_u64(97);
+        for n in [3usize, 17, 50] {
+            let mut inc = IncrementalClosure::new(DiGraph::new(n));
+            for _ in 0..4 * n {
+                let u = rng.gen_usize(n);
+                let v = rng.gen_usize(n);
+                inc.insert(u, v);
+                let want = oracle(inc.graph());
+                assert_eq!(*inc.closure(), want, "n={n}");
+            }
+            assert!(inc.stats().incremental_inserts == inc.stats().inserts);
+            assert_eq!(inc.stats().recomputes, 0, "inserts never recompute");
+        }
+    }
+
+    #[test]
+    fn delete_dirties_and_coalesces() {
+        let mut g = DiGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5)] {
+            g.add_edge(u, v);
+        }
+        let mut inc = IncrementalClosure::new(g);
+        assert!(inc.reach(0, 5));
+        // Two deletes, one recompute.
+        assert!(inc.delete(3, 4));
+        assert!(inc.delete(2, 3));
+        assert!(inc.is_dirty());
+        assert!(!inc.reach(0, 5));
+        assert!(!inc.reach(0, 3));
+        assert!(inc.reach(0, 2));
+        assert_eq!(inc.stats().recomputes, 1);
+        let want = oracle(inc.graph());
+        assert_eq!(*inc.closure(), want);
+        // Deleting an absent edge stays clean.
+        assert!(!inc.delete(5, 0));
+        assert!(!inc.is_dirty());
+    }
+
+    #[test]
+    fn mixed_stream_matches_recompute() {
+        let mut rng = Rng::seed_from_u64(4242);
+        let n = 24;
+        let mut inc = IncrementalClosure::new(gnp(n, 0.08, 1));
+        for step in 0..300 {
+            let u = rng.gen_usize(n);
+            let v = rng.gen_usize(n);
+            match rng.gen_usize(4) {
+                0 => {
+                    inc.delete(u, v);
+                }
+                _ => {
+                    inc.insert(u, v);
+                }
+            }
+            if step % 7 == 0 {
+                let want = oracle(inc.graph());
+                assert_eq!(*inc.closure(), want, "step {step}");
+            }
+        }
+        let want = oracle(inc.graph());
+        assert_eq!(*inc.closure(), want);
+    }
+
+    #[test]
+    fn two_phase_recompute_matches_software() {
+        let mut inc = IncrementalClosure::new(gnp(20, 0.15, 9));
+        assert!(inc.prepare_recompute().is_none(), "clean → no job");
+        // Force a known deletion: remove an arbitrary existing edge.
+        let (u, v) = {
+            let g = inc.graph();
+            (0..20)
+                .find_map(|u| g.successors(u).first().map(|&v| (u, v)))
+                .expect("graph has edges")
+        };
+        inc.delete(u, v);
+        let job = inc.prepare_recompute().expect("dirty → job");
+        assert!(job.size().is_power_of_two() && job.size() >= 2);
+        assert!(job.components() <= job.size());
+        // Close the padded DAG in software, as the engine batch would.
+        let closed = warshall(&job.dag);
+        inc.complete_recompute(&job, &closed);
+        assert!(!inc.is_dirty());
+        let want = oracle(inc.graph());
+        assert_eq!(*inc.closure(), want);
+    }
+
+    #[test]
+    fn rank_one_update_bool_matches_bitset_path() {
+        let mut rng = Rng::seed_from_u64(55);
+        let n = 15;
+        let g = gnp(n, 0.1, 3);
+        let mut dense = warshall(&g.adjacency_matrix());
+        let mut bits = BitMatrix::from_dense(&g.adjacency_matrix()).transitive_closure();
+        for _ in 0..40 {
+            let (u, v) = (rng.gen_usize(n), rng.gen_usize(n));
+            let changed = rank_one_update::<systolic_semiring::Bool>(&mut dense, u, v, &true);
+            let added = bits.insert_edge_closed(u, v);
+            assert_eq!(changed, added);
+            assert_eq!(BitMatrix::from_dense(&dense), bits);
+        }
+    }
+
+    #[test]
+    fn rank_one_update_minplus_matches_recompute() {
+        let mut rng = Rng::seed_from_u64(77);
+        let n = 12;
+        // Start from the edgeless closure (identity: 0 on the diagonal,
+        // +inf elsewhere).
+        let mut adj = DenseMatrix::<MinPlus>::zeros(n, n);
+        for d in 0..n {
+            adj.set(d, d, 0);
+        }
+        let mut closed = warshall(&adj);
+        for _ in 0..60 {
+            let (u, v) = (rng.gen_usize(n), rng.gen_usize(n));
+            let w = 1 + rng.gen_usize(9) as u64;
+            let cur = *adj.get(u, v);
+            adj.set(u, v, cur.min(w));
+            rank_one_update::<MinPlus>(&mut closed, u, v, &w);
+            assert_eq!(closed, warshall(&adj), "insert {u}→{v} w={w}");
+        }
+    }
+
+    #[test]
+    fn dag_bucket_floors_and_rounds() {
+        assert_eq!(dag_bucket(0), 2);
+        assert_eq!(dag_bucket(1), 2);
+        assert_eq!(dag_bucket(2), 2);
+        assert_eq!(dag_bucket(3), 4);
+        assert_eq!(dag_bucket(9), 16);
+    }
+}

@@ -21,11 +21,15 @@
 pub mod condense;
 pub mod generators;
 pub mod graph;
+pub mod incremental;
 pub mod paths;
 pub mod solver;
 
-pub use condense::Condensation;
+pub use condense::{closure_via_condensation, Condensation};
 pub use generators::{complete, cycle, gnp, path, random_dag, random_weighted, star, GraphKind};
 pub use graph::{DiGraph, Reachability, WeightedDiGraph};
+pub use incremental::{
+    dag_bucket, rank_one_update, IncrementalClosure, IncrementalStats, RecomputeJob,
+};
 pub use paths::{shortest_paths_with_routes, RouteTable};
 pub use solver::{Backend, ClosureSolver, SolveReport};

@@ -121,7 +121,7 @@ impl ClosureSolver {
             Backend::Grid { side } => run(&GridEngine::new(side)),
             Backend::Lsgp { cells } => run(&LsgpEngine::new(cells)),
             Backend::Blocked { tile } => {
-                let (m, _cost) = NunezEngine::new(tile).closure(a);
+                let (m, _cost) = NunezEngine::new(tile).closure(a)?;
                 Ok((
                     m,
                     SolveReport {
@@ -278,6 +278,24 @@ mod tests {
         assert_eq!(reach, want);
         assert_eq!(rep.backend, "software-bitparallel×4");
         assert_eq!(ClosureSolver::new(Backend::Reference).threads(), 1);
+    }
+
+    #[test]
+    fn zero_sized_backends_error_instead_of_panicking() {
+        let g = cycle(4);
+        for b in [
+            Backend::Linear { cells: 0 },
+            Backend::Grid { side: 0 },
+            Backend::Lsgp { cells: 0 },
+            Backend::Blocked { tile: 0 },
+        ] {
+            match ClosureSolver::new(b).transitive_closure(&g) {
+                Err(EngineError::BadInput(msg)) => {
+                    assert!(!msg.is_empty(), "{b:?} must explain the rejection")
+                }
+                other => panic!("{b:?}: expected BadInput, got {other:?}"),
+            }
+        }
     }
 
     #[test]

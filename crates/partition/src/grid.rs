@@ -29,9 +29,11 @@ pub struct GridMapping {
 }
 
 impl GridMapping {
-    /// Creates the mapping for an `s × s` grid (`m = s²` cells, `s ≥ 1`).
+    /// Creates the mapping for an `s × s` grid (`m = s²` cells). A zero
+    /// side is representable but rejected with
+    /// [`crate::EngineError::BadInput`] at run time (see
+    /// [`Mapping::validate`]).
     pub fn new(s: usize) -> Self {
-        assert!(s >= 1, "need at least a 1×1 grid");
         Self { s }
     }
 
@@ -48,6 +50,15 @@ impl Mapping for GridMapping {
 
     fn cells(&self) -> usize {
         self.s * self.s
+    }
+
+    fn validate(&self) -> Result<(), crate::engine::EngineError> {
+        if self.s == 0 {
+            return Err(crate::engine::EngineError::BadInput(
+                "grid needs at least a 1×1 array (side ≥ 1)".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Compiles the grid schedule for one `(n, batch_len)` shape.

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod engine;
 pub mod fault;
 pub mod fixed;
@@ -68,6 +69,7 @@ pub mod recover;
 pub mod schedule;
 pub mod verify;
 
+pub use admission::{AdmissionBatcher, AdmissionStats, FlushReport, Ticket};
 pub use engine::{ClosureEngine, EngineError};
 pub use fault::{grid_fault_capacity, linear_fault_capacity, FaultyLinearEngine};
 pub use fixed::{FixedArrayEngine, FixedArrayMapping, FixedLinearEngine, FixedLinearMapping};

@@ -44,9 +44,11 @@ pub struct LpgsMapping {
 }
 
 impl LpgsMapping {
-    /// Creates the mapping for `m ≥ 1` cells with unit link delays.
+    /// Creates the mapping for `m` cells with unit link delays. A zero
+    /// cell count is representable but rejected with
+    /// [`crate::EngineError::BadInput`] at run time (see
+    /// [`Mapping::validate`]).
     pub fn new(m: usize) -> Self {
-        assert!(m >= 1, "need at least one cell");
         Self {
             m,
             link_delays: vec![1; m.saturating_sub(1)],
@@ -79,6 +81,15 @@ impl Mapping for LpgsMapping {
 
     fn cells(&self) -> usize {
         self.m
+    }
+
+    fn validate(&self) -> Result<(), crate::engine::EngineError> {
+        if self.m == 0 {
+            return Err(crate::engine::EngineError::BadInput(
+                "linear array needs at least one cell (m ≥ 1)".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Compiles the schedule for one `(n, batch_len)` shape: the full task

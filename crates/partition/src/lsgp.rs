@@ -39,9 +39,10 @@ pub struct LsgpMapping {
 }
 
 impl LsgpMapping {
-    /// Creates the mapping for `m ≥ 1` cells.
+    /// Creates the mapping for `m` cells. A zero cell count is
+    /// representable but rejected with [`crate::EngineError::BadInput`] at
+    /// run time (see [`Mapping::validate`]).
     pub fn new(m: usize) -> Self {
-        assert!(m >= 1, "need at least one cell");
         Self { m }
     }
 
@@ -59,6 +60,15 @@ impl Mapping for LsgpMapping {
 
     fn cells(&self) -> usize {
         self.m
+    }
+
+    fn validate(&self) -> Result<(), crate::engine::EngineError> {
+        if self.m == 0 {
+            return Err(crate::engine::EngineError::BadInput(
+                "coalescing ring needs at least one cell (m ≥ 1)".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Compiles the coalesced schedule: cell `c` runs its owned columns in

@@ -42,6 +42,18 @@ pub trait Mapping: Clone + std::fmt::Debug + Send + Sync + 'static {
     /// the problem size (the fixed-size mappings).
     fn cells(&self) -> usize;
 
+    /// Checks the mapping's own parameters (e.g. a positive cell count).
+    ///
+    /// Called by the executor before any plan is built; a mapping with
+    /// impossible geometry reports [`EngineError::BadInput`] instead of
+    /// panicking mid-compile. The default accepts everything.
+    ///
+    /// # Errors
+    /// [`EngineError::BadInput`] describing the bad parameter.
+    fn validate(&self) -> Result<(), EngineError> {
+        Ok(())
+    }
+
     /// Compiles the full schedule for one `(n, batch_len)` shape: cell
     /// programs, stream wiring, host demand order, cycle budget.
     fn build_plan(&self, n: usize, batch_len: usize) -> CompiledPlan;
@@ -154,6 +166,14 @@ impl<M: Mapping> MappedEngine<M> {
         self.sims.clear();
     }
 
+    /// True when a plan for the `(n, batch_len)` shape is already compiled
+    /// — the next same-shape run is *warm* (no schedule rebuild). The
+    /// admission batcher uses this to prove a settled server never
+    /// recompiles.
+    pub fn has_plan(&self, n: usize, batch_len: usize) -> bool {
+        self.plans.contains(n, batch_len)
+    }
+
     /// Runs a prepared (reflexive) batch through the cached plan/simulator,
     /// arming `armed` verbatim when given. The fault log is recorded into
     /// `last_faults` iff a plan was armed.
@@ -163,6 +183,7 @@ impl<M: Mapping> MappedEngine<M> {
         batch: &[DenseMatrix<S>],
         armed: Option<FaultPlan>,
     ) -> Result<(Vec<DenseMatrix<S>>, RunStats), EngineError> {
+        self.mapping.validate()?;
         let plan = self
             .plans
             .get_or_build(n, batch.len(), || self.mapping.build_plan(n, batch.len()));

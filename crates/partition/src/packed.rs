@@ -72,6 +72,12 @@ impl PackedEngine {
     pub fn clear_caches(&self) {
         self.inner.clear_caches();
     }
+
+    /// True when the single-instance plan a packed lane group of size `n`
+    /// runs on is already compiled — the next such group is warm.
+    pub fn has_plan(&self, n: usize) -> bool {
+        self.inner.has_plan(n, 1)
+    }
 }
 
 impl ClosureEngine<Bool> for PackedEngine {

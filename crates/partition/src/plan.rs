@@ -320,6 +320,14 @@ impl PlanCache {
     pub(crate) fn clear(&self) {
         self.plans.lock().expect("plan cache poisoned").clear();
     }
+
+    /// True when a plan for `(n, batch_len)` is already memoized.
+    pub(crate) fn contains(&self, n: usize, batch_len: usize) -> bool {
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .contains_key(&(n, batch_len))
+    }
 }
 
 impl fmt::Debug for PlanCache {

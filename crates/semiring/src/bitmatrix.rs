@@ -221,6 +221,67 @@ impl BitMatrix {
         m
     }
 
+    /// Row `i` as its packed words (low bit of word 0 = column 0).
+    #[inline]
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        debug_assert!(i < self.n);
+        &self.words[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Rank-1 closure update for an inserted edge `u → v`.
+    ///
+    /// Given that `self` is a reflexive transitive closure `R*`, this
+    /// applies `R* ← R* ∨ R*·e_uv·R*`: every row `i` with `R*(i,u)` ORs in
+    /// row `v` (new pairs are exactly `i → u → v → j` with the old
+    /// reachabilities). One pass is exact for a single inserted edge — any
+    /// path using the new edge twice revisits `u`, so a minimal witness
+    /// uses it once. `O(n²/64)` word operations; returns the number of
+    /// newly reachable pairs (0 when the edge was already implied).
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn insert_edge_closed(&mut self, u: usize, v: usize) -> usize {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        if self.get(u, v) {
+            return 0;
+        }
+        let wpr = self.words_per_row;
+        let row_v: Vec<u64> = self.row_words(v).to_vec();
+        let mut added = 0usize;
+        for i in 0..self.n {
+            let row = &mut self.words[i * wpr..(i + 1) * wpr];
+            let has_u = (row[u / WORD_BITS] >> (u % WORD_BITS)) & 1 == 1;
+            if has_u {
+                for (dst, src) in row.iter_mut().zip(row_v.iter()) {
+                    added += (*src & !*dst).count_ones() as usize;
+                    *dst |= *src;
+                }
+            }
+        }
+        added
+    }
+
+    /// ORs row `src` into row `dst` (a no-op when they coincide).
+    pub fn or_row_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.n && dst < self.n, "row out of range");
+        if src == dst {
+            return;
+        }
+        let wpr = self.words_per_row;
+        let (lo, hi) = (src.min(dst), src.max(dst));
+        let (head, tail) = self.words.split_at_mut(hi * wpr);
+        let lo_row = &mut head[lo * wpr..(lo + 1) * wpr];
+        let hi_row = &mut tail[..wpr];
+        let (dst_row, src_row) = if dst == hi {
+            (hi_row, &*lo_row)
+        } else {
+            (lo_row, &*hi_row)
+        };
+        for (d, s) in dst_row.iter_mut().zip(src_row.iter()) {
+            *d |= *s;
+        }
+    }
+
     /// True iff `self ≤ other` element-wise (every set bit also set in
     /// `other`).
     pub fn is_subset_of(&self, other: &Self) -> bool {
@@ -346,6 +407,40 @@ mod tests {
                 "n={n}"
             );
         }
+    }
+
+    #[test]
+    fn insert_edge_closed_matches_full_recompute() {
+        let mut rng = systolic_util::Rng::seed_from_u64(31);
+        for n in [2usize, 9, 70] {
+            let mut m = BitMatrix::zeros(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && rng.gen_bool(0.07) {
+                        m.set(i, j, true);
+                    }
+                }
+            }
+            let mut closed = m.transitive_closure();
+            for _ in 0..3 * n {
+                let u = rng.gen_usize(n);
+                let v = rng.gen_usize(n);
+                m.set(u, v, true);
+                let before = closed.count_ones();
+                let added = closed.insert_edge_closed(u, v);
+                assert_eq!(closed.count_ones(), before + added, "n={n}");
+                assert_eq!(closed, m.transitive_closure(), "n={n} edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn row_words_expose_packed_rows() {
+        let mut m = BitMatrix::zeros(70);
+        m.set(3, 0, true);
+        m.set(3, 64, true);
+        assert_eq!(m.row_words(3), &[1u64, 1u64]);
+        assert_eq!(m.row_words(4), &[0u64, 0u64]);
     }
 
     #[test]

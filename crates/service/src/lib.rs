@@ -1,0 +1,33 @@
+//! The long-running reachability service (ROADMAP item 2).
+//!
+//! A server owns one transitive closure `R*` and answers a command stream
+//! — the datacenter query/update pattern where reads vastly outnumber
+//! structural changes:
+//!
+//! * `REACH u v` — O(1) bit probe of the maintained closure;
+//! * `INSERT u v` — the rank-1 semiring update
+//!   `R* ← R* ⊕ R*·e_uv·R*` (`O(n²/64)` words, never a recompute);
+//! * `DELETE u v` — marks the closure dirty; the next read triggers a
+//!   per-SCC recompute through the condensation, so consecutive deletes
+//!   coalesce into one;
+//! * `STATS` / `QUIT` — introspection and session end.
+//!
+//! The recompute path can run in software
+//! ([`systolic_closure::closure_via_condensation`]) or through a shared
+//! [`systolic_partition::AdmissionBatcher`], which packs the pending
+//! component-DAG closures of up to 64 tenants into one `BoolLanes` run on
+//! the packed engine's memoized plan — a warm server never recompiles and
+//! never runs scalar when it can pack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod stream;
+
+pub use protocol::{parse_command, Command, Response};
+pub use server::{serve, serve_tcp, ServeSummary};
+pub use service::{ReachService, ServiceStats};
+pub use stream::seeded_stream;

@@ -1,0 +1,160 @@
+//! Transport loops: stdin/stdout line sessions and the TCP stretch goal.
+//!
+//! Both transports run the same session loop: read a line, parse, execute,
+//! write one response line, flush. Protocol errors answer `ERR ...` and
+//! keep the session alive; `QUIT` (or EOF) ends it.
+
+use crate::protocol::{parse_command, Response};
+use crate::service::ReachService;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+/// What one session processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Lines that parsed into a command and were executed.
+    pub commands: u64,
+    /// Lines answered with `ERR` (parse or backend).
+    pub errors: u64,
+    /// True when the session ended with `QUIT` (false on EOF).
+    pub quit: bool,
+}
+
+/// Runs one session over arbitrary line transports until `QUIT` or EOF.
+///
+/// # Errors
+/// Propagates transport I/O errors (a closed pipe mid-write); protocol
+/// and backend errors are answered in-band and do not end the session.
+pub fn serve<R: BufRead, W: Write>(
+    svc: &mut ReachService,
+    input: R,
+    mut out: W,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        let cmd = match parse_command(&line) {
+            Ok(Some(c)) => c,
+            Ok(None) => continue,
+            Err(msg) => {
+                svc.note_error();
+                summary.errors += 1;
+                writeln!(out, "{}", Response::Err(msg))?;
+                out.flush()?;
+                continue;
+            }
+        };
+        let resp = svc.execute(cmd);
+        summary.commands += 1;
+        if matches!(resp, Response::Err(_)) {
+            summary.errors += 1;
+        }
+        let is_bye = matches!(resp, Response::Bye);
+        writeln!(out, "{resp}")?;
+        out.flush()?;
+        if is_bye {
+            summary.quit = true;
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+/// Serves TCP clients sequentially on an already-bound listener; each
+/// connection is one [`serve`] session. Stops after `max_sessions`
+/// connections when given (`None` loops forever — the CLI's daemon mode).
+///
+/// # Errors
+/// Propagates accept/I-O errors.
+pub fn serve_tcp(
+    svc: &mut ReachService,
+    listener: &TcpListener,
+    max_sessions: Option<usize>,
+) -> std::io::Result<ServeSummary> {
+    let mut total = ServeSummary::default();
+    for (session, conn) in listener.incoming().enumerate() {
+        let stream = conn?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let s = serve(svc, reader, stream)?;
+        total.commands += s.commands;
+        total.errors += s.errors;
+        total.quit |= s.quit;
+        if max_sessions.is_some_and(|m| session + 1 >= m) {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_closure::DiGraph;
+
+    fn run(input: &str) -> (String, ServeSummary) {
+        let mut svc = ReachService::new(DiGraph::new(4));
+        let mut out = Vec::new();
+        let summary = serve(&mut svc, input.as_bytes(), &mut out).unwrap();
+        (String::from_utf8(out).unwrap(), summary)
+    }
+
+    #[test]
+    fn full_session_transcript() {
+        let (out, summary) = run(
+            "# build a path\nINSERT 0 1\nINSERT 1 2\nREACH 0 2\nDELETE 0 1\nREACH 0 2\nSTATS\nQUIT\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "OK INSERT 0 1 added=1");
+        assert_eq!(lines[1], "OK INSERT 1 2 added=2");
+        assert_eq!(lines[2], "REACH 0 2 true");
+        assert_eq!(lines[3], "OK DELETE 0 1 removed=true");
+        assert_eq!(lines[4], "REACH 0 2 false");
+        assert!(lines[5].starts_with("STATS "), "{}", lines[5]);
+        assert_eq!(lines[6], "BYE");
+        assert_eq!(summary.commands, 7);
+        assert_eq!(summary.errors, 0);
+        assert!(summary.quit);
+    }
+
+    #[test]
+    fn errors_answer_in_band_and_session_survives() {
+        let (out, summary) = run("REACH 0\nFROB\nREACH 0 0\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("ERR "), "{}", lines[0]);
+        assert!(lines[1].starts_with("ERR "), "{}", lines[1]);
+        assert_eq!(lines[2], "REACH 0 0 true");
+        assert_eq!(summary.errors, 2);
+        assert!(!summary.quit, "EOF, not QUIT");
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        use std::net::TcpStream;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream;
+            let mut ask = |line: &str| -> String {
+                writeln!(w, "{line}").unwrap();
+                let mut resp = String::new();
+                reader.read_line(&mut resp).unwrap();
+                resp.trim_end().to_string()
+            };
+            let a = ask("INSERT 0 1");
+            let b = ask("REACH 0 1");
+            let c = ask("QUIT");
+            (a, b, c)
+        });
+        let mut svc = ReachService::new(DiGraph::new(2));
+        let summary = serve_tcp(&mut svc, &listener, Some(1)).unwrap();
+        let (a, b, c) = client.join().unwrap();
+        assert_eq!(a, "OK INSERT 0 1 added=1");
+        assert_eq!(b, "REACH 0 1 true");
+        assert_eq!(c, "BYE");
+        assert!(summary.quit);
+        assert_eq!(summary.commands, 3);
+    }
+}

@@ -1,0 +1,336 @@
+//! The service core: one graph, one maintained closure, command execution.
+
+use crate::protocol::{Command, Response};
+use std::sync::Arc;
+use systolic_closure::{DiGraph, IncrementalClosure, RecomputeJob};
+use systolic_partition::{AdmissionBatcher, EngineError, Ticket};
+
+/// Service-level counters (superset of the closure's own update stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// `REACH` queries answered.
+    pub queries: u64,
+    /// Protocol or backend errors reported (session survived them).
+    pub errors: u64,
+}
+
+/// A reachability service over one graph.
+///
+/// Owns an [`IncrementalClosure`] and optionally shares an
+/// [`AdmissionBatcher`]: with a batcher, delete-fallback recomputes are
+/// submitted as component-DAG closure requests and packed with other
+/// tenants' work into one `BoolLanes` engine run; without one they run in
+/// software. Results are bit-identical either way.
+pub struct ReachService {
+    inc: IncrementalClosure,
+    batcher: Option<Arc<AdmissionBatcher>>,
+    /// A submitted-but-unclaimed recompute (two-phase batching).
+    pending: Option<(RecomputeJob, Ticket)>,
+    stats: ServiceStats,
+}
+
+impl ReachService {
+    /// A service computing delete-fallback recomputes in software.
+    pub fn new(graph: DiGraph) -> Self {
+        Self {
+            inc: IncrementalClosure::new(graph),
+            batcher: None,
+            pending: None,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// A service routing recomputes through a shared admission batcher.
+    pub fn with_batcher(graph: DiGraph, batcher: Arc<AdmissionBatcher>) -> Self {
+        Self {
+            inc: IncrementalClosure::new(graph),
+            batcher: Some(batcher),
+            pending: None,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Number of vertices served.
+    pub fn n(&self) -> usize {
+        self.inc.n()
+    }
+
+    /// The underlying incremental closure (mainly for tests/benches).
+    pub fn closure(&mut self) -> &systolic_semiring::BitMatrix {
+        self.inc.closure()
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// True when a delete has left the closure stale.
+    pub fn is_dirty(&self) -> bool {
+        self.inc.is_dirty()
+    }
+
+    /// Phase one of a batched recompute: submit this tenant's pending
+    /// component-DAG closure to the shared batcher (no-op when clean or
+    /// already submitted, or when running in software). Returns whether a
+    /// request was submitted.
+    ///
+    /// # Errors
+    /// Propagates the batcher's admission error.
+    pub fn enqueue_recompute(&mut self) -> Result<bool, EngineError> {
+        let Some(batcher) = &self.batcher else {
+            return Ok(false);
+        };
+        if self.pending.is_some() || !self.inc.is_dirty() {
+            return Ok(false);
+        }
+        let job = self
+            .inc
+            .prepare_recompute()
+            .expect("dirty closure yields a job");
+        let ticket = batcher.submit(job.dag.clone())?;
+        self.pending = Some((job, ticket));
+        Ok(true)
+    }
+
+    /// Phase two: claim the flushed result and install it. Returns whether
+    /// a pending recompute was completed.
+    ///
+    /// # Panics
+    /// Panics if called before the shared batcher flushed the ticket.
+    pub fn finish_recompute(&mut self) -> bool {
+        let Some((job, ticket)) = self.pending.take() else {
+            return false;
+        };
+        let batcher = self.batcher.as_ref().expect("pending implies batcher");
+        let closed = batcher
+            .take(ticket)
+            .expect("ticket flushed before finish_recompute");
+        self.inc.complete_recompute(&job, &closed);
+        true
+    }
+
+    /// Brings the closure current: software refresh, or a single-tenant
+    /// submit → flush → claim round through the shared batcher.
+    ///
+    /// # Errors
+    /// Propagates engine failures from the batched path.
+    pub fn ensure_fresh(&mut self) -> Result<(), EngineError> {
+        if !self.inc.is_dirty() && self.pending.is_none() {
+            return Ok(());
+        }
+        if self.batcher.is_some() {
+            self.enqueue_recompute()?;
+            self.batcher.as_ref().expect("batched path").flush()?;
+            self.finish_recompute();
+        } else {
+            self.inc.refresh();
+        }
+        Ok(())
+    }
+
+    /// Executes one command, returning the response line. Backend errors
+    /// become [`Response::Err`]; the service stays usable.
+    pub fn execute(&mut self, cmd: Command) -> Response {
+        match self.try_execute(cmd) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.errors += 1;
+                Response::Err(format!("backend: {e}"))
+            }
+        }
+    }
+
+    /// Records a protocol-level error against this session's counters.
+    pub fn note_error(&mut self) {
+        self.stats.errors += 1;
+    }
+
+    fn check_vertices(&self, u: usize, v: usize) -> Result<(), EngineError> {
+        let n = self.n();
+        if u >= n || v >= n {
+            return Err(EngineError::BadInput(format!(
+                "vertex out of range (n={n}): {u} {v}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn try_execute(&mut self, cmd: Command) -> Result<Response, EngineError> {
+        match cmd {
+            Command::Reach(u, v) => {
+                self.check_vertices(u, v)?;
+                self.ensure_fresh()?;
+                self.stats.queries += 1;
+                Ok(Response::Reach {
+                    u,
+                    v,
+                    reachable: self.inc.reach(u, v),
+                })
+            }
+            Command::Insert(u, v) => {
+                self.check_vertices(u, v)?;
+                Ok(Response::Inserted {
+                    u,
+                    v,
+                    added: self.inc.insert(u, v),
+                })
+            }
+            Command::Delete(u, v) => {
+                self.check_vertices(u, v)?;
+                Ok(Response::Deleted {
+                    u,
+                    v,
+                    removed: self.inc.delete(u, v),
+                })
+            }
+            Command::Stats => {
+                self.ensure_fresh()?;
+                let s = self.inc.stats();
+                let line = format!(
+                    "n={} edges={} pairs={} queries={} inserts={} incremental={} \
+                     pairs_added={} deletes={} recomputes={} errors={} mode={}",
+                    self.inc.n(),
+                    self.inc.graph().edge_count(),
+                    self.inc.closure().count_ones(),
+                    self.stats.queries,
+                    s.inserts,
+                    s.incremental_inserts,
+                    s.pairs_added,
+                    s.deletes,
+                    s.recomputes,
+                    self.stats.errors,
+                    if self.batcher.is_some() {
+                        "batched"
+                    } else {
+                        "software"
+                    },
+                );
+                Ok(Response::Stats(line))
+            }
+            Command::Quit => Ok(Response::Bye),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReachService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReachService(n: {}, dirty: {}, batched: {})",
+            self.n(),
+            self.is_dirty(),
+            self.batcher.is_some()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_partition::PackedEngine;
+
+    fn line(svc: &mut ReachService, cmd: &str) -> String {
+        match crate::protocol::parse_command(cmd).unwrap() {
+            Some(c) => svc.execute(c).to_string(),
+            None => String::new(),
+        }
+    }
+
+    #[test]
+    fn session_walkthrough_software() {
+        let mut svc = ReachService::new(DiGraph::new(5));
+        assert_eq!(line(&mut svc, "REACH 0 3"), "REACH 0 3 false");
+        assert_eq!(line(&mut svc, "INSERT 0 1"), "OK INSERT 0 1 added=1");
+        assert_eq!(line(&mut svc, "INSERT 1 2"), "OK INSERT 1 2 added=2");
+        assert_eq!(line(&mut svc, "INSERT 2 3"), "OK INSERT 2 3 added=3");
+        assert_eq!(line(&mut svc, "REACH 0 3"), "REACH 0 3 true");
+        assert_eq!(line(&mut svc, "DELETE 1 2"), "OK DELETE 1 2 removed=true");
+        assert!(svc.is_dirty());
+        assert_eq!(line(&mut svc, "REACH 0 3"), "REACH 0 3 false");
+        assert!(!svc.is_dirty(), "query refreshed the closure");
+        let stats = line(&mut svc, "STATS");
+        assert!(stats.contains("recomputes=1"), "{stats}");
+        assert!(stats.contains("mode=software"), "{stats}");
+    }
+
+    #[test]
+    fn batched_recompute_matches_software() {
+        let batcher = Arc::new(AdmissionBatcher::new(PackedEngine::new(2)));
+        let mut soft = ReachService::new(DiGraph::new(8));
+        let mut hard = ReachService::with_batcher(DiGraph::new(8), Arc::clone(&batcher));
+        for cmd in [
+            "INSERT 0 1",
+            "INSERT 1 2",
+            "INSERT 2 0",
+            "INSERT 2 3",
+            "INSERT 3 4",
+            "INSERT 4 5",
+            "DELETE 2 3",
+            "INSERT 5 6",
+        ] {
+            assert_eq!(line(&mut soft, cmd), line(&mut hard, cmd), "{cmd}");
+        }
+        for u in 0..8 {
+            for v in 0..8 {
+                let q = format!("REACH {u} {v}");
+                assert_eq!(line(&mut soft, &q), line(&mut hard, &q), "{q}");
+            }
+        }
+        assert!(batcher.stats().executed >= 1, "delete went through batcher");
+    }
+
+    #[test]
+    fn out_of_range_vertices_error_without_killing_the_session() {
+        let mut svc = ReachService::new(DiGraph::new(3));
+        assert!(line(&mut svc, "REACH 0 9").starts_with("ERR "));
+        assert!(line(&mut svc, "INSERT 9 0").starts_with("ERR "));
+        assert_eq!(line(&mut svc, "REACH 0 0"), "REACH 0 0 true");
+        assert_eq!(svc.stats().errors, 2);
+    }
+
+    #[test]
+    fn multi_tenant_recomputes_pack_into_one_flush() {
+        let batcher = Arc::new(AdmissionBatcher::new(PackedEngine::new(2)));
+        let mut tenants: Vec<_> = (0..5)
+            .map(|t| {
+                let mut g = DiGraph::new(6);
+                g.add_edge(t % 6, (t + 1) % 6);
+                g.add_edge((t + 1) % 6, (t + 2) % 6);
+                ReachService::with_batcher(g, Arc::clone(&batcher))
+            })
+            .collect();
+        // Dirty every tenant, then run the two-phase round by hand.
+        for (t, svc) in tenants.iter_mut().enumerate() {
+            let c = crate::protocol::parse_command(&format!("DELETE {} {}", t % 6, (t + 1) % 6))
+                .unwrap()
+                .unwrap();
+            svc.execute(c);
+            assert!(svc.enqueue_recompute().unwrap());
+        }
+        assert_eq!(batcher.pending(), 5);
+        let report = batcher.flush().unwrap();
+        assert_eq!(report.executed, 5);
+        assert_eq!(report.lane_runs, 1, "five tenants share one lane run");
+        for svc in &mut tenants {
+            assert!(svc.finish_recompute());
+            assert!(!svc.is_dirty());
+        }
+        // And the packed answers equal fresh software services.
+        for (t, svc) in tenants.iter_mut().enumerate() {
+            let mut g = DiGraph::new(6);
+            g.add_edge(t % 6, (t + 1) % 6);
+            g.add_edge((t + 1) % 6, (t + 2) % 6);
+            g.remove_edge(t % 6, (t + 1) % 6);
+            let mut soft = ReachService::new(g);
+            for u in 0..6 {
+                for v in 0..6 {
+                    let q = crate::protocol::parse_command(&format!("REACH {u} {v}"))
+                        .unwrap()
+                        .unwrap();
+                    assert_eq!(svc.execute(q), soft.execute(q), "tenant {t} {u}->{v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Pinned seeded command streams for oracle tests and the serve bench.
+
+use crate::protocol::Command;
+use systolic_util::Rng;
+
+/// Generates a reproducible mixed command stream over `n` vertices:
+/// roughly 70% `REACH`, 20% `INSERT`, 10% `DELETE` (deletes pick earlier
+/// inserted edges when possible, so they actually sever paths). The same
+/// `(n, count, seed)` always yields the same stream — the acceptance
+/// harness replays it against both the service and a recompute oracle.
+pub fn seeded_stream(n: usize, count: usize, seed: u64) -> Vec<Command> {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut inserted: Vec<(usize, usize)> = Vec::new();
+    let mut cmds = Vec::with_capacity(count);
+    for _ in 0..count {
+        let roll = rng.gen_usize(10);
+        let cmd = if roll < 7 {
+            Command::Reach(rng.gen_usize(n), rng.gen_usize(n))
+        } else if roll < 9 {
+            let (u, v) = (rng.gen_usize(n), rng.gen_usize(n));
+            inserted.push((u, v));
+            Command::Insert(u, v)
+        } else if let Some(&(u, v)) =
+            (!inserted.is_empty()).then(|| &inserted[rng.gen_usize(inserted.len())])
+        {
+            Command::Delete(u, v)
+        } else {
+            Command::Reach(rng.gen_usize(n), rng.gen_usize(n))
+        };
+        cmds.push(cmd);
+    }
+    cmds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_reproducible_and_mixed() {
+        let a = seeded_stream(32, 1000, 7);
+        let b = seeded_stream(32, 1000, 7);
+        assert_eq!(a, b);
+        let c = seeded_stream(32, 1000, 8);
+        assert_ne!(a, c);
+        let reaches = a.iter().filter(|c| matches!(c, Command::Reach(..))).count();
+        let inserts = a
+            .iter()
+            .filter(|c| matches!(c, Command::Insert(..)))
+            .count();
+        let deletes = a
+            .iter()
+            .filter(|c| matches!(c, Command::Delete(..)))
+            .count();
+        assert_eq!(reaches + inserts + deletes, 1000);
+        assert!(
+            reaches > 500 && inserts > 100 && deletes > 30,
+            "{reaches}/{inserts}/{deletes}"
+        );
+    }
+}

@@ -2,7 +2,9 @@
 # Perf smoke for the partitioned engines: runs the batched_closure and
 # plan_reuse benches with pinned sample counts and records the results —
 # one row per mapping (linear_m4, lsgp_m4, packed_m4, plus the plan_reuse
-# shapes) — in BENCH_partition.json at the repo root.
+# shapes) — in BENCH_partition.json at the repo root, together with the
+# reachability-service stream numbers (query p50/p99 latency, sustained
+# command throughput) from the serve_bench driver.
 #
 # The scalar baseline compounds across PRs: the gate compares this run's
 # batched_closure/linear_m4/32x32 median against the median recorded in
@@ -14,12 +16,17 @@
 # machine-dependent — but this script itself exits nonzero on failure):
 #   * linear_m4 must stay within 3x of the prior recorded median,
 #   * packed_m4 must be >= 8x faster than linear_m4 (the 64-lane
-#     bit-sliced data plane's acceptance bar).
+#     bit-sliced data plane's acceptance bar),
+#   * every serve stream must report ok=true (answers cross-checked
+#     against a full-recompute oracle; latency itself is not gated),
+#   * a gate whose key is missing from the output FAILS — a bench that
+#     never printed its line must not pass vacuously.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export SYSTOLIC_BENCH_SAMPLES="${SYSTOLIC_BENCH_SAMPLES:-7}"
 export SYSTOLIC_BENCH_WARMUP_MS="${SYSTOLIC_BENCH_WARMUP_MS:-500}"
+SERVE_CMDS="${SYSTOLIC_SERVE_CMDS:-20000}"
 ORIGINAL_BASELINE_MS=110.1
 OUT=BENCH_partition.json
 
@@ -35,18 +42,24 @@ BASELINE_MS="${PRIOR_MS:-$ORIGINAL_BASELINE_MS}"
 lines=$(
   cargo bench -p systolic-bench --bench batched_closure 2>/dev/null
   cargo bench -p systolic-bench --bench plan_reuse 2>/dev/null
+  cargo run --release -q -p systolic-bench --bin serve_bench "$SERVE_CMDS"
 )
 printf '%s\n' "$lines"
 
 printf '%s\n' "$lines" | awk \
   -v baseline="$BASELINE_MS" -v samples="$SYSTOLIC_BENCH_SAMPLES" '
+  # Unknown duration units are a hard error, not silently-µs: a harness
+  # format drift must break the smoke, not skew its numbers 1000x.
   function to_ms(s,   v, u) {
     v = s; sub(/[^0-9.].*$/, "", v)
     u = s; sub(/^[0-9.]+/, "", u)
-    if (u == "ns") return v / 1e6
-    if (u == "ms") return v
-    if (u == "s")  return v * 1e3
-    return v / 1e3  # µs
+    if (u == "ns")              return v / 1e6
+    if (u == "µs" || u == "us") return v / 1e3
+    if (u == "ms")              return v
+    if (u == "s")               return v * 1e3
+    printf "bench_smoke: unparseable duration `%s`\n", s > "/dev/stderr"
+    bad = 1
+    return 0
   }
   / median / {
     id = $1
@@ -60,7 +73,22 @@ printf '%s\n' "$lines" | awk \
     if (id == "batched_closure/linear_m4/32x32") accept = med
     if (id == "batched_closure/packed_m4/32x32") packed = med
   }
+  /^serve_stream\// {
+    delete kv
+    for (i = 2; i <= NF; i++) {
+      split($(i), pair, "=")
+      kv[pair[1]] = pair[2]
+    }
+    ns++
+    srows[ns] = sprintf("    {\"id\": \"%s\", \"n\": %d, \"commands\": %d, \"qps\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, \"ok\": %s}", \
+      $1, kv["n"], kv["cmds"], kv["qps"], kv["p50_us"], kv["p99_us"], kv["max_us"], kv["ok"])
+  }
   END {
+    if (bad) exit 1
+    if (n == 0) {
+      print "bench_smoke: no bench result lines parsed" > "/dev/stderr"
+      exit 1
+    }
     print "{"
     print "  \"bench\": \"partition perf smoke (scripts/bench_smoke.sh)\","
     printf "  \"samples\": %d,\n", samples
@@ -73,31 +101,64 @@ printf '%s\n' "$lines" | awk \
     else
       print "  \"speedup_vs_baseline\": null,"
     if (accept > 0 && packed > 0)
-      printf "  \"packed_speedup_vs_linear\": %.2f\n", accept / packed
+      printf "  \"packed_speedup_vs_linear\": %.2f,\n", accept / packed
     else
-      print "  \"packed_speedup_vs_linear\": null"
+      print "  \"packed_speedup_vs_linear\": null,"
+    print "  \"serve\": ["
+    for (i = 1; i <= ns; i++) printf "%s%s\n", srows[i], (i < ns ? "," : "")
+    print "  ]"
     print "}"
-  }' > "$OUT"
+  }' > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
 
 echo "bench_smoke: wrote $OUT (baseline ${BASELINE_MS} ms)"
-grep -E 'speedup' "$OUT"
+grep -E 'speedup|serve_stream' "$OUT"
 
 # Gate 1: the scalar path must not regress badly vs the prior record.
-awk -v out="$OUT" '
+# A missing key fails — the gate must never pass because the line vanished.
+awk '
   /"speedup_vs_baseline"/ {
-    gsub(/[,"]/, ""); v = $2
+    found = 1; gsub(/[,"]/, ""); v = $2
     if (v == "null" || v + 0 < 0.33) {
       printf "bench_smoke: FAIL scalar regression gate (speedup_vs_baseline=%s < 0.33)\n", v
+      exit 1
+    }
+  }
+  END {
+    if (!found) {
+      print "bench_smoke: FAIL scalar gate key speedup_vs_baseline missing from output"
       exit 1
     }
   }' "$OUT"
 
 # Gate 2: the 64-lane packed engine must beat the scalar engine >= 8x.
-awk -v out="$OUT" '
+awk '
   /"packed_speedup_vs_linear"/ {
-    gsub(/[,"]/, ""); v = $2
+    found = 1; gsub(/[,"]/, ""); v = $2
     if (v == "null" || v + 0 < 8.0) {
       printf "bench_smoke: FAIL packed gate (packed_speedup_vs_linear=%s < 8)\n", v
+      exit 1
+    }
+  }
+  END {
+    if (!found) {
+      print "bench_smoke: FAIL packed gate key packed_speedup_vs_linear missing from output"
+      exit 1
+    }
+  }' "$OUT"
+
+# Gate 3: both serve streams recorded, and every answer matched the oracle.
+awk '
+  /"id": "serve_stream\// {
+    n++
+    if ($0 !~ /"ok": true/) {
+      printf "bench_smoke: FAIL serve protocol gate: %s\n", $0
+      exit 1
+    }
+  }
+  END {
+    if (n < 2) {
+      printf "bench_smoke: FAIL serve smoke recorded %d/2 streams\n", n
       exit 1
     }
   }' "$OUT"

@@ -10,6 +10,7 @@
 //! systolic campaign [--seed S] [--rate R] [--instances K] …  fault-injection campaign
 //! systolic plancache [--n N] [--cells M] [--instances K]    plan-cache reuse check
 //! systolic packed   [--n N] [--cells M] [--instances K]     lane-packed identity check
+//! systolic serve    [--vertices N|--file F] [--socket ADDR] long-running reachability server
 //! ```
 //!
 //! Edge files are whitespace-separated `u v` (or `u v w` for `paths`) pairs
@@ -36,6 +37,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("  systolic campaign [--seed S] [--n N] [--cells M] [--instances K] [--rate R] [--retries T] [--hot CELL:WEIGHT]");
     eprintln!("  systolic plancache [--n N] [--cells M] [--instances K] [--iters I]");
     eprintln!("  systolic packed   [--n N] [--cells M] [--instances K] [--iters I]");
+    eprintln!("  systolic serve    [--vertices N | --file F|-] [--batched] [--cells M] [--socket ADDR] [--sessions K]");
     std::process::exit(2);
 }
 
@@ -67,10 +69,28 @@ fn parse_edges(text: &str, weighted: bool) -> (usize, Vec<(usize, usize, u64)>) 
         let u = parse(it.next());
         let v = parse(it.next());
         let w = if weighted { parse(it.next()) as u64 } else { 1 };
+        if let Some(extra) = it.next() {
+            fail(&format!(
+                "line {}: trailing token `{extra}` after edge",
+                lineno + 1
+            ));
+        }
         max_v = max_v.max(u).max(v);
         edges.push((u, v, w));
     }
+    if edges.is_empty() {
+        fail("input contains no edges (empty or comment-only)");
+    }
     (max_v + 1, edges)
+}
+
+/// Rejects zero-sized array parameters at the flag parser, so `linear:0`
+/// and friends exit with a usage message instead of reaching an engine.
+fn positive(what: &str, v: usize) -> usize {
+    if v == 0 {
+        fail(&format!("{what} must be at least 1"));
+    }
+    v
 }
 
 fn parse_backend(spec: &str) -> Backend {
@@ -88,14 +108,22 @@ fn parse_backend(spec: &str) -> Backend {
         })
     };
     match name {
-        "linear" => Backend::Linear { cells: num(4) },
-        "grid" => Backend::Grid { side: num(2) },
-        "lsgp" => Backend::Lsgp { cells: num(4) },
+        "linear" => Backend::Linear {
+            cells: positive("backend `linear` cell count", num(4)),
+        },
+        "grid" => Backend::Grid {
+            side: positive("backend `grid` side", num(2)),
+        },
+        "lsgp" => Backend::Lsgp {
+            cells: positive("backend `lsgp` cell count", num(4)),
+        },
         "fixed" => Backend::FixedArray,
         "fixed-linear" => Backend::FixedLinear,
         "reference" => Backend::Reference,
         "bit" => Backend::BitParallel,
-        "blocked" => Backend::Blocked { tile: num(4) },
+        "blocked" => Backend::Blocked {
+            tile: positive("backend `blocked` tile size", num(4)),
+        },
         _ => fail(&format!("unknown backend `{spec}`")),
     }
 }
@@ -118,9 +146,15 @@ fn parse_mapping(spec: &str) -> Backend {
         })
     };
     match name {
-        "lpgs" => Backend::Linear { cells: num(4) },
-        "lsgp" => Backend::Lsgp { cells: num(4) },
-        "grid" => Backend::Grid { side: num(2) },
+        "lpgs" => Backend::Linear {
+            cells: positive("mapping `lpgs` cell count", num(4)),
+        },
+        "lsgp" => Backend::Lsgp {
+            cells: positive("mapping `lsgp` cell count", num(4)),
+        },
+        "grid" => Backend::Grid {
+            side: positive("mapping `grid` side", num(2)),
+        },
         "fixed" => Backend::FixedArray,
         "fixed-linear" => Backend::FixedLinear,
         _ => fail(&format!(
@@ -558,6 +592,100 @@ fn cmd_packed(args: &[String]) {
     }
 }
 
+fn cmd_serve(args: &[String]) {
+    use std::sync::Arc;
+    use systolic_service::{serve, serve_tcp, ReachService};
+    let mut vertices: Option<usize> = None;
+    let mut file: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut sessions: Option<usize> = None;
+    let mut batched = false;
+    let mut cells = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i)
+                .map(String::as_str)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", args[i - 1])))
+        };
+        match args[i].as_str() {
+            "--vertices" => {
+                i += 1;
+                vertices = Some(value(i).parse().unwrap_or_else(|_| fail("bad --vertices")));
+            }
+            "--file" => {
+                i += 1;
+                file = Some(value(i).to_string());
+            }
+            "--socket" => {
+                i += 1;
+                socket = Some(value(i).to_string());
+            }
+            "--sessions" => {
+                i += 1;
+                sessions = Some(value(i).parse().unwrap_or_else(|_| fail("bad --sessions")));
+            }
+            "--batched" => batched = true,
+            "--cells" => {
+                i += 1;
+                cells = value(i).parse().unwrap_or_else(|_| fail("bad --cells"));
+            }
+            other => fail(&format!("unknown serve flag `{other}`")),
+        }
+        i += 1;
+    }
+    let graph = match (&file, vertices) {
+        (Some(_), Some(_)) => fail("serve takes --vertices or --file, not both"),
+        (Some(f), None) => {
+            let (n, edges) = parse_edges(&read_input(f), false);
+            let mut g = DiGraph::new(n);
+            for (u, v, _) in edges {
+                g.add_edge(u, v);
+            }
+            g
+        }
+        (None, n) => {
+            let n = n.unwrap_or(64);
+            if n < 2 {
+                fail("serve needs at least two vertices");
+            }
+            DiGraph::new(n)
+        }
+    };
+    let mut svc = if batched {
+        let cells = positive("serve --cells", cells);
+        let batcher = Arc::new(systolic::partition::AdmissionBatcher::new(
+            PackedEngine::new(cells),
+        ));
+        ReachService::with_batcher(graph, batcher)
+    } else {
+        ReachService::new(graph)
+    };
+    eprintln!(
+        "serving {} vertices ({} recomputes){}",
+        svc.n(),
+        if batched { "batched" } else { "software" },
+        socket
+            .as_deref()
+            .map_or(String::new(), |s| format!(" on {s}")),
+    );
+    let summary = match socket {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .unwrap_or_else(|e| fail(&format!("binding {addr}: {e}")));
+            serve_tcp(&mut svc, &listener, sessions)
+        }
+        None => serve(&mut svc, std::io::stdin().lock(), std::io::stdout().lock()),
+    }
+    .unwrap_or_else(|e| fail(&format!("serve I/O: {e}")));
+    eprintln!(
+        "session over: {} commands, {} errors, ended by {}",
+        summary.commands,
+        summary.errors,
+        if summary.quit { "QUIT" } else { "EOF" }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -570,6 +698,7 @@ fn main() {
             "campaign" => cmd_campaign(rest),
             "plancache" => cmd_plancache(rest),
             "packed" => cmd_packed(rest),
+            "serve" => cmd_serve(rest),
             other => fail(&format!("unknown command `{other}`")),
         },
         None => fail("missing command"),

@@ -9,4 +9,5 @@ pub use systolic_dgraph as dgraph;
 pub use systolic_metrics as metrics;
 pub use systolic_partition as partition;
 pub use systolic_semiring as semiring;
+pub use systolic_service as service;
 pub use systolic_transform as transform;

@@ -199,3 +199,120 @@ fn bad_usage_exits_nonzero() {
     let out = bin().args(["closure"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn zero_sized_backend_args_exit_cleanly() {
+    // Regression: these used to trip debug asserts (or divide by zero)
+    // deep inside the mapping constructors instead of failing usage.
+    let f = write_temp("edges-zero-backend", "0 1\n1 2\n");
+    for spec in ["linear:0", "grid:0", "lsgp:0", "blocked:0"] {
+        let out = bin()
+            .args(["closure", "--backend", spec])
+            .arg(&f)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{spec} must fail");
+        assert_eq!(out.status.code(), Some(2), "{spec}: clean exit, no panic");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("at least 1"), "{spec}: {err}");
+        assert!(!err.contains("panicked"), "{spec}: {err}");
+    }
+    for spec in ["lpgs:0", "lsgp:0", "grid:0"] {
+        let out = bin()
+            .args(["closure", "--mapping", spec])
+            .arg(&f)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--mapping {spec} must fail");
+        assert_eq!(out.status.code(), Some(2));
+        assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+    }
+    std::fs::remove_file(f).ok();
+}
+
+#[test]
+fn malformed_edge_files_are_rejected() {
+    // Regression: empty/comment-only input used to parse as a spurious
+    // one-vertex graph, and trailing tokens were silently dropped.
+    let cases = [
+        ("empty", ""),
+        ("comments", "# only\n# comments\n\n"),
+        ("trailing", "0 1\n1 2 extra\n"),
+        ("nonsense", "zero one\n"),
+    ];
+    for (name, content) in cases {
+        let f = write_temp(&format!("edges-bad-{name}"), content);
+        let out = bin()
+            .args(["closure", "--backend", "bit"])
+            .arg(&f)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{name} must be rejected");
+        assert_eq!(out.status.code(), Some(2), "{name}: clean usage exit");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{name}: {err}");
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn serve_runs_a_session_over_stdio() {
+    let mut child = bin()
+        .args(["serve", "--vertices", "6"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"INSERT 0 1\nINSERT 1 2\nREACH 0 2\nDELETE 0 1\nREACH 0 2\nBOGUS\nSTATS\nQUIT\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "OK INSERT 0 1 added=1");
+    assert_eq!(lines[2], "REACH 0 2 true");
+    assert_eq!(lines[4], "REACH 0 2 false");
+    assert!(lines[5].starts_with("ERR "), "{}", lines[5]);
+    assert!(lines[6].starts_with("STATS "), "{}", lines[6]);
+    assert_eq!(lines[7], "BYE");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("session over: 7 commands, 1 errors"), "{err}");
+}
+
+#[test]
+fn serve_seeds_from_an_edge_file() {
+    let f = write_temp("edges-serve", "0 1\n1 2\n2 0\n");
+    let mut child = bin()
+        .args(["serve", "--file"])
+        .arg(&f)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"REACH 2 1\nQUIT\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("REACH 2 1 true"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_file(f).ok();
+}

@@ -1,0 +1,97 @@
+//! Acceptance harness for the reachability service: pinned seeded command
+//! streams replayed against a full-recompute oracle.
+//!
+//! The oracle maintains the raw edge set and answers every `REACH` from a
+//! bit-parallel Warshall closure recomputed whenever the graph changed —
+//! deliberately ignorant of rank-1 updates, condensations and admission
+//! batching, so any divergence pins a bug in the incremental path.
+
+use std::sync::Arc;
+use systolic::closure::DiGraph;
+use systolic::partition::{AdmissionBatcher, PackedEngine};
+use systolic_semiring::BitMatrix;
+use systolic_service::{seeded_stream, Command, ReachService, Response};
+
+struct Oracle {
+    g: DiGraph,
+    closed: Option<BitMatrix>,
+}
+
+impl Oracle {
+    fn new(n: usize) -> Self {
+        Self {
+            g: DiGraph::new(n),
+            closed: None,
+        }
+    }
+
+    fn reach(&mut self, u: usize, v: usize) -> bool {
+        let closed = self.closed.get_or_insert_with(|| {
+            BitMatrix::from_dense(&self.g.adjacency_matrix()).transitive_closure()
+        });
+        closed.get(u, v)
+    }
+
+    fn insert(&mut self, u: usize, v: usize) {
+        if !self.g.has_edge(u, v) {
+            self.g.add_edge(u, v);
+            self.closed = None;
+        }
+    }
+
+    fn delete(&mut self, u: usize, v: usize) {
+        if self.g.remove_edge(u, v) {
+            self.closed = None;
+        }
+    }
+}
+
+/// Replays a stream through a service and the oracle, asserting every
+/// `REACH` answer matches and every `INSERT`/`DELETE` succeeds.
+fn replay(svc: &mut ReachService, cmds: &[Command]) {
+    let mut oracle = Oracle::new(svc.n());
+    for (step, &cmd) in cmds.iter().enumerate() {
+        match (cmd, svc.execute(cmd)) {
+            (Command::Reach(u, v), Response::Reach { reachable, .. }) => {
+                assert_eq!(
+                    reachable,
+                    oracle.reach(u, v),
+                    "step {step}: REACH {u} {v} diverged from recompute oracle"
+                );
+            }
+            (Command::Insert(u, v), Response::Inserted { .. }) => oracle.insert(u, v),
+            (Command::Delete(u, v), Response::Deleted { .. }) => oracle.delete(u, v),
+            (c, r) => panic!("step {step}: {c:?} answered {r}"),
+        }
+    }
+}
+
+#[test]
+fn software_service_matches_oracle_over_10k_commands() {
+    let cmds = seeded_stream(48, 10_000, 20260808);
+    assert!(cmds.len() >= 10_000);
+    let mut svc = ReachService::new(DiGraph::new(48));
+    replay(&mut svc, &cmds);
+    let stats = svc.stats();
+    assert!(
+        stats.queries > 6_000,
+        "stream was mostly queries: {stats:?}"
+    );
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn batched_service_matches_oracle() {
+    // Smaller stream: every delete-triggered recompute runs through the
+    // packed engine simulation, which is orders slower than software.
+    let cmds = seeded_stream(24, 600, 7);
+    let batcher = Arc::new(AdmissionBatcher::new(PackedEngine::new(3)));
+    let mut svc = ReachService::with_batcher(DiGraph::new(24), batcher.clone());
+    replay(&mut svc, &cmds);
+    let stats = batcher.stats();
+    assert!(stats.executed > 0, "deletes routed through the batcher");
+    assert!(
+        stats.warm_groups > 0,
+        "repeat recomputes reuse the memoized plan: {stats:?}"
+    );
+}
