@@ -5,11 +5,13 @@
 //! cargo run --release -p systolic-bench --bin serve_bench [commands]
 //! ```
 //! Prints one `serve_stream/...` line per recompute path (software and
-//! batched). Exits nonzero if any `REACH` answer diverged from the
-//! full-recompute oracle — a throughput number is only worth recording
-//! when the protocol is right.
+//! batched), one `serve_concurrent/...` line for the 4-client shared-TCP
+//! run, and one `serve_recover/...` line for the kill-and-recover timing.
+//! Exits nonzero if any `REACH` answer diverged from the full-recompute
+//! oracle, any concurrent session failed, or recovery produced a wrong
+//! closure — a number is only worth recording when the protocol is right.
 
-use systolic_bench::serve::run_serve_bench;
+use systolic_bench::serve::{run_concurrent_bench, run_recover_bench, run_serve_bench};
 
 fn main() {
     let count: usize = std::env::args()
@@ -25,8 +27,12 @@ fn main() {
     println!("{}", software.smoke_line());
     let batched = run_serve_bench(24, count.div_ceil(10), 20_260_808, Some(4));
     println!("{}", batched.smoke_line());
-    if !(software.ok && batched.ok) {
-        eprintln!("serve_bench: REACH answers diverged from the recompute oracle");
+    let concurrent = run_concurrent_bench(48, 4, count.div_ceil(20), 20_260_808);
+    println!("{}", concurrent.smoke_line());
+    let recover = run_recover_bench(64, count.div_ceil(4), 20_260_808);
+    println!("{}", recover.smoke_line());
+    if !(software.ok && batched.ok && concurrent.ok && recover.ok) {
+        eprintln!("serve_bench: a run diverged from its oracle or lost a session");
         std::process::exit(1);
     }
 }

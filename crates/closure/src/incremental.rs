@@ -167,6 +167,21 @@ impl IncrementalClosure {
         &self.closure
     }
 
+    /// The closure matrix if it is current; `None` while dirty. The
+    /// non-blocking read path of a concurrent server: answering from a
+    /// clean closure needs no mutable access at all.
+    pub fn closure_if_clean(&self) -> Option<&BitMatrix> {
+        (!self.dirty).then_some(&self.closure)
+    }
+
+    /// The closure matrix as-is, possibly stale (missing the effect of
+    /// deletes since the last recompute). Degraded reads under overload
+    /// answer from this rather than blocking behind a recompute; callers
+    /// must surface the staleness ([`IncrementalClosure::is_dirty`]).
+    pub fn stale_closure(&self) -> &BitMatrix {
+        &self.closure
+    }
+
     /// Reachability query (refreshes a dirty closure in software).
     pub fn reach(&mut self, u: usize, v: usize) -> bool {
         assert!(u < self.n() && v < self.n(), "vertex out of range");

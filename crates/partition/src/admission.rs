@@ -68,15 +68,26 @@ struct Inner {
 /// (a flush drains only what was pending when it started).
 pub struct AdmissionBatcher {
     engine: PackedEngine,
+    capacity: Option<usize>,
     inner: Mutex<Inner>,
 }
 
 impl AdmissionBatcher {
     /// Wraps a packed engine (keeping its plan cache — a batcher handed a
-    /// pre-warmed engine starts warm).
+    /// pre-warmed engine starts warm). The queue is unbounded; see
+    /// [`AdmissionBatcher::with_capacity`] for overload shedding.
     pub fn new(engine: PackedEngine) -> Self {
+        Self::with_capacity(engine, None)
+    }
+
+    /// Like [`AdmissionBatcher::new`], but bounds the pending queue:
+    /// `submit` past `cap` requests fails with [`EngineError::Busy`]
+    /// instead of growing without limit — the backpressure signal a
+    /// server turns into `ERR BUSY`.
+    pub fn with_capacity(engine: PackedEngine, capacity: Option<usize>) -> Self {
         Self {
             engine,
+            capacity,
             inner: Mutex::new(Inner {
                 next: 0,
                 queue: Vec::new(),
@@ -84,6 +95,11 @@ impl AdmissionBatcher {
                 stats: AdmissionStats::default(),
             }),
         }
+    }
+
+    /// The pending-queue bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// The wrapped engine.
@@ -96,7 +112,8 @@ impl AdmissionBatcher {
     ///
     /// # Errors
     /// [`EngineError::BadInput`] when the matrix is not square or too
-    /// small for the engines.
+    /// small for the engines; [`EngineError::Busy`] when a bounded queue
+    /// is at capacity (shed the request, retry after a flush).
     pub fn submit(&self, a: DenseMatrix<Bool>) -> Result<Ticket, EngineError> {
         if !a.is_square() {
             return Err(EngineError::BadInput(format!(
@@ -112,6 +129,14 @@ impl AdmissionBatcher {
             )));
         }
         let mut inner = self.inner.lock().expect("admission queue poisoned");
+        if let Some(cap) = self.capacity {
+            if inner.queue.len() >= cap {
+                return Err(EngineError::Busy {
+                    pending: inner.queue.len(),
+                    cap,
+                });
+            }
+        }
         let t = Ticket(inner.next);
         inner.next += 1;
         inner.stats.submitted += 1;
@@ -184,6 +209,19 @@ impl AdmissionBatcher {
             .expect("admission queue poisoned")
             .done
             .remove(&ticket)
+    }
+
+    /// Withdraws a request: removes it from the pending queue (if not yet
+    /// flushed) or drops its filed result. Returns whether anything was
+    /// removed. Lets a caller that gave up on a ticket (e.g. falling back
+    /// to a software recompute) avoid leaking queue slots and results.
+    pub fn cancel(&self, ticket: Ticket) -> bool {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        if let Some(pos) = inner.queue.iter().position(|(t, _)| *t == ticket) {
+            inner.queue.remove(pos);
+            return true;
+        }
+        inner.done.remove(&ticket).is_some()
     }
 }
 
@@ -268,6 +306,26 @@ mod tests {
         assert!(matches!(b.submit(tall), Err(EngineError::BadInput(_))));
         let tiny = DenseMatrix::<Bool>::zeros(1, 1);
         assert!(matches!(b.submit(tiny), Err(EngineError::BadInput(_))));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_load_and_recovers_after_flush() {
+        let mut rng = Rng::seed_from_u64(21);
+        let b = AdmissionBatcher::with_capacity(PackedEngine::new(2), Some(2));
+        assert_eq!(b.capacity(), Some(2));
+        let t0 = b.submit(random_bool(4, &mut rng)).unwrap();
+        let t1 = b.submit(random_bool(4, &mut rng)).unwrap();
+        match b.submit(random_bool(4, &mut rng)) {
+            Err(EngineError::Busy { pending, cap }) => {
+                assert_eq!((pending, cap), (2, 2));
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        b.flush().unwrap();
+        assert!(b.take(t0).is_some() && b.take(t1).is_some());
+        // The queue drained; admission opens again.
+        b.submit(random_bool(4, &mut rng)).unwrap();
+        assert_eq!(b.pending(), 1);
     }
 
     #[test]

@@ -21,6 +21,16 @@ pub enum EngineError {
         /// What was detected and what recovery was attempted.
         detail: String,
     },
+    /// An admission queue refused the request because it is at capacity —
+    /// transient overload, not a malformed request: the caller should shed
+    /// load (answer `ERR BUSY`) and retry later rather than treat the
+    /// input as bad.
+    Busy {
+        /// Requests already pending.
+        pending: usize,
+        /// The queue's capacity.
+        cap: usize,
+    },
 }
 
 impl From<SimError> for EngineError {
@@ -36,6 +46,9 @@ impl std::fmt::Display for EngineError {
             EngineError::BadInput(s) => write!(f, "bad input: {s}"),
             EngineError::Corrupt { instance, detail } => {
                 write!(f, "corrupt result for instance {instance}: {detail}")
+            }
+            EngineError::Busy { pending, cap } => {
+                write!(f, "BUSY admission queue at capacity ({pending}/{cap})")
             }
         }
     }

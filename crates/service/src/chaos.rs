@@ -1,0 +1,275 @@
+//! Seeded transport fault injection, in the spirit of `arraysim::inject`.
+//!
+//! A [`ChaosReader`]/[`ChaosWriter`] wraps any `Read`/`Write` and applies a
+//! seeded [`ChaosPlan`]: mid-stream disconnects (an `io::Error` after a
+//! pinned byte budget), short reads/writes (partial progress per call),
+//! and byte corruption (seeded bit flips). The plan is a pure function of
+//! its seed, so every chaos run replays exactly — the same discipline the
+//! simulator's `FaultPlan` gives the array is applied to the protocol
+//! layer, where the test subject is the *server's* survival: a session hit
+//! by chaos may die, but it must die alone (counted, logged, daemon still
+//! accepting) and must never corrupt the shared closure.
+
+use std::io::{self, Read, Write};
+use systolic_util::Rng;
+
+/// Seeded description of transport misbehavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// PRNG seed (fragmentation and corruption draws).
+    pub seed: u64,
+    /// Disconnect (ConnectionReset) after this many transported bytes.
+    pub cut_after: Option<u64>,
+    /// Flip one random bit in roughly 1 out of `k` bytes.
+    pub corrupt_one_in: Option<u64>,
+    /// Fragment transfers: each call moves at most a seeded 1..=7 bytes.
+    pub fragment: bool,
+}
+
+impl ChaosPlan {
+    /// A plan that does nothing (wrapping with it is transparent).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            cut_after: None,
+            corrupt_one_in: None,
+            fragment: false,
+        }
+    }
+
+    /// Disconnect after `bytes` transported bytes.
+    pub fn cut(seed: u64, bytes: u64) -> Self {
+        Self {
+            seed,
+            cut_after: Some(bytes),
+            corrupt_one_in: None,
+            fragment: false,
+        }
+    }
+
+    /// Corrupt roughly 1-in-`k` bytes and fragment every transfer.
+    pub fn noisy(seed: u64, one_in: u64) -> Self {
+        Self {
+            seed,
+            cut_after: None,
+            corrupt_one_in: Some(one_in),
+            fragment: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ChaosState {
+    rng: Rng,
+    plan: ChaosPlan,
+    transported: u64,
+    cut: bool,
+}
+
+impl ChaosState {
+    fn new(plan: ChaosPlan) -> Self {
+        Self {
+            rng: Rng::seed_from_u64(plan.seed),
+            plan,
+            transported: 0,
+            cut: false,
+        }
+    }
+
+    /// How many of `want` bytes this call may move; `Err` = disconnected.
+    fn admit(&mut self, want: usize) -> io::Result<usize> {
+        if self.cut {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection already cut",
+            ));
+        }
+        let mut quota = want;
+        if self.plan.fragment && want > 1 {
+            quota = quota.min(1 + self.rng.gen_usize(7));
+        }
+        if let Some(cut) = self.plan.cut_after {
+            let left = cut.saturating_sub(self.transported);
+            if left == 0 {
+                self.cut = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    format!("chaos: cut after {cut} bytes"),
+                ));
+            }
+            quota = quota.min(left as usize);
+        }
+        Ok(quota)
+    }
+
+    fn corrupt(&mut self, buf: &mut [u8]) {
+        if let Some(k) = self.plan.corrupt_one_in {
+            for b in buf {
+                if self.rng.gen_usize(k.max(1) as usize) == 0 {
+                    *b ^= 1 << self.rng.gen_usize(8);
+                }
+            }
+        }
+    }
+}
+
+/// A `Read` that injects the wrapped plan's faults into the byte stream.
+#[derive(Debug)]
+pub struct ChaosReader<R> {
+    inner: R,
+    state: ChaosState,
+}
+
+impl<R: Read> ChaosReader<R> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: R, plan: ChaosPlan) -> Self {
+        Self {
+            inner,
+            state: ChaosState::new(plan),
+        }
+    }
+
+    /// Total bytes delivered before any cut.
+    pub fn transported(&self) -> u64 {
+        self.state.transported
+    }
+}
+
+impl<R: Read> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let quota = self.state.admit(buf.len())?;
+        let n = self.inner.read(&mut buf[..quota])?;
+        self.state.corrupt(&mut buf[..n]);
+        self.state.transported += n as u64;
+        Ok(n)
+    }
+}
+
+/// A `Write` that injects the wrapped plan's faults into the byte stream.
+#[derive(Debug)]
+pub struct ChaosWriter<W> {
+    inner: W,
+    state: ChaosState,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: W, plan: ChaosPlan) -> Self {
+        Self {
+            inner,
+            state: ChaosState::new(plan),
+        }
+    }
+
+    /// Total bytes accepted before any cut.
+    pub fn transported(&self) -> u64 {
+        self.state.transported
+    }
+
+    /// The wrapped writer (to inspect what actually arrived).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let quota = self.state.admit(buf.len())?;
+        let mut chunk = buf[..quota].to_vec();
+        self.state.corrupt(&mut chunk);
+        let n = self.inner.write(&chunk)?;
+        self.state.transported += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Cursor};
+
+    #[test]
+    fn inert_plan_is_transparent() {
+        let data = b"INSERT 0 1\nREACH 0 1\n";
+        let mut r = ChaosReader::new(Cursor::new(data.to_vec()), ChaosPlan::none(7));
+        let mut got = Vec::new();
+        r.read_to_end(&mut got).unwrap();
+        assert_eq!(got, data);
+        let mut w = ChaosWriter::new(Vec::new(), ChaosPlan::none(7));
+        w.write_all(data).unwrap();
+        assert_eq!(w.into_inner(), data);
+    }
+
+    #[test]
+    fn cut_disconnects_mid_stream_exactly_once_replayable() {
+        let data = vec![0x55u8; 100];
+        let run = |seed| {
+            let mut r = ChaosReader::new(Cursor::new(data.clone()), ChaosPlan::cut(seed, 37));
+            let mut got = Vec::new();
+            let err = r.read_to_end(&mut got).unwrap_err();
+            (got.len(), err.kind())
+        };
+        let (n1, k1) = run(3);
+        let (n2, k2) = run(3);
+        assert_eq!((n1, k1), (n2, k2), "chaos replays exactly");
+        assert_eq!(n1, 37);
+        assert_eq!(k1, io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn fragmented_writer_still_delivers_everything_via_write_all() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut w = ChaosWriter::new(
+            Vec::new(),
+            ChaosPlan {
+                seed: 11,
+                cut_after: None,
+                corrupt_one_in: None,
+                fragment: true,
+            },
+        );
+        w.write_all(&data).unwrap();
+        assert_eq!(w.into_inner(), data, "write_all loops over short writes");
+    }
+
+    #[test]
+    fn corruption_flips_bits_deterministically() {
+        let data = vec![0u8; 4096];
+        let run = || {
+            let mut r = ChaosReader::new(Cursor::new(data.clone()), ChaosPlan::noisy(9, 16));
+            let mut got = Vec::new();
+            r.read_to_end(&mut got).unwrap();
+            got
+        };
+        let a = run();
+        assert_eq!(a, run(), "corruption is seeded");
+        let flipped = a.iter().filter(|&&b| b != 0).count();
+        assert!(
+            flipped > 100,
+            "about 1/16 of 4096 bytes flip, got {flipped}"
+        );
+    }
+
+    #[test]
+    fn buffered_reading_over_chaos_yields_lines_until_the_cut() {
+        let text = b"REACH 0 1\nREACH 1 2\nREACH 2 3\n".to_vec();
+        let r = ChaosReader::new(Cursor::new(text), ChaosPlan::cut(5, 15));
+        let mut lines = BufReader::new(r);
+        let mut line = String::new();
+        lines.read_line(&mut line).unwrap();
+        assert_eq!(line, "REACH 0 1\n");
+        line.clear();
+        let err = lines.read_line(&mut line).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+}

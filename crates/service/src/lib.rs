@@ -18,16 +18,31 @@
 //! component-DAG closures of up to 64 tenants into one `BoolLanes` run on
 //! the packed engine's memoized plan — a warm server never recompiles and
 //! never runs scalar when it can pack.
+//!
+//! Production hardening on top of the core service:
+//!
+//! * [`wal`] — durability: a checksummed write-ahead log of mutations
+//!   plus periodic snapshots; recovery replays the longest committed
+//!   prefix and discards a torn tail.
+//! * [`server::SharedService`] — many concurrent sessions over one
+//!   `RwLock`-guarded service, with non-blocking degraded reads
+//!   (`stale=true`) while a recompute holds the writer.
+//! * [`chaos`] — seeded fault-injecting transport wrappers
+//!   (disconnects, partial writes, bit flips) for chaos tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod stream;
+pub mod wal;
 
+pub use chaos::{ChaosPlan, ChaosReader, ChaosWriter};
 pub use protocol::{parse_command, Command, Response};
-pub use server::{serve, serve_tcp, ServeSummary};
-pub use service::{ReachService, ServiceStats};
+pub use server::{serve, serve_tcp, ServeSummary, SessionLimits, SharedService};
+pub use service::{ReachService, ServiceError, ServiceStats};
 pub use stream::seeded_stream;
+pub use wal::{Durability, RecoveryReport, WalOp, WalRecord};

@@ -25,7 +25,7 @@ pub enum Command {
 /// One response line (the wire format is its `Display`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
-    /// `REACH u v true|false`
+    /// `REACH u v true|false` (suffixed ` stale=true` for degraded reads)
     Reach {
         /// Source vertex.
         u: usize,
@@ -33,6 +33,11 @@ pub enum Response {
         v: usize,
         /// Whether a (possibly empty) path runs `u → v`.
         reachable: bool,
+        /// True when answered from a stale closure under overload: a
+        /// recompute was in flight and the server chose to degrade the
+        /// read rather than block it. Exact answers omit the flag on the
+        /// wire, so the common case is byte-identical to the old format.
+        stale: bool,
     },
     /// `OK INSERT u v added=<pairs>`
     Inserted {
@@ -64,7 +69,18 @@ pub enum Response {
 impl fmt::Display for Response {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Response::Reach { u, v, reachable } => write!(f, "REACH {u} {v} {reachable}"),
+            Response::Reach {
+                u,
+                v,
+                reachable,
+                stale,
+            } => {
+                write!(f, "REACH {u} {v} {reachable}")?;
+                if *stale {
+                    write!(f, " stale=true")?;
+                }
+                Ok(())
+            }
             Response::Inserted { u, v, added } => write!(f, "OK INSERT {u} {v} added={added}"),
             Response::Deleted { u, v, removed } => {
                 write!(f, "OK DELETE {u} {v} removed={removed}")
@@ -91,7 +107,9 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         return Ok(None);
     }
     let mut it = line.split_whitespace();
-    let word = it.next().expect("non-blank line has a first token");
+    let Some(word) = it.next() else {
+        return Ok(None); // unreachable after the trim check, but never panic
+    };
     let parse_pair =
         |it: &mut dyn Iterator<Item = &str>, word: &str| -> Result<(usize, usize), String> {
             let u = it
@@ -170,10 +188,21 @@ mod tests {
             Response::Reach {
                 u: 1,
                 v: 2,
-                reachable: true
+                reachable: true,
+                stale: false
             }
             .to_string(),
             "REACH 1 2 true"
+        );
+        assert_eq!(
+            Response::Reach {
+                u: 1,
+                v: 2,
+                reachable: false,
+                stale: true
+            }
+            .to_string(),
+            "REACH 1 2 false stale=true"
         );
         assert_eq!(
             Response::Inserted {

@@ -1,6 +1,8 @@
 //! The service core: one graph, one maintained closure, command execution.
 
 use crate::protocol::{Command, Response};
+use crate::wal::{Durability, WalOp};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use systolic_closure::{DiGraph, IncrementalClosure, RecomputeJob};
 use systolic_partition::{AdmissionBatcher, EngineError, Ticket};
@@ -14,19 +16,62 @@ pub struct ServiceStats {
     pub errors: u64,
 }
 
+/// Why a command could not be executed. Everything here is answered
+/// in-band as `ERR ...`; nothing terminates the session or the daemon.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Backend engine failure (including [`EngineError::Busy`] shedding).
+    Engine(EngineError),
+    /// WAL/snapshot I/O failure — the mutation was *not* committed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Busy renders bare so the wire line starts `ERR BUSY ...`
+            // (a parseable backpressure signal, not a generic backend
+            // failure).
+            ServiceError::Engine(e @ EngineError::Busy { .. }) => write!(f, "{e}"),
+            ServiceError::Engine(e) => write!(f, "backend: {e}"),
+            ServiceError::Io(e) => write!(f, "wal: {e}"),
+        }
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
 /// A reachability service over one graph.
 ///
-/// Owns an [`IncrementalClosure`] and optionally shares an
-/// [`AdmissionBatcher`]: with a batcher, delete-fallback recomputes are
-/// submitted as component-DAG closure requests and packed with other
-/// tenants' work into one `BoolLanes` engine run; without one they run in
-/// software. Results are bit-identical either way.
+/// Owns an [`IncrementalClosure`], optionally a [`Durability`] log (every
+/// effective mutation is WAL-committed before it is applied, snapshots
+/// roll the log up), and optionally a shared [`AdmissionBatcher`] for
+/// engine-packed delete-fallback recomputes. Mutations arriving while the
+/// closure is dirty join a pending-recompute queue whose depth is capped
+/// by [`set_max_pending`](ReachService::set_max_pending): past the cap
+/// they answer `ERR BUSY` instead of growing the backlog without bound.
 pub struct ReachService {
     inc: IncrementalClosure,
     batcher: Option<Arc<AdmissionBatcher>>,
+    durability: Option<Durability>,
     /// A submitted-but-unclaimed recompute (two-phase batching).
     pending: Option<(RecomputeJob, Ticket)>,
-    stats: ServiceStats,
+    /// Mutations deferred behind the dirty closure since the last
+    /// recompute — the admission-queue depth the `BUSY` cap bounds.
+    pending_depth: u64,
+    max_pending: Option<u64>,
+    queries: AtomicU64,
+    errors: AtomicU64,
 }
 
 impl ReachService {
@@ -35,19 +80,35 @@ impl ReachService {
         Self {
             inc: IncrementalClosure::new(graph),
             batcher: None,
+            durability: None,
             pending: None,
-            stats: ServiceStats::default(),
+            pending_depth: 0,
+            max_pending: None,
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
         }
     }
 
     /// A service routing recomputes through a shared admission batcher.
     pub fn with_batcher(graph: DiGraph, batcher: Arc<AdmissionBatcher>) -> Self {
-        Self {
-            inc: IncrementalClosure::new(graph),
-            batcher: Some(batcher),
-            pending: None,
-            stats: ServiceStats::default(),
-        }
+        let mut svc = Self::new(graph);
+        svc.batcher = Some(batcher);
+        svc
+    }
+
+    /// Attaches a durability log (builder style). The caller recovers the
+    /// graph through [`Durability::open`] first and constructs the service
+    /// from the recovered graph, so closure state ≡ the committed history.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// Caps the pending-recompute queue: mutations arriving while the
+    /// closure is dirty and `cap` are already queued answer `ERR BUSY`.
+    /// `None` (the default) keeps the queue unbounded.
+    pub fn set_max_pending(&mut self, cap: Option<u64>) {
+        self.max_pending = cap;
     }
 
     /// Number of vertices served.
@@ -57,17 +118,68 @@ impl ReachService {
 
     /// The underlying incremental closure (mainly for tests/benches).
     pub fn closure(&mut self) -> &systolic_semiring::BitMatrix {
+        self.pending_depth = 0;
         self.inc.closure()
     }
 
     /// Service counters.
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        ServiceStats {
+            queries: self.queries.load(Relaxed),
+            errors: self.errors.load(Relaxed),
+        }
     }
 
     /// True when a delete has left the closure stale.
     pub fn is_dirty(&self) -> bool {
         self.inc.is_dirty()
+    }
+
+    /// Mutations queued behind the dirty closure (0 when clean).
+    pub fn queue_depth(&self) -> u64 {
+        self.pending_depth
+    }
+
+    /// WAL bytes on disk (0 without a durability log).
+    pub fn wal_bytes(&self) -> u64 {
+        self.durability.as_ref().map_or(0, Durability::wal_bytes)
+    }
+
+    /// Snapshots written this run (0 without a durability log).
+    pub fn snapshots(&self) -> u64 {
+        self.durability.as_ref().map_or(0, Durability::snapshots)
+    }
+
+    /// Answers `REACH u v` without any mutable access, provided the
+    /// closure is clean — the concurrent server's shared-read fast path.
+    /// `None` when dirty (or out of range): the caller must take the slow
+    /// path. Counts the query when it answers.
+    pub fn reach_clean(&self, u: usize, v: usize) -> Option<bool> {
+        if u >= self.n() || v >= self.n() {
+            return None;
+        }
+        let closed = self.inc.closure_if_clean()?;
+        self.queries.fetch_add(1, Relaxed);
+        Some(closed.get(u, v))
+    }
+
+    /// The maintained closure as-is, possibly stale (missing deletes
+    /// since the last recompute) — what the concurrent server publishes
+    /// as its degraded-read snapshot.
+    pub fn stale_closure(&self) -> &systolic_semiring::BitMatrix {
+        self.inc.stale_closure()
+    }
+
+    /// Answers `REACH u v` from the possibly-stale closure (missing
+    /// deletes since the last recompute) — the degraded read a server
+    /// gives under overload rather than blocking. Counts the query.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range (callers bounds-check first).
+    pub fn reach_stale(&self, u: usize, v: usize) -> bool {
+        assert!(u < self.n() && v < self.n(), "vertex out of range");
+        self.queries.fetch_add(1, Relaxed);
+        self.inc.stale_closure().get(u, v)
     }
 
     /// Phase one of a batched recompute: submit this tenant's pending
@@ -76,7 +188,8 @@ impl ReachService {
     /// request was submitted.
     ///
     /// # Errors
-    /// Propagates the batcher's admission error.
+    /// Propagates the batcher's admission error (including
+    /// [`EngineError::Busy`] from a bounded queue).
     pub fn enqueue_recompute(&mut self) -> Result<bool, EngineError> {
         let Some(batcher) = &self.batcher else {
             return Ok(false);
@@ -84,48 +197,71 @@ impl ReachService {
         if self.pending.is_some() || !self.inc.is_dirty() {
             return Ok(false);
         }
-        let job = self
-            .inc
-            .prepare_recompute()
-            .expect("dirty closure yields a job");
+        let Some(job) = self.inc.prepare_recompute() else {
+            return Ok(false); // raced clean — nothing to do
+        };
         let ticket = batcher.submit(job.dag.clone())?;
         self.pending = Some((job, ticket));
         Ok(true)
     }
 
     /// Phase two: claim the flushed result and install it. Returns whether
-    /// a pending recompute was completed.
-    ///
-    /// # Panics
-    /// Panics if called before the shared batcher flushed the ticket.
+    /// a pending recompute was completed. If the ticket never resolved
+    /// (the shared flush failed, or this is called before any flush) the
+    /// service falls back to a software recompute instead of panicking —
+    /// a lost batch degrades to the slow path, it does not wedge the
+    /// closure dirty.
     pub fn finish_recompute(&mut self) -> bool {
         let Some((job, ticket)) = self.pending.take() else {
             return false;
         };
-        let batcher = self.batcher.as_ref().expect("pending implies batcher");
-        let closed = batcher
-            .take(ticket)
-            .expect("ticket flushed before finish_recompute");
-        self.inc.complete_recompute(&job, &closed);
+        let claimed = self.batcher.as_ref().and_then(|b| {
+            let got = b.take(ticket);
+            if got.is_none() {
+                b.cancel(ticket); // don't leave an orphan in the queue
+            }
+            got
+        });
+        match claimed {
+            Some(closed) => self.inc.complete_recompute(&job, &closed),
+            None => self.inc.refresh(),
+        }
+        self.pending_depth = 0;
         true
     }
 
     /// Brings the closure current: software refresh, or a single-tenant
-    /// submit → flush → claim round through the shared batcher.
+    /// submit → flush → claim round through the shared batcher. A `BUSY`
+    /// batcher sheds to the software path rather than failing the read.
     ///
     /// # Errors
     /// Propagates engine failures from the batched path.
     pub fn ensure_fresh(&mut self) -> Result<(), EngineError> {
         if !self.inc.is_dirty() && self.pending.is_none() {
+            self.pending_depth = 0;
             return Ok(());
         }
-        if self.batcher.is_some() {
-            self.enqueue_recompute()?;
-            self.batcher.as_ref().expect("batched path").flush()?;
-            self.finish_recompute();
-        } else {
-            self.inc.refresh();
+        match &self.batcher {
+            Some(_) => {
+                match self.enqueue_recompute() {
+                    Ok(_) => {}
+                    Err(EngineError::Busy { .. }) => {
+                        self.inc.refresh();
+                        self.pending_depth = 0;
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e),
+                }
+                if let Some(batcher) = &self.batcher {
+                    batcher.flush()?;
+                }
+                self.finish_recompute();
+            }
+            None => {
+                self.inc.refresh();
+            }
         }
+        self.pending_depth = 0;
         Ok(())
     }
 
@@ -135,78 +271,125 @@ impl ReachService {
         match self.try_execute(cmd) {
             Ok(r) => r,
             Err(e) => {
-                self.stats.errors += 1;
-                Response::Err(format!("backend: {e}"))
+                self.errors.fetch_add(1, Relaxed);
+                Response::Err(e.to_string())
             }
         }
     }
 
     /// Records a protocol-level error against this session's counters.
-    pub fn note_error(&mut self) {
-        self.stats.errors += 1;
+    pub fn note_error(&self) {
+        self.errors.fetch_add(1, Relaxed);
     }
 
-    fn check_vertices(&self, u: usize, v: usize) -> Result<(), EngineError> {
+    fn check_vertices(&self, u: usize, v: usize) -> Result<(), ServiceError> {
         let n = self.n();
         if u >= n || v >= n {
-            return Err(EngineError::BadInput(format!(
-                "vertex out of range (n={n}): {u} {v}"
-            )));
+            return Err(
+                EngineError::BadInput(format!("vertex out of range (n={n}): {u} {v}")).into(),
+            );
         }
         Ok(())
     }
 
-    fn try_execute(&mut self, cmd: Command) -> Result<Response, EngineError> {
+    /// `ERR BUSY` backpressure: refuse mutations once the dirty-closure
+    /// queue is at its cap.
+    fn admit_mutation(&self) -> Result<(), ServiceError> {
+        if let Some(cap) = self.max_pending {
+            if self.inc.is_dirty() && self.pending_depth >= cap {
+                return Err(EngineError::Busy {
+                    pending: self.pending_depth as usize,
+                    cap: cap as usize,
+                }
+                .into());
+            }
+        }
+        Ok(())
+    }
+
+    /// One line of `STATS` counters.
+    fn stats_line(&mut self) -> String {
+        let s = self.inc.stats();
+        format!(
+            "n={} edges={} pairs={} queries={} inserts={} incremental={} \
+             pairs_added={} deletes={} recomputes={} errors={} wal_bytes={} \
+             snapshots={} queue_depth={} mode={}",
+            self.inc.n(),
+            self.inc.graph().edge_count(),
+            self.inc.closure().count_ones(),
+            self.queries.load(Relaxed),
+            s.inserts,
+            s.incremental_inserts,
+            s.pairs_added,
+            s.deletes,
+            s.recomputes,
+            self.errors.load(Relaxed),
+            self.wal_bytes(),
+            self.snapshots(),
+            self.pending_depth,
+            if self.batcher.is_some() {
+                "batched"
+            } else {
+                "software"
+            },
+        )
+    }
+
+    fn try_execute(&mut self, cmd: Command) -> Result<Response, ServiceError> {
         match cmd {
             Command::Reach(u, v) => {
                 self.check_vertices(u, v)?;
                 self.ensure_fresh()?;
-                self.stats.queries += 1;
+                self.queries.fetch_add(1, Relaxed);
                 Ok(Response::Reach {
                     u,
                     v,
                     reachable: self.inc.reach(u, v),
+                    stale: false,
                 })
             }
             Command::Insert(u, v) => {
                 self.check_vertices(u, v)?;
-                Ok(Response::Inserted {
-                    u,
-                    v,
-                    added: self.inc.insert(u, v),
-                })
+                self.admit_mutation()?;
+                let effective = !self.inc.graph().has_edge(u, v);
+                if effective {
+                    if let Some(d) = self.durability.as_mut() {
+                        d.log(WalOp::Insert, u, v)?; // commit point
+                    }
+                }
+                let was_dirty = self.inc.is_dirty();
+                let added = self.inc.insert(u, v);
+                if effective && was_dirty {
+                    self.pending_depth += 1;
+                }
+                if effective {
+                    if let Some(d) = self.durability.as_mut() {
+                        d.maybe_snapshot(self.inc.graph())?;
+                    }
+                }
+                Ok(Response::Inserted { u, v, added })
             }
             Command::Delete(u, v) => {
                 self.check_vertices(u, v)?;
-                Ok(Response::Deleted {
-                    u,
-                    v,
-                    removed: self.inc.delete(u, v),
-                })
+                self.admit_mutation()?;
+                let present = self.inc.graph().has_edge(u, v);
+                if present {
+                    if let Some(d) = self.durability.as_mut() {
+                        d.log(WalOp::Delete, u, v)?; // commit point
+                    }
+                }
+                let removed = self.inc.delete(u, v);
+                if removed {
+                    self.pending_depth += 1;
+                    if let Some(d) = self.durability.as_mut() {
+                        d.maybe_snapshot(self.inc.graph())?;
+                    }
+                }
+                Ok(Response::Deleted { u, v, removed })
             }
             Command::Stats => {
                 self.ensure_fresh()?;
-                let s = self.inc.stats();
-                let line = format!(
-                    "n={} edges={} pairs={} queries={} inserts={} incremental={} \
-                     pairs_added={} deletes={} recomputes={} errors={} mode={}",
-                    self.inc.n(),
-                    self.inc.graph().edge_count(),
-                    self.inc.closure().count_ones(),
-                    self.stats.queries,
-                    s.inserts,
-                    s.incremental_inserts,
-                    s.pairs_added,
-                    s.deletes,
-                    s.recomputes,
-                    self.stats.errors,
-                    if self.batcher.is_some() {
-                        "batched"
-                    } else {
-                        "software"
-                    },
-                );
-                Ok(Response::Stats(line))
+                Ok(Response::Stats(self.stats_line()))
             }
             Command::Quit => Ok(Response::Bye),
         }
@@ -217,10 +400,12 @@ impl std::fmt::Debug for ReachService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ReachService(n: {}, dirty: {}, batched: {})",
+            "ReachService(n: {}, dirty: {}, batched: {}, durable: {}, queue: {})",
             self.n(),
             self.is_dirty(),
-            self.batcher.is_some()
+            self.batcher.is_some(),
+            self.durability.is_some(),
+            self.pending_depth,
         )
     }
 }
@@ -228,6 +413,7 @@ impl std::fmt::Debug for ReachService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::Durability;
     use systolic_partition::PackedEngine;
 
     fn line(svc: &mut ReachService, cmd: &str) -> String {
@@ -247,11 +433,15 @@ mod tests {
         assert_eq!(line(&mut svc, "REACH 0 3"), "REACH 0 3 true");
         assert_eq!(line(&mut svc, "DELETE 1 2"), "OK DELETE 1 2 removed=true");
         assert!(svc.is_dirty());
+        assert_eq!(svc.queue_depth(), 1);
         assert_eq!(line(&mut svc, "REACH 0 3"), "REACH 0 3 false");
         assert!(!svc.is_dirty(), "query refreshed the closure");
+        assert_eq!(svc.queue_depth(), 0, "refresh drained the queue");
         let stats = line(&mut svc, "STATS");
         assert!(stats.contains("recomputes=1"), "{stats}");
         assert!(stats.contains("mode=software"), "{stats}");
+        assert!(stats.contains("wal_bytes=0"), "{stats}");
+        assert!(stats.contains("queue_depth=0"), "{stats}");
     }
 
     #[test]
@@ -287,6 +477,81 @@ mod tests {
         assert!(line(&mut svc, "INSERT 9 0").starts_with("ERR "));
         assert_eq!(line(&mut svc, "REACH 0 0"), "REACH 0 0 true");
         assert_eq!(svc.stats().errors, 2);
+    }
+
+    #[test]
+    fn reach_clean_answers_without_mut_and_reach_stale_degrades() {
+        let mut svc = ReachService::new(DiGraph::new(4));
+        line(&mut svc, "INSERT 0 1");
+        line(&mut svc, "INSERT 1 2");
+        assert_eq!(svc.reach_clean(0, 2), Some(true));
+        assert_eq!(svc.reach_clean(0, 9), None, "out of range takes slow path");
+        line(&mut svc, "DELETE 0 1");
+        assert_eq!(
+            svc.reach_clean(0, 2),
+            None,
+            "dirty closure has no fast path"
+        );
+        assert!(svc.reach_stale(0, 2), "stale read still sees the old path");
+        assert_eq!(line(&mut svc, "REACH 0 2"), "REACH 0 2 false");
+        assert!(svc.reach_clean(0, 2) == Some(false));
+    }
+
+    #[test]
+    fn mutations_past_the_pending_cap_answer_busy() {
+        let mut svc = ReachService::new(DiGraph::new(6));
+        svc.set_max_pending(Some(2));
+        for cmd in ["INSERT 0 1", "INSERT 1 2", "INSERT 2 3"] {
+            line(&mut svc, cmd);
+        }
+        assert_eq!(line(&mut svc, "DELETE 0 1"), "OK DELETE 0 1 removed=true");
+        assert_eq!(line(&mut svc, "DELETE 1 2"), "OK DELETE 1 2 removed=true");
+        assert_eq!(svc.queue_depth(), 2);
+        let busy = line(&mut svc, "DELETE 2 3");
+        assert!(busy.starts_with("ERR BUSY"), "{busy}");
+        let busy = line(&mut svc, "INSERT 4 5");
+        assert!(busy.starts_with("ERR BUSY"), "{busy}");
+        // Deleting an absent edge is refused too (it is a mutation
+        // request arriving past the cap, shed before inspection).
+        assert!(line(&mut svc, "DELETE 5 0").starts_with("ERR BUSY"));
+        // A read drains the queue and admission reopens.
+        assert_eq!(line(&mut svc, "REACH 0 2"), "REACH 0 2 false");
+        assert_eq!(line(&mut svc, "INSERT 4 5"), "OK INSERT 4 5 added=1");
+        // The graph reflects exactly the admitted mutations.
+        assert!(svc.reach_stale(2, 3), "shed delete was not applied");
+    }
+
+    #[test]
+    fn durable_service_survives_reopen() {
+        let path =
+            std::env::temp_dir().join(format!("systolic-svc-durable-{}.wal", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(Durability::snapshot_path(&path)).ok();
+        {
+            let (d, g, _) = Durability::open(&path, Some(2), DiGraph::new(5)).unwrap();
+            let mut svc = ReachService::new(g).with_durability(d);
+            for cmd in [
+                "INSERT 0 1",
+                "INSERT 1 2",
+                "INSERT 2 3",
+                "DELETE 1 2",
+                "INSERT 1 3",
+            ] {
+                assert!(!line(&mut svc, cmd).starts_with("ERR"));
+            }
+            assert!(svc.snapshots() >= 1, "snapshot_every=2 fired");
+        }
+        let (d, g, report) = Durability::open(&path, Some(2), DiGraph::new(5)).unwrap();
+        assert!(report.snapshot_seq.is_some());
+        let mut svc = ReachService::new(g).with_durability(d);
+        assert_eq!(line(&mut svc, "REACH 0 3"), "REACH 0 3 true", "via 1→3");
+        assert_eq!(
+            line(&mut svc, "REACH 0 2"),
+            "REACH 0 2 false",
+            "1→2 deleted"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(Durability::snapshot_path(&path)).ok();
     }
 
     #[test]
@@ -332,5 +597,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn finish_without_flush_falls_back_to_software() {
+        let batcher = Arc::new(AdmissionBatcher::new(PackedEngine::new(2)));
+        let mut svc = ReachService::with_batcher(DiGraph::new(4), Arc::clone(&batcher));
+        line(&mut svc, "INSERT 0 1");
+        line(&mut svc, "INSERT 1 2");
+        line(&mut svc, "DELETE 0 1");
+        assert!(svc.enqueue_recompute().unwrap());
+        // No flush happened: the ticket is unresolved. The old code
+        // panicked here; now it cancels the orphan and recomputes in
+        // software.
+        assert!(svc.finish_recompute());
+        assert!(!svc.is_dirty());
+        assert_eq!(batcher.pending(), 0, "orphan ticket was cancelled");
+        assert_eq!(line(&mut svc, "REACH 0 2"), "REACH 0 2 false");
+        assert_eq!(line(&mut svc, "REACH 1 2"), "REACH 1 2 true");
     }
 }

@@ -1,0 +1,591 @@
+//! Durability: a write-ahead log of mutations plus periodic snapshots.
+//!
+//! Every effective `INSERT`/`DELETE` is appended to the WAL *before* it is
+//! applied (log = commit), framed as
+//!
+//! ```text
+//! [len: u32 LE][crc32: u32 LE][payload: len bytes]
+//! payload = [seq: u64 LE][op: u8][u: u32 LE][v: u32 LE]
+//! ```
+//!
+//! so every record is 25 bytes on disk. Recovery loads the newest valid
+//! snapshot (if any), then replays WAL records with `seq` greater than the
+//! snapshot's — stopping at the first frame whose header, length or CRC is
+//! wrong and truncating that torn tail away, so a crash mid-append loses
+//! at most the record being written: the recovered graph is always the
+//! longest committed prefix of the mutation history.
+//!
+//! Snapshots are written atomically (`.tmp` + rename) every
+//! `snapshot_every` logged mutations; after a successful snapshot the WAL
+//! is truncated to zero. A crash between the rename and the truncate is
+//! harmless: replay skips records whose `seq` the snapshot already covers.
+//!
+//! Appends are flushed per record but not fsynced — the contract is
+//! process-crash durability (kill -9 safe), not power-loss durability.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use systolic_closure::DiGraph;
+
+/// Fixed payload size of one WAL record.
+const PAYLOAD_LEN: usize = 17;
+/// Fixed on-disk size of one framed WAL record.
+pub const FRAME_LEN: usize = 8 + PAYLOAD_LEN;
+/// Snapshot file magic (versioned).
+const SNAP_MAGIC: &[u8; 8] = b"SYSSNAP1";
+
+/// One durable mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// Edge insertion.
+    Insert,
+    /// Edge deletion.
+    Delete,
+}
+
+/// A decoded WAL record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotone sequence number (1-based across the service's lifetime).
+    pub seq: u64,
+    /// What happened.
+    pub op: WalOp,
+    /// Source vertex.
+    pub u: usize,
+    /// Target vertex.
+    pub v: usize,
+}
+
+/// What [`Durability::open`] found on disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number covered by the loaded snapshot (`None` = no
+    /// snapshot on disk).
+    pub snapshot_seq: Option<u64>,
+    /// WAL records replayed on top of the snapshot/initial graph.
+    pub replayed: u64,
+    /// Bytes discarded from the WAL's torn tail (0 = clean shutdown).
+    pub torn_bytes: u64,
+    /// Valid WAL bytes retained after recovery.
+    pub wal_bytes: u64,
+}
+
+/// CRC-32 (IEEE 802.3, reflected) — bitwise, no table; records are tiny.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn encode_frame(rec: &WalRecord) -> [u8; FRAME_LEN] {
+    let mut payload = [0u8; PAYLOAD_LEN];
+    payload[0..8].copy_from_slice(&rec.seq.to_le_bytes());
+    payload[8] = match rec.op {
+        WalOp::Insert => 0,
+        WalOp::Delete => 1,
+    };
+    payload[9..13].copy_from_slice(&(rec.u as u32).to_le_bytes());
+    payload[13..17].copy_from_slice(&(rec.v as u32).to_le_bytes());
+    let mut frame = [0u8; FRAME_LEN];
+    frame[0..4].copy_from_slice(&(PAYLOAD_LEN as u32).to_le_bytes());
+    frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+    frame[8..].copy_from_slice(&payload);
+    frame
+}
+
+/// Decodes the frame at `buf[at..]`; `None` when the frame is absent,
+/// short, or fails its length/CRC/op-byte checks (the torn-tail rule:
+/// replay stops here).
+fn decode_frame(buf: &[u8], at: usize) -> Option<WalRecord> {
+    let header = buf.get(at..at + 8)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().ok()?) as usize;
+    if len != PAYLOAD_LEN {
+        return None;
+    }
+    let want_crc = u32::from_le_bytes(header[4..8].try_into().ok()?);
+    let payload = buf.get(at + 8..at + 8 + len)?;
+    if crc32(payload) != want_crc {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let op = match payload[8] {
+        0 => WalOp::Insert,
+        1 => WalOp::Delete,
+        _ => return None,
+    };
+    let u = u32::from_le_bytes(payload[9..13].try_into().ok()?) as usize;
+    let v = u32::from_le_bytes(payload[13..17].try_into().ok()?) as usize;
+    Some(WalRecord { seq, op, u, v })
+}
+
+fn snapshot_bytes(graph: &DiGraph, seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + 8 * graph.edge_count());
+    out.extend_from_slice(SNAP_MAGIC);
+    out.extend_from_slice(&(graph.n() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(graph.edge_count() as u64).to_le_bytes());
+    for u in 0..graph.n() {
+        for &v in graph.successors(u) {
+            out.extend_from_slice(&(u as u32).to_le_bytes());
+            out.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn parse_snapshot(bytes: &[u8]) -> Option<(DiGraph, u64)> {
+    if bytes.len() < 28 + 4 || &bytes[0..8] != SNAP_MAGIC {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let want_crc = u32::from_le_bytes(tail.try_into().ok()?);
+    if crc32(body) != want_crc {
+        return None;
+    }
+    let n = u32::from_le_bytes(body[8..12].try_into().ok()?) as usize;
+    let seq = u64::from_le_bytes(body[12..20].try_into().ok()?);
+    let edges = u64::from_le_bytes(body[20..28].try_into().ok()?) as usize;
+    if body.len() != 28 + 8 * edges {
+        return None;
+    }
+    let mut g = DiGraph::new(n);
+    for e in 0..edges {
+        let at = 28 + 8 * e;
+        let u = u32::from_le_bytes(body[at..at + 4].try_into().ok()?) as usize;
+        let v = u32::from_le_bytes(body[at + 4..at + 8].try_into().ok()?) as usize;
+        if u >= n || v >= n {
+            return None;
+        }
+        g.add_edge(u, v);
+    }
+    Some((g, seq))
+}
+
+/// The durable mutation log: WAL appender plus snapshot writer.
+///
+/// Owned by a [`crate::ReachService`]; all calls happen under the server's
+/// write lock, so the log needs no locking of its own.
+pub struct Durability {
+    file: File,
+    wal_path: PathBuf,
+    snap_path: PathBuf,
+    wal_bytes: u64,
+    next_seq: u64,
+    snapshot_every: Option<u64>,
+    since_snapshot: u64,
+    snapshots_written: u64,
+}
+
+impl Durability {
+    /// Where the snapshot for a given WAL path lives.
+    pub fn snapshot_path(wal: &Path) -> PathBuf {
+        let mut p = wal.as_os_str().to_os_string();
+        p.push(".snap");
+        PathBuf::from(p)
+    }
+
+    /// Opens (creating if absent) the WAL at `wal_path` and recovers the
+    /// durable graph: newest valid snapshot if present (else `initial`),
+    /// plus the WAL's longest committed record prefix. A torn final record
+    /// is discarded and truncated away so later appends start clean.
+    ///
+    /// # Errors
+    /// I/O errors, a snapshot that exists but fails validation (refusing
+    /// to silently serve wrong data), or a snapshot whose vertex count
+    /// disagrees with `initial`.
+    pub fn open(
+        wal_path: &Path,
+        snapshot_every: Option<u64>,
+        initial: DiGraph,
+    ) -> io::Result<(Self, DiGraph, RecoveryReport)> {
+        let snap_path = Self::snapshot_path(wal_path);
+        let mut report = RecoveryReport::default();
+        let mut graph = initial;
+        let mut base_seq = 0u64;
+        match std::fs::read(&snap_path) {
+            Ok(bytes) => {
+                let (snap, seq) = parse_snapshot(&bytes).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("snapshot {} is corrupt", snap_path.display()),
+                    )
+                })?;
+                if snap.n() != graph.n() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "snapshot {} has n={}, service has n={}",
+                            snap_path.display(),
+                            snap.n(),
+                            graph.n()
+                        ),
+                    ));
+                }
+                base_seq = seq;
+                graph = snap;
+                report.snapshot_seq = Some(seq);
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(wal_path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let mut at = 0usize;
+        let mut last_seq = base_seq;
+        while let Some(rec) = decode_frame(&buf, at) {
+            at += FRAME_LEN;
+            if rec.seq <= base_seq {
+                continue; // snapshot already covers it (crash before truncate)
+            }
+            if rec.u >= graph.n() || rec.v >= graph.n() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "wal record seq={} touches vertex {}/{} outside n={}",
+                        rec.seq,
+                        rec.u,
+                        rec.v,
+                        graph.n()
+                    ),
+                ));
+            }
+            match rec.op {
+                WalOp::Insert => graph.add_edge(rec.u, rec.v),
+                WalOp::Delete => {
+                    graph.remove_edge(rec.u, rec.v);
+                }
+            }
+            last_seq = last_seq.max(rec.seq);
+            report.replayed += 1;
+        }
+        if at < buf.len() {
+            report.torn_bytes = (buf.len() - at) as u64;
+            file.set_len(at as u64)?;
+        }
+        file.seek(SeekFrom::Start(at as u64))?;
+        report.wal_bytes = at as u64;
+        Ok((
+            Self {
+                file,
+                wal_path: wal_path.to_path_buf(),
+                snap_path,
+                wal_bytes: at as u64,
+                next_seq: last_seq + 1,
+                snapshot_every,
+                since_snapshot: 0,
+                snapshots_written: 0,
+            },
+            graph,
+            report,
+        ))
+    }
+
+    /// Appends one mutation record (flushed before returning) and hands
+    /// back its sequence number. Call *before* applying the mutation:
+    /// the log is the commit point.
+    ///
+    /// # Errors
+    /// The append's I/O error; the record must then be treated as not
+    /// committed (the caller answers `ERR` and does not apply).
+    pub fn log(&mut self, op: WalOp, u: usize, v: usize) -> io::Result<u64> {
+        let rec = WalRecord {
+            seq: self.next_seq,
+            op,
+            u,
+            v,
+        };
+        let frame = encode_frame(&rec);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.next_seq += 1;
+        self.wal_bytes += FRAME_LEN as u64;
+        self.since_snapshot += 1;
+        Ok(rec.seq)
+    }
+
+    /// Writes a snapshot of `graph` if the per-snapshot mutation budget is
+    /// spent. Call *after* applying the mutation that [`Durability::log`]
+    /// committed, so the snapshot state matches its sequence number.
+    ///
+    /// # Errors
+    /// Snapshot write/rename or WAL truncation errors.
+    pub fn maybe_snapshot(&mut self, graph: &DiGraph) -> io::Result<bool> {
+        match self.snapshot_every {
+            Some(every) if self.since_snapshot >= every => {
+                self.force_snapshot(graph)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Unconditionally snapshots `graph` at the last committed sequence
+    /// number, then truncates the WAL (its records are now covered).
+    ///
+    /// # Errors
+    /// Snapshot write/rename or WAL truncation errors.
+    pub fn force_snapshot(&mut self, graph: &DiGraph) -> io::Result<()> {
+        let seq = self.next_seq - 1;
+        let bytes = snapshot_bytes(graph, seq);
+        let tmp = {
+            let mut p = self.snap_path.as_os_str().to_os_string();
+            p.push(".tmp");
+            PathBuf::from(p)
+        };
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.snap_path)?;
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.wal_bytes = 0;
+        self.since_snapshot = 0;
+        self.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Valid WAL bytes currently on disk.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    /// Snapshots written by this process (not counting any loaded at open).
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots_written
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The WAL file path.
+    pub fn wal_path(&self) -> &Path {
+        &self.wal_path
+    }
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Durability(wal: {}, bytes: {}, next_seq: {}, snapshots: {})",
+            self.wal_path.display(),
+            self.wal_bytes,
+            self.next_seq,
+            self.snapshots_written
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_semiring::BitMatrix;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("systolic-wal-{}-{name}", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(Durability::snapshot_path(&p)).ok();
+        p
+    }
+
+    fn cleanup(p: &Path) {
+        std::fs::remove_file(p).ok();
+        std::fs::remove_file(Durability::snapshot_path(p)).ok();
+    }
+
+    fn closure_of(g: &DiGraph) -> BitMatrix {
+        BitMatrix::from_dense(&g.adjacency_matrix()).transitive_closure()
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn log_reopen_round_trip() {
+        let path = tmp("roundtrip");
+        let ops = [
+            (WalOp::Insert, 0, 1),
+            (WalOp::Insert, 1, 2),
+            (WalOp::Delete, 0, 1),
+            (WalOp::Insert, 2, 3),
+        ];
+        {
+            let (mut d, g, report) = Durability::open(&path, None, DiGraph::new(5)).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            assert_eq!(g.edge_count(), 0);
+            for &(op, u, v) in &ops {
+                d.log(op, u, v).unwrap();
+            }
+            assert_eq!(d.wal_bytes(), (ops.len() * FRAME_LEN) as u64);
+        }
+        let (d, g, report) = Durability::open(&path, None, DiGraph::new(5)).unwrap();
+        assert_eq!(report.replayed, 4);
+        assert_eq!(report.torn_bytes, 0);
+        assert!(g.has_edge(1, 2) && g.has_edge(2, 3) && !g.has_edge(0, 1));
+        assert_eq!(d.next_seq(), 5);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_appends_restart_clean() {
+        let path = tmp("torn");
+        {
+            let (mut d, _, _) = Durability::open(&path, None, DiGraph::new(4)).unwrap();
+            d.log(WalOp::Insert, 0, 1).unwrap();
+            d.log(WalOp::Insert, 1, 2).unwrap();
+        }
+        // Simulate a crash mid-append: half a frame of garbage.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB; FRAME_LEN / 2]).unwrap();
+        }
+        let (mut d, g, report) = Durability::open(&path, None, DiGraph::new(4)).unwrap();
+        assert_eq!(report.replayed, 2);
+        assert_eq!(report.torn_bytes, (FRAME_LEN / 2) as u64);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+        // The file was truncated, so a fresh append lands on a clean tail.
+        d.log(WalOp::Insert, 2, 3).unwrap();
+        drop(d);
+        let (_, g2, r2) = Durability::open(&path, None, DiGraph::new(4)).unwrap();
+        assert_eq!(r2.replayed, 3);
+        assert_eq!(r2.torn_bytes, 0);
+        assert!(g2.has_edge(2, 3));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn snapshot_cycle_truncates_wal_and_recovers_exactly() {
+        let path = tmp("snap");
+        {
+            let (mut d, _, _) = Durability::open(&path, Some(3), DiGraph::new(6)).unwrap();
+            let mut g = DiGraph::new(6);
+            for (i, &(u, v)) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)].iter().enumerate() {
+                d.log(WalOp::Insert, u, v).unwrap();
+                g.add_edge(u, v);
+                d.maybe_snapshot(&g).unwrap();
+                let expect_snaps = ((i + 1) / 3) as u64;
+                assert_eq!(d.snapshots(), expect_snaps, "after {} ops", i + 1);
+            }
+            assert_eq!(d.wal_bytes(), (2 * FRAME_LEN) as u64, "2 ops since snap");
+        }
+        let (_, g, report) = Durability::open(&path, Some(3), DiGraph::new(6)).unwrap();
+        assert_eq!(report.snapshot_seq, Some(3));
+        assert_eq!(report.replayed, 2, "only the wal tail replays");
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
+            assert!(g.has_edge(u, v));
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn snapshot_seq_guard_skips_already_covered_records() {
+        let path = tmp("seqguard");
+        // Crash window: snapshot renamed into place, WAL truncate never ran.
+        {
+            let (mut d, _, _) = Durability::open(&path, None, DiGraph::new(4)).unwrap();
+            d.log(WalOp::Insert, 0, 1).unwrap();
+            d.log(WalOp::Insert, 1, 2).unwrap();
+            d.log(WalOp::Delete, 0, 1).unwrap();
+            // Write the snapshot by hand *without* truncating the WAL.
+            let mut g = DiGraph::new(4);
+            g.add_edge(1, 2);
+            std::fs::write(Durability::snapshot_path(&path), snapshot_bytes(&g, 3)).unwrap();
+        }
+        let (d, g, report) = Durability::open(&path, None, DiGraph::new(4)).unwrap();
+        assert_eq!(report.snapshot_seq, Some(3));
+        assert_eq!(report.replayed, 0, "all wal records are seq <= 3");
+        assert!(g.has_edge(1, 2) && !g.has_edge(0, 1));
+        assert_eq!(d.next_seq(), 4);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_refused_loudly() {
+        let path = tmp("badsnap");
+        std::fs::write(Durability::snapshot_path(&path), b"SYSSNAP1 garbage").unwrap();
+        let err = Durability::open(&path, None, DiGraph::new(4)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncation_sweep_recovers_longest_committed_prefix() {
+        let path = tmp("sweep");
+        let n = 8;
+        let mut rng = systolic_util::Rng::seed_from_u64(42);
+        let mut ops: Vec<(WalOp, usize, usize)> = Vec::new();
+        {
+            let (mut d, _, _) = Durability::open(&path, None, DiGraph::new(n)).unwrap();
+            let mut g = DiGraph::new(n);
+            for _ in 0..20 {
+                let (u, v) = (rng.gen_usize(n), rng.gen_usize(n));
+                let op = if g.has_edge(u, v) && rng.gen_bool(0.5) {
+                    WalOp::Delete
+                } else {
+                    WalOp::Insert
+                };
+                match op {
+                    WalOp::Insert => g.add_edge(u, v),
+                    WalOp::Delete => {
+                        g.remove_edge(u, v);
+                    }
+                }
+                d.log(op, u, v).unwrap();
+                ops.push((op, u, v));
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        assert_eq!(full.len(), 20 * FRAME_LEN);
+        let cut = tmp("sweep-cut");
+        for len in 0..=full.len() {
+            std::fs::write(&cut, &full[..len]).unwrap();
+            std::fs::remove_file(Durability::snapshot_path(&cut)).ok();
+            let (_, g, report) =
+                Durability::open(&cut, None, DiGraph::new(n)).unwrap_or_else(|e| {
+                    panic!("recovery must never fail on truncation (len {len}): {e}")
+                });
+            let committed = len / FRAME_LEN;
+            assert_eq!(report.replayed as usize, committed, "len {len}");
+            assert_eq!(report.torn_bytes as usize, len - committed * FRAME_LEN);
+            let mut want = DiGraph::new(n);
+            for &(op, u, v) in &ops[..committed] {
+                match op {
+                    WalOp::Insert => want.add_edge(u, v),
+                    WalOp::Delete => {
+                        want.remove_edge(u, v);
+                    }
+                }
+            }
+            assert_eq!(
+                closure_of(&g),
+                closure_of(&want),
+                "closure diverged at truncation {len}"
+            );
+        }
+        cleanup(&path);
+        cleanup(&cut);
+    }
+}

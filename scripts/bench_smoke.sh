@@ -19,6 +19,9 @@
 #     bit-sliced data plane's acceptance bar),
 #   * every serve stream must report ok=true (answers cross-checked
 #     against a full-recompute oracle; latency itself is not gated),
+#   * the chaos smoke must record the 4-client concurrent run and the
+#     kill-and-recover run (recover_ms), both ok=true — a daemon that
+#     loses a session or recovers a wrong closure fails here,
 #   * a gate whose key is missing from the output FAILS — a bench that
 #     never printed its line must not pass vacuously.
 set -euo pipefail
@@ -83,6 +86,26 @@ printf '%s\n' "$lines" | awk \
     srows[ns] = sprintf("    {\"id\": \"%s\", \"n\": %d, \"commands\": %d, \"qps\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, \"ok\": %s}", \
       $1, kv["n"], kv["cmds"], kv["qps"], kv["p50_us"], kv["p99_us"], kv["max_us"], kv["ok"])
   }
+  /^serve_concurrent\// {
+    delete kv
+    for (i = 2; i <= NF; i++) {
+      split($(i), pair, "=")
+      kv[pair[1]] = pair[2]
+    }
+    nc++
+    crows[nc] = sprintf("    {\"id\": \"%s\", \"n\": %d, \"queries\": %d, \"qps\": %.0f, \"ok\": %s}", \
+      $1, kv["n"], kv["queries"], kv["qps"], kv["ok"])
+  }
+  /^serve_recover\// {
+    delete kv
+    for (i = 2; i <= NF; i++) {
+      split($(i), pair, "=")
+      kv[pair[1]] = pair[2]
+    }
+    nc++
+    crows[nc] = sprintf("    {\"id\": \"%s\", \"ops\": %d, \"wal_bytes\": %d, \"recover_ms\": %.2f, \"ok\": %s}", \
+      $1, kv["ops"], kv["wal_bytes"], kv["recover_ms"], kv["ok"])
+  }
   END {
     if (bad) exit 1
     if (n == 0) {
@@ -106,13 +129,16 @@ printf '%s\n' "$lines" | awk \
       print "  \"packed_speedup_vs_linear\": null,"
     print "  \"serve\": ["
     for (i = 1; i <= ns; i++) printf "%s%s\n", srows[i], (i < ns ? "," : "")
+    print "  ],"
+    print "  \"chaos\": ["
+    for (i = 1; i <= nc; i++) printf "%s%s\n", crows[i], (i < nc ? "," : "")
     print "  ]"
     print "}"
   }' > "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
 
 echo "bench_smoke: wrote $OUT (baseline ${BASELINE_MS} ms)"
-grep -E 'speedup|serve_stream' "$OUT"
+grep -E 'speedup|serve_stream|serve_concurrent|serve_recover' "$OUT"
 
 # Gate 1: the scalar path must not regress badly vs the prior record.
 # A missing key fails — the gate must never pass because the line vanished.
@@ -159,6 +185,31 @@ awk '
   END {
     if (n < 2) {
       printf "bench_smoke: FAIL serve smoke recorded %d/2 streams\n", n
+      exit 1
+    }
+  }' "$OUT"
+
+# Gate 4: the chaos smoke recorded both runs — four concurrent sessions
+# all oracle-correct with none failed, and kill-and-recover rebuilding the
+# exact committed closure (recover_ms present). Missing keys fail.
+awk '
+  /"id": "serve_concurrent\// {
+    nc++
+    if ($0 !~ /"ok": true/) {
+      printf "bench_smoke: FAIL concurrent serve gate: %s\n", $0
+      exit 1
+    }
+  }
+  /"id": "serve_recover\// {
+    nr++
+    if ($0 !~ /"ok": true/ || $0 !~ /"recover_ms"/) {
+      printf "bench_smoke: FAIL recover gate: %s\n", $0
+      exit 1
+    }
+  }
+  END {
+    if (nc < 1 || nr < 1) {
+      printf "bench_smoke: FAIL chaos smoke recorded concurrent=%d recover=%d (need 1 each)\n", nc, nr
       exit 1
     }
   }' "$OUT"

@@ -37,7 +37,8 @@ fn fail(msg: &str) -> ! {
     eprintln!("  systolic campaign [--seed S] [--n N] [--cells M] [--instances K] [--rate R] [--retries T] [--hot CELL:WEIGHT]");
     eprintln!("  systolic plancache [--n N] [--cells M] [--instances K] [--iters I]");
     eprintln!("  systolic packed   [--n N] [--cells M] [--instances K] [--iters I]");
-    eprintln!("  systolic serve    [--vertices N | --file F|-] [--batched] [--cells M] [--socket ADDR] [--sessions K]");
+    eprintln!("  systolic serve    [--vertices N | --file F|-] [--batched] [--cells M] [--socket ADDR] [--sessions K] [--accept N]");
+    eprintln!("                    [--wal F [--snapshot-every N]] [--max-pending N] [--max-line BYTES] [--read-timeout-ms MS]");
     std::process::exit(2);
 }
 
@@ -594,13 +595,20 @@ fn cmd_packed(args: &[String]) {
 
 fn cmd_serve(args: &[String]) {
     use std::sync::Arc;
-    use systolic_service::{serve, serve_tcp, ReachService};
+    use systolic_service::{
+        serve, serve_tcp, Durability, ReachService, SessionLimits, SharedService,
+    };
     let mut vertices: Option<usize> = None;
     let mut file: Option<String> = None;
     let mut socket: Option<String> = None;
-    let mut sessions: Option<usize> = None;
+    let mut sessions = 4usize;
+    let mut accept: Option<usize> = None;
     let mut batched = false;
     let mut cells = 4usize;
+    let mut wal: Option<String> = None;
+    let mut snapshot_every: Option<u64> = None;
+    let mut max_pending: Option<u64> = None;
+    let mut limits = SessionLimits::default();
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> &str {
@@ -623,7 +631,42 @@ fn cmd_serve(args: &[String]) {
             }
             "--sessions" => {
                 i += 1;
-                sessions = Some(value(i).parse().unwrap_or_else(|_| fail("bad --sessions")));
+                sessions = value(i).parse().unwrap_or_else(|_| fail("bad --sessions"));
+            }
+            "--accept" => {
+                i += 1;
+                accept = Some(value(i).parse().unwrap_or_else(|_| fail("bad --accept")));
+            }
+            "--wal" => {
+                i += 1;
+                wal = Some(value(i).to_string());
+            }
+            "--snapshot-every" => {
+                i += 1;
+                snapshot_every = Some(
+                    value(i)
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --snapshot-every")),
+                );
+            }
+            "--max-pending" => {
+                i += 1;
+                max_pending = Some(
+                    value(i)
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --max-pending")),
+                );
+            }
+            "--max-line" => {
+                i += 1;
+                limits.max_line = value(i).parse().unwrap_or_else(|_| fail("bad --max-line"));
+            }
+            "--read-timeout-ms" => {
+                i += 1;
+                let ms: u64 = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --read-timeout-ms"));
+                limits.read_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
             }
             "--batched" => batched = true,
             "--cells" => {
@@ -633,6 +676,9 @@ fn cmd_serve(args: &[String]) {
             other => fail(&format!("unknown serve flag `{other}`")),
         }
         i += 1;
+    }
+    if snapshot_every.is_some() && wal.is_none() {
+        fail("--snapshot-every needs --wal");
     }
     let graph = match (&file, vertices) {
         (Some(_), Some(_)) => fail("serve takes --vertices or --file, not both"),
@@ -652,6 +698,26 @@ fn cmd_serve(args: &[String]) {
             DiGraph::new(n)
         }
     };
+    // Recover from the WAL+snapshot before building the service, so the
+    // closure is computed from exactly the committed history.
+    let (graph, durability) = match &wal {
+        Some(path) => {
+            let (d, g, report) =
+                Durability::open(std::path::Path::new(path), snapshot_every, graph)
+                    .unwrap_or_else(|e| fail(&format!("recovering {path}: {e}")));
+            eprintln!(
+                "recovered {path}: snapshot_seq={} replayed={} torn_bytes={} wal_bytes={}",
+                report
+                    .snapshot_seq
+                    .map_or("none".to_string(), |s| s.to_string()),
+                report.replayed,
+                report.torn_bytes,
+                report.wal_bytes,
+            );
+            (g, Some(d))
+        }
+        None => (graph, None),
+    };
     let mut svc = if batched {
         let cells = positive("serve --cells", cells);
         let batcher = Arc::new(systolic::partition::AdmissionBatcher::new(
@@ -661,21 +727,27 @@ fn cmd_serve(args: &[String]) {
     } else {
         ReachService::new(graph)
     };
+    if let Some(d) = durability {
+        svc = svc.with_durability(d);
+    }
+    svc.set_max_pending(max_pending);
     eprintln!(
-        "serving {} vertices ({} recomputes){}",
+        "serving {} vertices ({} recomputes{}){}",
         svc.n(),
         if batched { "batched" } else { "software" },
+        if wal.is_some() { ", durable" } else { "" },
         socket
             .as_deref()
             .map_or(String::new(), |s| format!(" on {s}")),
     );
+    let shared = Arc::new(SharedService::new(svc, limits));
     let summary = match socket {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)
                 .unwrap_or_else(|e| fail(&format!("binding {addr}: {e}")));
-            serve_tcp(&mut svc, &listener, sessions)
+            serve_tcp(&shared, &listener, sessions, accept)
         }
-        None => serve(&mut svc, std::io::stdin().lock(), std::io::stdout().lock()),
+        None => serve(&shared, std::io::stdin().lock(), std::io::stdout().lock()),
     }
     .unwrap_or_else(|e| fail(&format!("serve I/O: {e}")));
     eprintln!(
@@ -684,6 +756,15 @@ fn cmd_serve(args: &[String]) {
         summary.errors,
         if summary.quit { "QUIT" } else { "EOF" }
     );
+    if summary.sessions > 0 {
+        eprintln!(
+            "daemon totals: {} sessions ({} failed, {} timed out), {} stale reads",
+            summary.sessions,
+            summary.failed_sessions,
+            summary.timeouts,
+            shared.stale_reads(),
+        );
+    }
 }
 
 fn main() {

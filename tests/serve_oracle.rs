@@ -10,7 +10,7 @@ use std::sync::Arc;
 use systolic::closure::DiGraph;
 use systolic::partition::{AdmissionBatcher, PackedEngine};
 use systolic_semiring::BitMatrix;
-use systolic_service::{seeded_stream, Command, ReachService, Response};
+use systolic_service::{seeded_stream, Command, Durability, ReachService, Response};
 
 struct Oracle {
     g: DiGraph,
@@ -47,9 +47,10 @@ impl Oracle {
 }
 
 /// Replays a stream through a service and the oracle, asserting every
-/// `REACH` answer matches and every `INSERT`/`DELETE` succeeds.
-fn replay(svc: &mut ReachService, cmds: &[Command]) {
-    let mut oracle = Oracle::new(svc.n());
+/// `REACH` answer matches and every `INSERT`/`DELETE` succeeds. The
+/// oracle is passed in so a crash/restart test can carry one oracle
+/// across two service lifetimes.
+fn replay_with(svc: &mut ReachService, cmds: &[Command], oracle: &mut Oracle) {
     for (step, &cmd) in cmds.iter().enumerate() {
         match (cmd, svc.execute(cmd)) {
             (Command::Reach(u, v), Response::Reach { reachable, .. }) => {
@@ -71,7 +72,7 @@ fn software_service_matches_oracle_over_10k_commands() {
     let cmds = seeded_stream(48, 10_000, 20260808);
     assert!(cmds.len() >= 10_000);
     let mut svc = ReachService::new(DiGraph::new(48));
-    replay(&mut svc, &cmds);
+    replay_with(&mut svc, &cmds, &mut Oracle::new(48));
     let stats = svc.stats();
     assert!(
         stats.queries > 6_000,
@@ -81,13 +82,54 @@ fn software_service_matches_oracle_over_10k_commands() {
 }
 
 #[test]
+fn durable_service_crash_restart_mid_stream_matches_oracle() {
+    const N: usize = 32;
+    const CUT: usize = 5_000; // pinned crash point in the command stream
+    let cmds = seeded_stream(N, 10_000, 20260808);
+    let wal =
+        std::env::temp_dir().join(format!("systolic-oracle-crash-{}.wal", std::process::id()));
+    std::fs::remove_file(&wal).ok();
+    std::fs::remove_file(Durability::snapshot_path(&wal)).ok();
+    let mut oracle = Oracle::new(N);
+    {
+        let (d, g, _) = Durability::open(&wal, Some(512), DiGraph::new(N)).unwrap();
+        let mut svc = ReachService::new(g).with_durability(d);
+        replay_with(&mut svc, &cmds[..CUT], &mut oracle);
+        // Crash: the service is dropped cold, no orderly shutdown. Every
+        // committed mutation is already in the WAL (or rolled into a
+        // snapshot), so nothing is allowed to be lost.
+    }
+    let (d, g, report) = Durability::open(&wal, Some(512), DiGraph::new(N)).unwrap();
+    assert_eq!(report.torn_bytes, 0, "clean crash leaves no torn tail");
+    let mut svc = ReachService::new(g).with_durability(d);
+    // The recovered closure must equal the oracle's full recompute ...
+    for u in 0..N {
+        for v in 0..N {
+            match svc.execute(Command::Reach(u, v)) {
+                Response::Reach { reachable, .. } => assert_eq!(
+                    reachable,
+                    oracle.reach(u, v),
+                    "recovered REACH {u} {v} diverged"
+                ),
+                other => panic!("REACH answered {other}"),
+            }
+        }
+    }
+    // ... and the remainder of the stream replays exactly as if the
+    // crash never happened.
+    replay_with(&mut svc, &cmds[CUT..], &mut oracle);
+    std::fs::remove_file(&wal).ok();
+    std::fs::remove_file(Durability::snapshot_path(&wal)).ok();
+}
+
+#[test]
 fn batched_service_matches_oracle() {
     // Smaller stream: every delete-triggered recompute runs through the
     // packed engine simulation, which is orders slower than software.
     let cmds = seeded_stream(24, 600, 7);
     let batcher = Arc::new(AdmissionBatcher::new(PackedEngine::new(3)));
     let mut svc = ReachService::with_batcher(DiGraph::new(24), batcher.clone());
-    replay(&mut svc, &cmds);
+    replay_with(&mut svc, &cmds, &mut Oracle::new(24));
     let stats = batcher.stats();
     assert!(stats.executed > 0, "deletes routed through the batcher");
     assert!(
