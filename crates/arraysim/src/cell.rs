@@ -7,7 +7,7 @@
 //! bit-identical timing.
 
 use crate::host::Host;
-use crate::inject::{corrupt_value, FaultInjector, LinkFate};
+use crate::inject::{corrupt_value_in_lane, FaultInjector, LinkFate};
 use crate::stream::{Bank, Link, StreamDst, StreamSrc};
 use std::sync::Arc;
 use systolic_semiring::Semiring;
@@ -249,7 +249,7 @@ impl<S: Semiring> Fabric<'_, S> {
         if !matches!(dst, StreamDst::Sink) {
             if let Some(inj) = self.inject.as_deref_mut() {
                 if inj.on_emit(self.now, cell) {
-                    e = corrupt_value::<S>(&e);
+                    e = corrupt_value_in_lane::<S>(&e, inj.target_lane());
                 }
                 if let StreamDst::Link(l) = *dst {
                     match inj.on_link_write(self.now, l) {

@@ -187,6 +187,16 @@ pub struct FaultPlan {
     /// that cell's emissions, modelling a marginal cell that keeps failing
     /// until the recovery layer reclassifies it as permanently faulty.
     pub hot_cell: Option<(usize, f64)>,
+    /// Optional per-lane fault mask: when set, every value corruption
+    /// (emit corrupt, bank flip) touches only lane
+    /// `target_lane % LANE_COUNT` of the packed element instead of the
+    /// whole word, via [`Semiring::corrupt_lane`]. `None` (the default and
+    /// every constructor's choice) keeps the legacy whole-element swap —
+    /// scalar semirings are unaffected either way, since their one lane
+    /// *is* the whole element. This is what lets a lane-packed engine keep
+    /// an armed plan on the packed path: the fault blast radius is one
+    /// resident instance, not all of them.
+    pub target_lane: Option<usize>,
 }
 
 impl FaultPlan {
@@ -203,6 +213,7 @@ impl FaultPlan {
             stick_cycles: 0,
             max_faults: u64::MAX,
             hot_cell: None,
+            target_lane: None,
         }
     }
 
@@ -220,6 +231,7 @@ impl FaultPlan {
             stick_cycles: 3,
             max_faults: u64::MAX,
             hot_cell: None,
+            target_lane: None,
         }
     }
 
@@ -232,6 +244,15 @@ impl FaultPlan {
     /// Caps the number of applied faults.
     pub fn with_max_faults(mut self, max: u64) -> Self {
         self.max_faults = max;
+        self
+    }
+
+    /// Confines value corruptions to one lane of a packed element (see
+    /// [`FaultPlan::target_lane`]). The decision stream is unchanged —
+    /// the same seed fires the same faults at the same cycles — only the
+    /// blast radius of each value fault shrinks to a single lane.
+    pub fn with_target_lane(mut self, lane: usize) -> Self {
+        self.target_lane = Some(lane);
         self
     }
 
@@ -269,14 +290,32 @@ impl FaultPlan {
 ///
 /// This is the one place the simulator manufactures a *value*, which makes
 /// fault injection the one lane-width-dependent mechanism: over a packed
-/// semiring like `BoolLanes` a single corruption would hit all 64 resident
-/// instances at once. Lane-packed engines therefore run armed plans on the
-/// scalar path (DESIGN §10).
+/// semiring like `BoolLanes` a whole-element corruption hits all resident
+/// instances at once. Plans without a [`FaultPlan::target_lane`] mask keep
+/// that legacy behavior (and lane-packed engines route them to the scalar
+/// path); masked plans go through [`corrupt_value_in_lane`] instead, which
+/// confines the fault to one lane so packed engines can stay packed
+/// (DESIGN §10/§16).
 pub fn corrupt_value<S: Semiring>(e: &S::Elem) -> S::Elem {
     if S::is_zero(e) {
         S::one()
     } else {
         S::zero()
+    }
+}
+
+/// Lane-masked value corruption: the whole-element swap of
+/// [`corrupt_value`] when `target` is `None`, or the single-lane swap
+/// [`Semiring::corrupt_lane`] on lane `target % LANE_COUNT` when a plan
+/// carries a [`FaultPlan::target_lane`] mask.
+///
+/// Over scalar semirings the two are the same map, so arming a target
+/// lane never changes a scalar run; over packed semirings the mask is
+/// what confines a fault to one resident instance.
+pub fn corrupt_value_in_lane<S: Semiring>(e: &S::Elem, target: Option<usize>) -> S::Elem {
+    match target {
+        None => corrupt_value::<S>(e),
+        Some(l) => S::corrupt_lane(e, l % S::LANE_COUNT),
     }
 }
 
@@ -316,6 +355,11 @@ impl FaultInjector {
     /// The applied-fault log so far.
     pub fn log(&self) -> &FaultLog {
         &self.log
+    }
+
+    /// The plan's per-lane fault mask, forwarded to the corruption sites.
+    pub fn target_lane(&self) -> Option<usize> {
+        self.plan.target_lane
     }
 
     /// Takes the applied-fault events out of the log without cloning.

@@ -39,7 +39,9 @@ pub mod trace;
 
 pub use cell::{Task, TaskKind, TaskLabel};
 pub use host::Host;
-pub use inject::{corrupt_value, FaultEvent, FaultKind, FaultLog, FaultPlan, FaultReport};
+pub use inject::{
+    corrupt_value, corrupt_value_in_lane, FaultEvent, FaultKind, FaultLog, FaultPlan, FaultReport,
+};
 pub use sim::{ArraySim, SimError};
 pub use stats::{PhaseStats, RunStats, BUSY_HISTOGRAM_BUCKETS};
 pub use stream::{Bank, Link, StreamDst, StreamSrc};

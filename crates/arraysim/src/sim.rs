@@ -12,7 +12,9 @@
 
 use crate::cell::{Cell, Fabric, Step, Task};
 use crate::host::Host;
-use crate::inject::{corrupt_value, FaultEvent, FaultInjector, FaultLog, FaultPlan, FaultReport};
+use crate::inject::{
+    corrupt_value_in_lane, FaultEvent, FaultInjector, FaultLog, FaultPlan, FaultReport,
+};
 use crate::stats::{PhaseStats, RunStats, BUSY_HISTOGRAM_BUCKETS};
 use crate::stream::{Bank, Link};
 use std::cmp::Reverse;
@@ -449,8 +451,9 @@ impl<S: Semiring> ArraySim<S> {
             // word resident in a bank (before any cell reads this cycle).
             if let Some(inj) = &mut self.injector {
                 if let Some((bank, word)) = inj.begin_cycle(now, self.banks.len()) {
+                    let lane = inj.target_lane();
                     let flipped = self.banks[bank].corrupt_resident(word, |e| {
-                        *e = corrupt_value::<S>(e);
+                        *e = corrupt_value_in_lane::<S>(e, lane);
                     });
                     if flipped {
                         inj.log_bank_flip(now, bank);

@@ -41,7 +41,7 @@ impl ServeBenchReport {
     /// One parse-stable line for the perf-smoke script.
     pub fn smoke_line(&self) -> String {
         format!(
-            "serve_stream/{} n={} cmds={} qps={:.0} p50_us={:.1} p99_us={:.1} max_us={:.1} ok={}",
+            "serve_stream/{} n={} cmds={} qps={:.0} p50_us={:.3} p99_us={:.3} max_us={:.3} ok={}",
             self.id,
             self.n,
             self.commands,

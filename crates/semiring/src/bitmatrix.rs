@@ -14,6 +14,17 @@ use systolic_util::WorkerPool;
 
 const WORD_BITS: usize = 64;
 
+/// Pivots per cache block: a panel of `PIVOT_BLOCK` rows is the working
+/// set of one blocked round (`64 × n/64` words — 16 KiB at `n = 2048`,
+/// comfortably L1-resident), and 64 pivots' membership bits for any row
+/// live in exactly one word, so a round's pivot set for a row is one load.
+const PIVOT_BLOCK: usize = 64;
+
+/// Below this size the whole matrix fits in L1/L2 anyway and the classic
+/// per-pivot sweep has the better constant factor, so
+/// [`BitMatrix::warshall_in_place`] keeps the unblocked loop there.
+const BLOCKED_MIN_N: usize = 512;
+
 /// A square `n × n` Boolean matrix packed into `u64` words, row-major.
 #[derive(Clone, PartialEq, Eq)]
 pub struct BitMatrix {
@@ -97,10 +108,24 @@ impl BitMatrix {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// In-place transitive closure by bit-parallel Warshall:
-    /// for each pivot `k`, every row `i` with `x[i][k] = 1` ORs in row `k`
-    /// word-by-word. `O(n³/64)` word operations.
+    /// In-place transitive closure by bit-parallel Warshall.
+    /// `O(n³/64)` word operations either way; dispatches to the
+    /// cache-blocked sweep above [`BLOCKED_MIN_N`] (where the classic
+    /// per-pivot sweep streams the whole `n²/8`-byte matrix once per pivot
+    /// and falls out of cache) and keeps the classic loop below it, where
+    /// the matrix is cache-resident and the simpler loop is never slower.
     pub fn warshall_in_place(&mut self) {
+        if self.n >= BLOCKED_MIN_N {
+            self.warshall_in_place_blocked();
+        } else {
+            self.warshall_in_place_unblocked();
+        }
+    }
+
+    /// The classic bit-parallel Warshall sweep: for each pivot `k`, every
+    /// row `i` with `x[i][k] = 1` ORs in row `k` word-by-word. One full
+    /// matrix traversal per pivot.
+    pub fn warshall_in_place_unblocked(&mut self) {
         let n = self.n;
         let wpr = self.words_per_row;
         for k in 0..n {
@@ -122,6 +147,96 @@ impl BitMatrix {
             };
             update(before, 0);
             update(after, k + 1);
+        }
+    }
+
+    /// Cache-blocked bit-parallel Warshall: pivots are processed in panels
+    /// of [`PIVOT_BLOCK`] rows. Per panel `K = [k0, k1)`:
+    ///
+    /// 1. **Close the panel**: ordinary Warshall restricted to the panel's
+    ///    own rows and pivots. Because pivot `k`'s row evolves only under
+    ///    pivot rows that are themselves in `K`, the panel rows afterwards
+    ///    are exactly what the unblocked sweep would have produced after
+    ///    pivot `k1` — each closed under all pivots `< k1`.
+    /// 2. **Fold** the closed panel into every other row in *one* pass:
+    ///    row `i` ORs in panel row `k` for every bit `(i, k)`, `k ∈ K`,
+    ///    set *at entry* to the pass. One pass is exact: on any path
+    ///    `i → … → j` with intermediates `< k1`, the first intermediate
+    ///    `k_f ∈ K` is reached through earlier pivots only — so
+    ///    `(i, k_f)` is already set — and the closed panel row `k_f`
+    ///    already contains the entire tail including `j`.
+    ///
+    /// The win over the unblocked sweep is reuse: one traversal of the
+    /// matrix serves 64 pivots (whose membership bits per row share a
+    /// single word), instead of 64 traversals, with the panel L1-resident
+    /// throughout. Output is bit-identical to
+    /// [`BitMatrix::warshall_in_place_unblocked`] for every `n`.
+    pub fn warshall_in_place_blocked(&mut self) {
+        let n = self.n;
+        let wpr = self.words_per_row;
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + PIVOT_BLOCK).min(n);
+            let rows_in = k1 - k0;
+            {
+                let panel = &mut self.words[k0 * wpr..k1 * wpr];
+                Self::close_panel(panel, wpr, k0, rows_in);
+            }
+            let (head, rest) = self.words.split_at_mut(k0 * wpr);
+            let (panel, tail) = rest.split_at_mut(rows_in * wpr);
+            // k0 is a multiple of PIVOT_BLOCK = WORD_BITS, so the panel's
+            // membership bits of any row live in the single word w_idx.
+            let w_idx = k0 / WORD_BITS;
+            let mask = Self::panel_mask(rows_in);
+            let fold = |rows: &mut [u64]| {
+                for chunk in rows.chunks_exact_mut(wpr) {
+                    let mut bits = chunk[w_idx] & mask;
+                    while bits != 0 {
+                        let k_rel = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let src = &panel[k_rel * wpr..(k_rel + 1) * wpr];
+                        for (dst, s) in chunk.iter_mut().zip(src.iter()) {
+                            *dst |= *s;
+                        }
+                    }
+                }
+            };
+            fold(head);
+            fold(tail);
+            k0 = k1;
+        }
+    }
+
+    /// Ones mask for the low `rows_in` bits of a panel's membership word.
+    #[inline]
+    fn panel_mask(rows_in: usize) -> u64 {
+        if rows_in == WORD_BITS {
+            u64::MAX
+        } else {
+            (1u64 << rows_in) - 1
+        }
+    }
+
+    /// Phase 1 of the blocked sweep: closes a panel (rows `k0..k0+rows_in`
+    /// stored contiguously in `panel`) under its own pivots by ordinary
+    /// Warshall restricted to those rows.
+    fn close_panel(panel: &mut [u64], wpr: usize, k0: usize, rows_in: usize) {
+        for k in 0..rows_in {
+            let (before, rest) = panel.split_at_mut(k * wpr);
+            let (pivot, after) = rest.split_at_mut(wpr);
+            let col = k0 + k;
+            let update = |rows: &mut [u64]| {
+                for chunk in rows.chunks_exact_mut(wpr) {
+                    let has = (chunk[col / WORD_BITS] >> (col % WORD_BITS)) & 1 == 1;
+                    if has {
+                        for (dst, src) in chunk.iter_mut().zip(pivot.iter()) {
+                            *dst |= *src;
+                        }
+                    }
+                }
+            };
+            update(before);
+            update(after);
         }
     }
 
@@ -152,13 +267,17 @@ impl BitMatrix {
 
     /// Multi-threaded transitive closure reusing a persistent worker pool.
     ///
-    /// Each pivot iteration snapshots the pivot row and updates disjoint
-    /// row bands, one band per pool worker. The update of row `k` itself is
-    /// a no-op (`row |= row`), so no row needs special-casing. The result
-    /// is exactly [`BitMatrix::transitive_closure`] — the Warshall pivot
-    /// loop stays sequential, only the row updates fan out — so output is
-    /// bit-identical for any thread count. Worthwhile for `n` in the
-    /// hundreds and up; below that the per-pivot dispatch dominates.
+    /// Uses the same panel decomposition as
+    /// [`BitMatrix::warshall_in_place_blocked`]: each round closes one
+    /// [`PIVOT_BLOCK`]-pivot panel sequentially (a local, L1-resident
+    /// Warshall), then fans the one-pass fold of that closed panel out
+    /// over disjoint row bands, one band per pool worker. Blocking cuts
+    /// the number of `scoped_run` barriers from `n` to `⌈n/64⌉` — at
+    /// small-to-medium `n` the per-pivot dispatch was the dominant cost —
+    /// and each band's round now reads a panel snapshot instead of a
+    /// single pivot row, so one traversal of the band serves 64 pivots.
+    /// The result is exactly [`BitMatrix::transitive_closure`], so output
+    /// is bit-identical for any thread count.
     pub fn transitive_closure_with_pool(&self, pool: &WorkerPool) -> Self {
         let mut m = self.clone();
         for i in 0..self.n {
@@ -178,35 +297,48 @@ impl BitMatrix {
         // relaxed ordering suffices.
         let shared: Arc<Vec<AtomicU64>> =
             Arc::new(m.words.iter().map(|&w| AtomicU64::new(w)).collect());
-        // One pivot-row snapshot buffer and one band partition, reused
-        // across all n pivots: the per-pivot work is then only the wpr
-        // snapshot stores plus the band dispatch, no allocation. The
-        // scoped_run barrier orders the snapshot writes before the bands'
-        // reads (and the previous round's writes before the snapshot), so
-        // relaxed ordering suffices throughout.
-        let pivot: Arc<Vec<AtomicU64>> = Arc::new((0..wpr).map(|_| AtomicU64::new(0)).collect());
         let rows_per = n.div_ceil(threads);
         let bands = n.div_ceil(rows_per);
-        for k in 0..n {
-            for (dst, src) in pivot.iter().zip(&shared[k * wpr..(k + 1) * wpr]) {
-                dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + PIVOT_BLOCK).min(n);
+            let rows_in = k1 - k0;
+            // Phase 1 (sequential, off the atomics): pull the panel into a
+            // plain buffer, close it over its own pivots, publish it back.
+            // The closed panel is immutable for the rest of the round, so
+            // the bands share the plain buffer — no per-word atomics.
+            let mut panel: Vec<u64> = shared[k0 * wpr..k1 * wpr]
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect();
+            Self::close_panel(&mut panel, wpr, k0, rows_in);
+            for (dst, src) in shared[k0 * wpr..k1 * wpr].iter().zip(panel.iter()) {
+                dst.store(*src, Ordering::Relaxed);
             }
+            let panel = Arc::new(panel);
+            let w_idx = k0 / WORD_BITS;
+            let mask = Self::panel_mask(rows_in);
+            // Phase 2: every band folds the closed panel into its rows.
+            // Panel rows themselves are skipped — they were just stored.
             let run = pool.scoped_run(bands, |band| {
                 let shared = Arc::clone(&shared);
-                let pivot = Arc::clone(&pivot);
+                let panel = Arc::clone(&panel);
                 Box::new(move || {
                     let lo = band * rows_per;
                     let hi = (lo + rows_per).min(n);
                     for i in lo..hi {
+                        if i >= k0 && i < k1 {
+                            continue;
+                        }
                         let row = &shared[i * wpr..(i + 1) * wpr];
-                        let has = (row[k / WORD_BITS].load(Ordering::Relaxed) >> (k % WORD_BITS))
-                            & 1
-                            == 1;
-                        if has {
-                            for (dst, src) in row.iter().zip(pivot.iter()) {
-                                let src = src.load(Ordering::Relaxed);
-                                if src != 0 {
-                                    dst.fetch_or(src, Ordering::Relaxed);
+                        let mut bits = row[w_idx].load(Ordering::Relaxed) & mask;
+                        while bits != 0 {
+                            let k_rel = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let src = &panel[k_rel * wpr..(k_rel + 1) * wpr];
+                            for (dst, s) in row.iter().zip(src.iter()) {
+                                if *s != 0 {
+                                    dst.fetch_or(*s, Ordering::Relaxed);
                                 }
                             }
                         }
@@ -214,6 +346,7 @@ impl BitMatrix {
                 })
             });
             run.expect("closure band panicked");
+            k0 = k1;
         }
         for (w, a) in m.words.iter_mut().zip(shared.iter()) {
             *w = a.load(Ordering::Relaxed);
@@ -406,6 +539,51 @@ mod tests {
                 m.transitive_closure(),
                 "n={n}"
             );
+        }
+    }
+
+    #[test]
+    fn blocked_sweep_matches_unblocked_at_panel_boundaries() {
+        let mut rng = systolic_util::Rng::seed_from_u64(77);
+        for n in [2usize, 5, 63, 64, 65, 127, 128, 129, 200, 300] {
+            let mut m = BitMatrix::zeros(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && rng.gen_bool(0.06) {
+                        m.set(i, j, true);
+                    }
+                }
+            }
+            for i in 0..n {
+                m.set(i, i, true);
+            }
+            let mut blocked = m.clone();
+            blocked.warshall_in_place_blocked();
+            let mut plain = m.clone();
+            plain.warshall_in_place_unblocked();
+            assert_eq!(blocked, plain, "n={n}");
+        }
+    }
+
+    #[test]
+    fn public_entry_point_dispatches_identically_across_the_threshold() {
+        // One size above BLOCKED_MIN_N (blocked path) and one below: both
+        // must agree with the unblocked reference.
+        let mut rng = systolic_util::Rng::seed_from_u64(78);
+        for n in [500usize, 513] {
+            let mut m = BitMatrix::zeros(n);
+            for _ in 0..3 * n {
+                let (i, j) = (rng.gen_usize(n), rng.gen_usize(n));
+                m.set(i, j, true);
+            }
+            for i in 0..n {
+                m.set(i, i, true);
+            }
+            let mut via_entry = m.clone();
+            via_entry.warshall_in_place();
+            let mut plain = m.clone();
+            plain.warshall_in_place_unblocked();
+            assert_eq!(via_entry, plain, "n={n}");
         }
     }
 

@@ -49,6 +49,7 @@ pub mod kernels;
 pub mod lanes;
 pub mod laws;
 pub mod matrix;
+pub mod swar;
 pub mod traits;
 
 pub use bitmatrix::BitMatrix;
@@ -57,6 +58,10 @@ pub use kernels::{
     closure_by_squaring, matmul, matmul_acc, reflexive, warshall, warshall_blocked,
     warshall_inplace,
 };
-pub use lanes::{pack_lanes, unpack_lane, unpack_lanes, BoolLanes, LaneWord, LANES};
+pub use lanes::{
+    pack_into_lanes, pack_lanes, unpack_from_lanes, unpack_lane, unpack_lane_of, unpack_lanes,
+    BoolLanes, LaneSemiring, LaneWord, LANES,
+};
 pub use matrix::DenseMatrix;
+pub use swar::{MinPlusSwar16, MinPlusSwar8};
 pub use traits::{PathSemiring, Semiring};

@@ -52,6 +52,34 @@ pub trait Semiring: Copy + Clone + Debug + Default + Send + Sync + 'static {
     fn is_zero(a: &Self::Elem) -> bool {
         *a == Self::zero()
     }
+
+    /// Number of independent value lanes one `Elem` carries.
+    ///
+    /// Scalar semirings are the 1-lane case. Packed semirings
+    /// ([`crate::BoolLanes`], [`crate::MinPlusSwar8`], …) override this so
+    /// that lane-width-dependent mechanisms — today only fault injection —
+    /// can address one resident instance instead of all of them at once.
+    const LANE_COUNT: usize = 1;
+
+    /// Returns `e` with *only* lane `lane` corrupted (the per-lane
+    /// zero ↔ one swap); all other lanes are bit-identical to `e`.
+    ///
+    /// The default covers every scalar semiring: with one lane, corrupting
+    /// "lane 0" is the whole-element swap of the additive and
+    /// multiplicative identities (the same map as
+    /// `arraysim::corrupt_value`). Packed semirings override this to touch
+    /// only the addressed lane, which is what lets an armed fault plan
+    /// target a single packed instance.
+    #[inline]
+    fn corrupt_lane(e: &Self::Elem, lane: usize) -> Self::Elem {
+        debug_assert!(lane < Self::LANE_COUNT);
+        let _ = lane;
+        if Self::is_zero(e) {
+            Self::one()
+        } else {
+            Self::zero()
+        }
+    }
 }
 
 /// A semiring for which Warshall's recurrence computes the algebraic path

@@ -1,22 +1,30 @@
 #!/usr/bin/env bash
 # Perf smoke for the partitioned engines: runs the batched_closure and
 # plan_reuse benches with pinned sample counts and records the results —
-# one row per mapping (linear_m4, lsgp_m4, packed_m4, plus the plan_reuse
-# shapes) — in BENCH_partition.json at the repo root, together with the
-# reachability-service stream numbers (query p50/p99 latency, sustained
-# command throughput) from the serve_bench driver.
+# one row per mapping and lane plane (linear_m4, lsgp_m4, packed_m4, the
+# packed_w1/w2/w4 lane-width sweep, the min-plus scalar/SWAR pair, the
+# blocked/unblocked bitmatrix sweeps, plus the plan_reuse shapes) — in
+# BENCH_partition.json at the repo root, together with the
+# reachability-service stream numbers (query p50/p99 latency at
+# fractional-µs precision, sustained command throughput) from the
+# serve_bench driver.
 #
-# The scalar baseline compounds across PRs: the gate compares this run's
-# batched_closure/linear_m4/32x32 median against the median recorded in
-# the *previous* BENCH_partition.json (falling back to the original
-# pre-plan-cache 110.1 ms measurement when none exists), so a regression
-# anywhere in the trajectory is visible, not just vs the first PR.
+# Every gated ratio is computed between rows of the *same run*, so gates
+# hold on any machine regardless of absolute speed. The historical scalar
+# baseline (previous BENCH_partition.json median, falling back to the
+# original pre-plan-cache 110.1 ms measurement) is still recorded as
+# speedup_vs_baseline, but it is informational only: cross-run wall-clock
+# ratios say more about the machine than about the code.
 #
 # Gates (non-gating from check.sh — wall-clock numbers are
 # machine-dependent — but this script itself exits nonzero on failure):
-#   * linear_m4 must stay within 3x of the prior recorded median,
-#   * packed_m4 must be >= 8x faster than linear_m4 (the 64-lane
-#     bit-sliced data plane's acceptance bar),
+#   * packed_m4 must be >= 8x faster than the same run's linear_m4 (the
+#     64-lane bit-sliced data plane's acceptance bar),
+#   * the lane-width sweep must record all three packed_w1/w2/w4 rows,
+#   * minplus_packed_m4 must be >= 4x faster than the same run's scalar
+#     minplus_m4 (the SWAR tropical plane's acceptance bar),
+#   * the blocked bitmatrix sweep must be no slower than the classic one
+#     at n = 256 (ratio >= 0.95) and faster at n = 2048 (>= 1.02),
 #   * every serve stream must report ok=true (answers cross-checked
 #     against a full-recompute oracle; latency itself is not gated),
 #   * the chaos smoke must record the 4-client concurrent run and the
@@ -33,7 +41,7 @@ SERVE_CMDS="${SYSTOLIC_SERVE_CMDS:-20000}"
 ORIGINAL_BASELINE_MS=110.1
 OUT=BENCH_partition.json
 
-# Prior scalar median from the last recorded run, if any.
+# Prior scalar median from the last recorded run, if any (informational).
 PRIOR_MS=""
 if [ -f "$OUT" ]; then
   PRIOR_MS=$(sed -n \
@@ -64,6 +72,10 @@ printf '%s\n' "$lines" | awk \
     bad = 1
     return 0
   }
+  function ratio_or_null(num, den) {
+    if (num > 0 && den > 0) return sprintf("%.2f", num / den)
+    return "null"
+  }
   / median / {
     id = $1
     for (i = 1; i <= NF; i++) {
@@ -73,8 +85,7 @@ printf '%s\n' "$lines" | awk \
     }
     n++
     rows[n] = sprintf("    {\"id\": \"%s\", \"median_ms\": %.3f, \"mean_ms\": %.3f, \"min_ms\": %.3f}", id, med, avg, low)
-    if (id == "batched_closure/linear_m4/32x32") accept = med
-    if (id == "batched_closure/packed_m4/32x32") packed = med
+    med_of[id] = med
   }
   /^serve_stream\// {
     delete kv
@@ -83,7 +94,7 @@ printf '%s\n' "$lines" | awk \
       kv[pair[1]] = pair[2]
     }
     ns++
-    srows[ns] = sprintf("    {\"id\": \"%s\", \"n\": %d, \"commands\": %d, \"qps\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, \"ok\": %s}", \
+    srows[ns] = sprintf("    {\"id\": \"%s\", \"n\": %d, \"commands\": %d, \"qps\": %.0f, \"p50_us\": %.3f, \"p99_us\": %.3f, \"max_us\": %.3f, \"ok\": %s}", \
       $1, kv["n"], kv["cmds"], kv["qps"], kv["p50_us"], kv["p99_us"], kv["max_us"], kv["ok"])
   }
   /^serve_concurrent\// {
@@ -112,6 +123,7 @@ printf '%s\n' "$lines" | awk \
       print "bench_smoke: no bench result lines parsed" > "/dev/stderr"
       exit 1
     }
+    accept = med_of["batched_closure/linear_m4/32x32"]
     print "{"
     print "  \"bench\": \"partition perf smoke (scripts/bench_smoke.sh)\","
     printf "  \"samples\": %d,\n", samples
@@ -123,10 +135,25 @@ printf '%s\n' "$lines" | awk \
       printf "  \"speedup_vs_baseline\": %.2f,\n", baseline / accept
     else
       print "  \"speedup_vs_baseline\": null,"
-    if (accept > 0 && packed > 0)
-      printf "  \"packed_speedup_vs_linear\": %.2f,\n", accept / packed
-    else
-      print "  \"packed_speedup_vs_linear\": null,"
+    printf "  \"lsgp_speedup_vs_linear\": %s,\n", \
+      ratio_or_null(accept, med_of["batched_closure/lsgp_m4/32x32"])
+    printf "  \"packed_speedup_vs_linear\": %s,\n", \
+      ratio_or_null(accept, med_of["batched_closure/packed_m4/32x32"])
+    printf "  \"packed_w2_speedup_vs_w1\": %s,\n", \
+      ratio_or_null(med_of["batched_closure/packed_w1_m4/128x32"], \
+                    med_of["batched_closure/packed_w2_m4/128x32"])
+    printf "  \"packed_w4_speedup_vs_w1\": %s,\n", \
+      ratio_or_null(med_of["batched_closure/packed_w1_m4/128x32"], \
+                    med_of["batched_closure/packed_w4_m4/128x32"])
+    printf "  \"minplus_packed_speedup\": %s,\n", \
+      ratio_or_null(med_of["batched_closure/minplus_m4/32x32"], \
+                    med_of["batched_closure/minplus_packed_m4/32x32"])
+    printf "  \"bitmatrix_blocked_speedup_256\": %s,\n", \
+      ratio_or_null(med_of["batched_closure/bitmatrix_unblocked/256"], \
+                    med_of["batched_closure/bitmatrix_blocked/256"])
+    printf "  \"bitmatrix_blocked_speedup_2048\": %s,\n", \
+      ratio_or_null(med_of["batched_closure/bitmatrix_unblocked/2048"], \
+                    med_of["batched_closure/bitmatrix_blocked/2048"])
     print "  \"serve\": ["
     for (i = 1; i <= ns; i++) printf "%s%s\n", srows[i], (i < ns ? "," : "")
     print "  ],"
@@ -137,43 +164,49 @@ printf '%s\n' "$lines" | awk \
   }' > "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
 
-echo "bench_smoke: wrote $OUT (baseline ${BASELINE_MS} ms)"
+echo "bench_smoke: wrote $OUT (informational baseline ${BASELINE_MS} ms)"
 grep -E 'speedup|serve_stream|serve_concurrent|serve_recover' "$OUT"
 
-# Gate 1: the scalar path must not regress badly vs the prior record.
-# A missing key fails — the gate must never pass because the line vanished.
-awk '
-  /"speedup_vs_baseline"/ {
-    found = 1; gsub(/[,"]/, ""); v = $2
-    if (v == "null" || v + 0 < 0.33) {
-      printf "bench_smoke: FAIL scalar regression gate (speedup_vs_baseline=%s < 0.33)\n", v
-      exit 1
+# gate KEY MIN — the JSON key must exist and its value must be a number
+# >= MIN. null or a missing key fails: a gate must never pass because the
+# bench that feeds it vanished.
+gate() {
+  awk -v key="\"$1\"" -v min="$2" '
+    $0 ~ key {
+      found = 1; gsub(/[,"]/, ""); v = $2
+      if (v == "null" || v + 0 < min + 0) {
+        printf "bench_smoke: FAIL %s gate (%s < %s)\n", key, v, min
+        exit 1
+      }
     }
-  }
-  END {
-    if (!found) {
-      print "bench_smoke: FAIL scalar gate key speedup_vs_baseline missing from output"
-      exit 1
-    }
-  }' "$OUT"
+    END {
+      if (!found) {
+        printf "bench_smoke: FAIL gate key %s missing from output\n", key
+        exit 1
+      }
+    }' "$OUT"
+}
 
-# Gate 2: the 64-lane packed engine must beat the scalar engine >= 8x.
-awk '
-  /"packed_speedup_vs_linear"/ {
-    found = 1; gsub(/[,"]/, ""); v = $2
-    if (v == "null" || v + 0 < 8.0) {
-      printf "bench_smoke: FAIL packed gate (packed_speedup_vs_linear=%s < 8)\n", v
-      exit 1
-    }
-  }
-  END {
-    if (!found) {
-      print "bench_smoke: FAIL packed gate key packed_speedup_vs_linear missing from output"
-      exit 1
-    }
-  }' "$OUT"
+# Gate 1: all same-run speedups recorded. The 64-lane packed engine must
+# beat the scalar engine >= 8x; the lsgp ratio only needs to exist and be
+# sane (it trades throughput for Θ(n²/m) buffering, not speed).
+gate lsgp_speedup_vs_linear 0.1
+gate packed_speedup_vs_linear 8.0
 
-# Gate 3: both serve streams recorded, and every answer matched the oracle.
+# Gate 2: the lane-width sweep ran at every W (ratios are informational —
+# the win saturates once one group covers the batch — but must exist).
+gate packed_w2_speedup_vs_w1 0.1
+gate packed_w4_speedup_vs_w1 0.1
+
+# Gate 3: the SWAR tropical plane must beat scalar min-plus >= 4x.
+gate minplus_packed_speedup 4.0
+
+# Gate 4: the cache-blocked pivot sweep is no slower at n = 256 and
+# faster at n = 2048.
+gate bitmatrix_blocked_speedup_256 0.95
+gate bitmatrix_blocked_speedup_2048 1.02
+
+# Gate 5: both serve streams recorded, and every answer matched the oracle.
 awk '
   /"id": "serve_stream\// {
     n++
@@ -189,7 +222,7 @@ awk '
     }
   }' "$OUT"
 
-# Gate 4: the chaos smoke recorded both runs — four concurrent sessions
+# Gate 6: the chaos smoke recorded both runs — four concurrent sessions
 # all oracle-correct with none failed, and kill-and-recover rebuilding the
 # exact committed closure (recover_ms present). Missing keys fail.
 awk '

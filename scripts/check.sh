@@ -10,6 +10,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 cargo test -q --workspace
 
+# The widened data plane's equivalence suites, named explicitly so a
+# failure points straight at the lane plane that diverged (they also run
+# as part of the workspace suite above).
+cargo test -q --test proptest_lanes --test proptest_swar --test proptest_laws
+
 # Perf smoke (non-gating: wall-clock numbers are machine-dependent).
 ./scripts/bench_smoke.sh || echo "check.sh: bench_smoke failed (non-gating)"
 

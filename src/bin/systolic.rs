@@ -34,7 +34,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("  systolic schedule <n> <m> [--grid]");
     eprintln!("  systolic gantt    <n> <m>");
     eprintln!("  systolic info     <n> [m]");
-    eprintln!("  systolic campaign [--seed S] [--n N] [--cells M] [--instances K] [--rate R] [--retries T] [--hot CELL:WEIGHT]");
+    eprintln!("  systolic campaign [--seed S] [--n N] [--cells M] [--instances K] [--rate R] [--retries T] [--hot CELL:WEIGHT] [--packed-lane L]");
     eprintln!("  systolic plancache [--n N] [--cells M] [--instances K] [--iters I]");
     eprintln!("  systolic packed   [--n N] [--cells M] [--instances K] [--iters I]");
     eprintln!("  systolic serve    [--vertices N | --file F|-] [--batched] [--cells M] [--socket ADDR] [--sessions K] [--accept N]");
@@ -353,6 +353,8 @@ fn cmd_info(args: &[String]) {
 fn cmd_campaign(args: &[String]) {
     use systolic_bench::campaign::{render_campaign, run_campaign, CampaignConfig};
     let mut cfg = CampaignConfig::default();
+    let mut packed_lane: Option<usize> = None;
+    let mut rate_set = false;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> &str {
@@ -380,6 +382,7 @@ fn cmd_campaign(args: &[String]) {
             "--rate" => {
                 i += 1;
                 cfg.rate = value(i).parse().unwrap_or_else(|_| fail("bad --rate"));
+                rate_set = true;
             }
             "--density" => {
                 i += 1;
@@ -399,12 +402,27 @@ fn cmd_campaign(args: &[String]) {
                     w.parse().unwrap_or_else(|_| fail("bad --hot weight")),
                 ));
             }
+            "--packed-lane" => {
+                i += 1;
+                packed_lane = Some(
+                    value(i)
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --packed-lane")),
+                );
+            }
             other => fail(&format!("unknown campaign flag `{other}`")),
         }
         i += 1;
     }
     if cfg.n < 2 || cfg.cells < 2 || cfg.instances == 0 {
         fail("campaign needs n ≥ 2, cells ≥ 2 and at least one instance");
+    }
+    if let Some(lane) = packed_lane {
+        if cfg.hot_cell.is_some() {
+            fail("--hot applies to the scalar campaign only");
+        }
+        cmd_packed_campaign(&cfg, lane, rate_set);
+        return;
     }
     let report = run_campaign(&cfg).unwrap_or_else(|e| fail(&e.to_string()));
     let replay = run_campaign(&cfg).unwrap_or_else(|e| fail(&e.to_string()));
@@ -426,6 +444,57 @@ fn cmd_campaign(args: &[String]) {
     }
     if report != replay {
         eprintln!("error: campaign is not reproducible at seed {}", cfg.seed);
+        std::process::exit(1);
+    }
+}
+
+fn cmd_packed_campaign(
+    scalar: &systolic_bench::campaign::CampaignConfig,
+    lane: usize,
+    rate_set: bool,
+) {
+    use systolic_bench::campaign::{
+        render_packed_campaign, run_packed_campaign, PackedCampaignConfig,
+    };
+    let mut cfg = PackedCampaignConfig {
+        seed: scalar.seed,
+        n: scalar.n,
+        density: scalar.density,
+        cells: scalar.cells,
+        instances: scalar.instances,
+        target_lane: lane,
+        max_retries: scalar.max_retries,
+        ..PackedCampaignConfig::default()
+    };
+    if rate_set {
+        // The packed default is a value-fault-only rate tuned to land
+        // several corruptions per batch; honor an explicit override.
+        cfg.rate = scalar.rate;
+    }
+    let report = run_packed_campaign(&cfg).unwrap_or_else(|e| fail(&e.to_string()));
+    let replay = run_packed_campaign(&cfg).unwrap_or_else(|e| fail(&e.to_string()));
+    print!("{}", render_packed_campaign(&cfg, &report));
+    println!(
+        "replay with the same seed reproduces the identical report: {}",
+        report == replay
+    );
+    if !report.contained() {
+        eprintln!(
+            "error: packed fault containment failed (fallbacks {}/{}, off-target {}, \
+             unexplained {}, recovered {})",
+            report.raw_fallback_runs,
+            report.recovering_fallback_runs,
+            report.off_target_mismatches,
+            report.unexplained_mismatches,
+            report.recovered_exact
+        );
+        std::process::exit(1);
+    }
+    if report != replay {
+        eprintln!(
+            "error: packed campaign is not reproducible at seed {}",
+            cfg.seed
+        );
         std::process::exit(1);
     }
 }

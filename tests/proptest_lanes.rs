@@ -1,0 +1,76 @@
+//! Property-based equivalence of the W-word Boolean lane planes.
+//!
+//! For every width `W ∈ {1, 2, 4}`, `PackedEngine<BoolLanes<W>>` must be
+//! bit-identical to the scalar `LinearEngine` — identical closure results
+//! and merged `RunStats` equal to the instance-order merge of the
+//! per-instance scalar runs — at batch sizes straddling the `64·W` group
+//! boundary on both sides: 1, `64·W − 1`, `64·W`, and `64·W + 1`.
+
+use systolic::partition::{ClosureEngine, LinearEngine, PackedEngine};
+use systolic_arraysim::RunStats;
+use systolic_semiring::{warshall, Bool, BoolLanes, DenseMatrix};
+use systolic_util::{Checker, Rng};
+
+fn random_batch(rng: &mut Rng, len: usize, n: usize) -> Vec<DenseMatrix<Bool>> {
+    (0..len)
+        .map(|_| DenseMatrix::from_fn(n, n, |i, j| i != j && rng.gen_bool(0.25)))
+        .collect()
+}
+
+fn per_instance_merge(
+    engine: &LinearEngine,
+    batch: &[DenseMatrix<Bool>],
+) -> (Vec<DenseMatrix<Bool>>, RunStats) {
+    let mut results = Vec::with_capacity(batch.len());
+    let mut merged: Option<RunStats> = None;
+    for a in batch {
+        let (c, s) = engine.closure(a).unwrap();
+        results.push(c);
+        match &mut merged {
+            None => merged = Some(s),
+            Some(acc) => acc.merge(&s),
+        }
+    }
+    (results, merged.unwrap())
+}
+
+fn check_plane<const W: usize>(rng: &mut Rng) -> Result<(), String> {
+    let lanes = 64 * W;
+    let n = 2 + rng.gen_usize(4); // 2..=5
+    let m = 1 + rng.gen_usize(3); // 1..=3
+    let scalar = LinearEngine::new(m);
+    let packed = PackedEngine::<BoolLanes<W>>::over(m);
+    for len in [1, lanes - 1, lanes, lanes + 1] {
+        let batch = random_batch(rng, len, n);
+        let (want, want_stats) = per_instance_merge(&scalar, &batch);
+        let (got, got_stats) = packed.closure_many(&batch).unwrap();
+        if got != want {
+            return Err(format!("results diverge at W={W} n={n} m={m} len={len}"));
+        }
+        if got_stats != want_stats {
+            return Err(format!("stats diverge at W={W} n={n} m={m} len={len}"));
+        }
+        if got[len - 1] != warshall(&batch[len - 1]) {
+            return Err(format!("reference diverges at W={W} n={n} m={m} len={len}"));
+        }
+    }
+    if packed.fallback_runs() != 0 {
+        return Err(format!("Boolean plane W={W} must never fall back"));
+    }
+    Ok(())
+}
+
+#[test]
+fn w1_plane_is_bit_identical_to_linear() {
+    Checker::new("64-lane plane bit-identical to linear", 2).run(check_plane::<1>);
+}
+
+#[test]
+fn w2_plane_is_bit_identical_to_linear() {
+    Checker::new("128-lane plane bit-identical to linear", 2).run(check_plane::<2>);
+}
+
+#[test]
+fn w4_plane_is_bit_identical_to_linear() {
+    Checker::new("256-lane plane bit-identical to linear", 2).run(check_plane::<4>);
+}

@@ -1,7 +1,7 @@
 //! Property-based semiring law checking over the full element domains.
 
 use systolic_semiring::laws::{check_path_laws, check_semiring_laws};
-use systolic_semiring::{Bool, MaxMin, MinMax, MinPlus};
+use systolic_semiring::{Bool, BoolLanes, LaneWord, MaxMin, MinMax, MinPlus};
 use systolic_util::Checker;
 
 #[test]
@@ -57,5 +57,62 @@ fn counting_laws_in_safe_domain() {
             rng.gen_range_u64(0, bound),
         );
         check_semiring_laws::<Counting>(&a, &b, &c).map_err(|e| e.to_string())
+    });
+}
+
+// The lane planes are semirings over whole lane words: 64·W Boolean
+// lanes per element for BoolLanes<W>, and 8/4 saturating tropical lanes
+// for the SWAR planes. The laws must hold wordwise on arbitrary words.
+
+fn lane_word<const W: usize>(rng: &mut systolic_util::Rng) -> LaneWord<W> {
+    let mut words = [0u64; W];
+    for w in &mut words {
+        *w = rng.next_u64();
+    }
+    LaneWord::from_words(words)
+}
+
+#[test]
+fn wide_boolean_lane_laws() {
+    Checker::new("128-lane boolean laws", 256).run(|rng| {
+        let (a, b, c) = (
+            lane_word::<2>(rng),
+            lane_word::<2>(rng),
+            lane_word::<2>(rng),
+        );
+        check_semiring_laws::<BoolLanes<2>>(&a, &b, &c).map_err(|e| e.to_string())?;
+        check_path_laws::<BoolLanes<2>>(&a).map_err(|e| e.to_string())
+    });
+    Checker::new("256-lane boolean laws", 256).run(|rng| {
+        let (a, b, c) = (
+            lane_word::<4>(rng),
+            lane_word::<4>(rng),
+            lane_word::<4>(rng),
+        );
+        check_semiring_laws::<BoolLanes<4>>(&a, &b, &c).map_err(|e| e.to_string())?;
+        check_path_laws::<BoolLanes<4>>(&a).map_err(|e| e.to_string())
+    });
+}
+
+#[test]
+fn swar_tropical_lane_laws() {
+    use systolic_semiring::{MinPlusSwar16, MinPlusSwar8, Semiring};
+    Checker::new("8×u8 swar min-plus laws", 256).run(|rng| {
+        let (a, b, c) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        check_semiring_laws::<MinPlusSwar8>(&a, &b, &c).map_err(|e| e.to_string())?;
+        check_path_laws::<MinPlusSwar8>(&a).map_err(|e| e.to_string())?;
+        // Saturation at the lane ∞ (0xFF per u8 lane): ⊗ must stick
+        // there and ∞ must stay the ⊕ identity, lane by lane.
+        let inf = MinPlusSwar8::zero();
+        check_semiring_laws::<MinPlusSwar8>(&inf, &a, &b).map_err(|e| e.to_string())?;
+        check_path_laws::<MinPlusSwar8>(&inf).map_err(|e| e.to_string())
+    });
+    Checker::new("4×u16 swar min-plus laws", 256).run(|rng| {
+        let (a, b, c) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        check_semiring_laws::<MinPlusSwar16>(&a, &b, &c).map_err(|e| e.to_string())?;
+        check_path_laws::<MinPlusSwar16>(&a).map_err(|e| e.to_string())?;
+        let inf = MinPlusSwar16::zero();
+        check_semiring_laws::<MinPlusSwar16>(&inf, &a, &b).map_err(|e| e.to_string())?;
+        check_path_laws::<MinPlusSwar16>(&inf).map_err(|e| e.to_string())
     });
 }
