@@ -10,6 +10,9 @@
 
 pub mod campaign;
 pub mod serve;
+pub mod sparse;
+
+pub use sparse::e29;
 
 use campaign::{run_campaign, CampaignConfig};
 use std::fmt::Write as _;

@@ -87,12 +87,12 @@ pub fn run_serve_bench(
     let mut reach_us: Vec<f64> = Vec::new();
     let mut total = std::time::Duration::ZERO;
     let mut ok = true;
-    for &cmd in &cmds {
+    for cmd in &cmds {
         let t0 = Instant::now();
-        let resp = svc.execute(cmd);
+        let resp = svc.execute(cmd.clone());
         let dt = t0.elapsed();
         total += dt;
-        match (cmd, resp) {
+        match (cmd.clone(), resp) {
             (Command::Reach(u, v), Response::Reach { reachable, .. }) => {
                 reach_us.push(dt.as_secs_f64() * 1e6);
                 let want = closed

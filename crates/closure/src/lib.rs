@@ -19,17 +19,27 @@
 #![warn(missing_docs)]
 
 pub mod condense;
+pub mod csr;
 pub mod generators;
 pub mod graph;
 pub mod incremental;
 pub mod paths;
 pub mod solver;
+pub mod sparse;
 
 pub use condense::{closure_via_condensation, Condensation};
-pub use generators::{complete, cycle, gnp, path, random_dag, random_weighted, star, GraphKind};
+pub use csr::{CsrGraph, CsrStats, LoadError};
+pub use generators::{
+    bowtie, complete, cycle, gnp, gnp_csr, path, powerlaw, random_dag, random_dag_csr,
+    random_weighted, star, GraphKind,
+};
 pub use graph::{DiGraph, Reachability, WeightedDiGraph};
 pub use incremental::{
     dag_bucket, rank_one_update, IncrementalClosure, IncrementalStats, RecomputeJob,
 };
 pub use paths::{shortest_paths_with_routes, RouteTable};
 pub use solver::{Backend, ClosureSolver, SolveReport};
+pub use sparse::{
+    condense_csr, sparse_closure, ClosureMode, Fill, SparseClosure, SparseCondensation,
+    SparseOptions, SparseStats,
+};

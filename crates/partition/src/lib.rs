@@ -67,6 +67,7 @@ pub mod parallel;
 pub mod plan;
 pub mod recover;
 pub mod schedule;
+pub mod tiled;
 pub mod verify;
 
 pub use admission::{AdmissionBatcher, AdmissionStats, FlushReport, Ticket};
@@ -82,4 +83,5 @@ pub use parallel::ParallelEngine;
 pub use plan::CompiledPlan;
 pub use recover::{Escalation, FaultAware, RecoveringEngine, RecoveryPolicy};
 pub use schedule::{GsetSchedule, ScheduleEntry};
+pub use tiled::{tiled_dag_closure, tiled_dag_closure_with_engine, TileStats};
 pub use verify::{col_folds, row_folds, Verifier};

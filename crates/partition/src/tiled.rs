@@ -1,0 +1,343 @@
+//! Tiled closure of a reverse-topologically ordered DAG: sparse structure
+//! outside, dense systolic kernels inside.
+//!
+//! The condensed DAG arriving from the sparse data plane has a special
+//! shape: component ids are reverse-topological, so every edge runs from
+//! a higher id to a lower one and the adjacency matrix is strictly lower
+//! triangular. Cutting it into `t×t` tiles (`g = ⌈c/t⌉` per side) keeps
+//! that shape at the block level, which buys two things:
+//!
+//! * **Independent diagonals.** Any path stays within strictly
+//!   decreasing ids, so a path between two vertices of diagonal block `I`
+//!   can never leave the block's id range and return. Each diagonal tile
+//!   closes on its own — all `g` closures are one batch for a systolic
+//!   engine ([`ClosureEngine::closure_many`]), exactly the G-set batching
+//!   the paper's partitioning scheme feeds fixed arrays with.
+//! * **A closed recurrence for the rest.** With `D[I] = (A[I][I])*`,
+//!   decomposing any block-`I`→block-`J` path at its first edge leaving
+//!   block `I` gives
+//!   `C[I][J] = D[I] ⊗ Σ_{J ≤ K < I} A[I][K] ⊗ C[K][J]`,
+//!   computable tile-by-tile for `I` ascending.
+//!
+//! The tile-skip argument: a term of the sum contributes nothing when
+//! `A[I][K]` is all-zero (no edge from block `I` into block `K`) or
+//! `C[K][J]` is absent (block `K` reaches nothing in block `J`). Sparse
+//! DAGs leave most tiles empty, so most of the `O(g³)` products are
+//! skipped — [`TileStats`] counts exactly how many.
+
+use crate::engine::{ClosureEngine, EngineError};
+use systolic_semiring::{BitMatrix, Bool, DenseMatrix};
+
+/// Occupancy accounting of one tiled closure run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TileStats {
+    /// Tile size `t`.
+    pub tile: usize,
+    /// Tiles per side `g = ⌈c/t⌉`.
+    pub grid: usize,
+    /// Lower-triangle tile slots (`g(g+1)/2`) — the only ones that can be
+    /// occupied.
+    pub total_tiles: usize,
+    /// Input tiles holding at least one edge (diagonal tiles count even
+    /// when edgeless: their closure is the identity).
+    pub occupied_input_tiles: usize,
+    /// Output tiles holding at least one bit after closure.
+    pub occupied_output_tiles: usize,
+    /// Diagonal closures performed (always `g`).
+    pub diag_closures: usize,
+    /// Off-diagonal tile products `A[I][K] ⊗ C[K][J]` actually computed.
+    pub tile_muls: usize,
+    /// Products skipped because `A[I][K]` was empty or `C[K][J]` absent.
+    pub skipped_muls: usize,
+}
+
+impl TileStats {
+    /// Fraction of lower-triangle tile slots occupied in the output.
+    pub fn output_occupancy(&self) -> f64 {
+        if self.total_tiles == 0 {
+            0.0
+        } else {
+            self.occupied_output_tiles as f64 / self.total_tiles as f64
+        }
+    }
+}
+
+fn tile_index(g: usize, i: usize, j: usize) -> usize {
+    i * g + j
+}
+
+/// Builds the `t×t` input tiles (padded square, lower triangle only) from
+/// the DAG edge list. Returns `None` for all-zero off-diagonal slots.
+fn build_tiles(c: usize, edges: &[(u32, u32)], t: usize, g: usize) -> Vec<Option<BitMatrix>> {
+    let mut tiles: Vec<Option<BitMatrix>> = (0..g * g).map(|_| None).collect();
+    for &(a, b) in edges {
+        let (a, b) = (a as usize, b as usize);
+        assert!(a < c && b < c, "edge ({a}, {b}) outside 0..{c}");
+        assert!(a > b, "edge ({a}, {b}) must be reverse-topological (a > b)");
+        let (ti, tj) = (a / t, b / t);
+        let slot = &mut tiles[tile_index(g, ti, tj)];
+        let m = slot.get_or_insert_with(|| BitMatrix::zeros(t));
+        m.set(a % t, b % t, true);
+    }
+    tiles
+}
+
+/// Closes the reverse-topologically ordered DAG on `c` vertices given by
+/// `edges` (every edge `(a, b)` must have `a > b`), tiling the matrix at
+/// `t×t` and running the dense per-tile work through software
+/// [`BitMatrix`] kernels. Returns the reflexive closure and the tile
+/// accounting.
+///
+/// # Panics
+/// Panics if `t == 0` or any edge is out of range / not reverse-topological.
+pub fn tiled_dag_closure(c: usize, edges: &[(u32, u32)], t: usize) -> (BitMatrix, TileStats) {
+    tiled_closure_impl(c, edges, t, None).expect("software tiling is infallible")
+}
+
+/// Like [`tiled_dag_closure`], but dispatches all `g` diagonal-tile
+/// closures as one [`ClosureEngine::closure_many`] batch — the systolic
+/// engines ([`crate::PackedEngine`], [`crate::LinearEngine`], …) stay the
+/// per-tile workhorse while the tiling layer handles the sparse skips.
+///
+/// # Errors
+/// Propagates the engine's [`EngineError`] unchanged.
+pub fn tiled_dag_closure_with_engine(
+    c: usize,
+    edges: &[(u32, u32)],
+    t: usize,
+    engine: &dyn ClosureEngine<Bool>,
+) -> Result<(BitMatrix, TileStats), EngineError> {
+    tiled_closure_impl(c, edges, t, Some(engine))
+}
+
+fn tiled_closure_impl(
+    c: usize,
+    edges: &[(u32, u32)],
+    t: usize,
+    engine: Option<&dyn ClosureEngine<Bool>>,
+) -> Result<(BitMatrix, TileStats), EngineError> {
+    assert!(t > 0, "tile size must be positive");
+    if c == 0 {
+        return Ok((BitMatrix::zeros(0), TileStats::default()));
+    }
+    let g = c.div_ceil(t);
+    let tiles = build_tiles(c, edges, t, g);
+    let mut stats = TileStats {
+        tile: t,
+        grid: g,
+        total_tiles: g * (g + 1) / 2,
+        ..TileStats::default()
+    };
+    // Diagonal tiles are counted occupied even when empty (identity
+    // closure); off-diagonal only when they hold an edge.
+    for i in 0..g {
+        for j in 0..=i {
+            if i == j || tiles[tile_index(g, i, j)].is_some() {
+                stats.occupied_input_tiles += 1;
+            }
+        }
+    }
+
+    // D[I] = (A[I][I])* for every diagonal block — independent, so one
+    // engine batch closes them all.
+    let diag: Vec<BitMatrix> = match engine {
+        Some(eng) => {
+            let batch: Vec<DenseMatrix<Bool>> = (0..g)
+                .map(|i| match &tiles[tile_index(g, i, i)] {
+                    Some(m) => m.to_dense(),
+                    None => DenseMatrix::zeros(t, t),
+                })
+                .collect();
+            let (closed, _stats) = eng.closure_many(&batch)?;
+            closed.iter().map(BitMatrix::from_dense).collect()
+        }
+        None => (0..g)
+            .map(|i| match &tiles[tile_index(g, i, i)] {
+                Some(m) => m.transitive_closure(),
+                None => BitMatrix::identity(t),
+            })
+            .collect(),
+    };
+    stats.diag_closures = g;
+
+    // C tiles of the lower triangle, None = all-zero (skipped downstream).
+    let mut closed: Vec<Option<BitMatrix>> = (0..g * g).map(|_| None).collect();
+    for (i, d) in diag.iter().enumerate() {
+        closed[tile_index(g, i, i)] = Some(d.clone());
+    }
+    for i in 0..g {
+        for j in (0..i).rev() {
+            // S = Σ_{j ≤ k < i} A[i][k] ⊗ C[k][j]
+            let mut sum: Option<BitMatrix> = None;
+            for k in j..i {
+                let (Some(a_ik), Some(c_kj)) =
+                    (&tiles[tile_index(g, i, k)], &closed[tile_index(g, k, j)])
+                else {
+                    stats.skipped_muls += 1;
+                    continue;
+                };
+                sum.get_or_insert_with(|| BitMatrix::zeros(t))
+                    .or_mul_acc(a_ik, c_kj);
+                stats.tile_muls += 1;
+            }
+            let Some(sum) = sum else { continue };
+            if sum.is_zero() {
+                continue;
+            }
+            // C[i][j] = D[i] ⊗ S.
+            let mut out = BitMatrix::zeros(t);
+            out.or_mul_acc(&diag[i], &sum);
+            stats.tile_muls += 1;
+            if !out.is_zero() {
+                closed[tile_index(g, i, j)] = Some(out);
+            }
+        }
+    }
+    stats.occupied_output_tiles = (0..g)
+        .flat_map(|i| (0..=i).map(move |j| (i, j)))
+        .filter(|&(i, j)| closed[tile_index(g, i, j)].is_some())
+        .count();
+
+    // Assemble the c×c closure from the occupied tiles, masking padding.
+    let mut out = BitMatrix::zeros(c);
+    for i in 0..g {
+        for j in 0..=i {
+            let Some(tile) = &closed[tile_index(g, i, j)] else {
+                continue;
+            };
+            for r in 0..t {
+                let gi = i * t + r;
+                if gi >= c {
+                    break;
+                }
+                for (wi, &word) in tile.row_words(r).iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let col = wi * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let gj = j * t + col;
+                        if gj < c {
+                            out.set(gi, gj, true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::PackedEngine;
+
+    /// Reference: ascending-id row-union sweep (the sparse solver's exact
+    /// kernel).
+    fn sweep_closure(c: usize, edges: &[(u32, u32)]) -> BitMatrix {
+        let mut m = BitMatrix::identity(c);
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for &(a, b) in edges {
+            succs[a as usize].push(b);
+        }
+        for (a, row) in succs.iter().enumerate() {
+            for &b in row {
+                m.or_row_into(b as usize, a);
+            }
+        }
+        m
+    }
+
+    fn random_dag_edges(c: usize, per_vertex: usize, seed: u64) -> Vec<(u32, u32)> {
+        let mut rng = systolic_util::Rng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for a in 1..c {
+            for _ in 0..per_vertex.min(a) {
+                let b = rng.gen_usize(a);
+                edges.push((a as u32, b as u32));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn tiled_matches_sweep_at_boundary_tile_sizes() {
+        let c = 37;
+        let edges = random_dag_edges(c, 2, 11);
+        let want = sweep_closure(c, &edges);
+        // t = 1, t−1, t, t+1 around an even divisor, plus oversize.
+        for t in [1usize, 7, 8, 9, 37, 64] {
+            let (got, stats) = tiled_dag_closure(c, &edges, t);
+            assert_eq!(got, want, "tile size {t}");
+            assert_eq!(stats.grid, c.div_ceil(t));
+            assert_eq!(stats.diag_closures, stats.grid);
+        }
+    }
+
+    #[test]
+    fn engine_dispatch_matches_software_tiling() {
+        let c = 30;
+        let edges = random_dag_edges(c, 2, 23);
+        let engine = PackedEngine::new(4);
+        for t in [5usize, 8, 30] {
+            let (sw, sw_stats) = tiled_dag_closure(c, &edges, t);
+            let (hw, hw_stats) = tiled_dag_closure_with_engine(c, &edges, t, &engine).unwrap();
+            assert_eq!(sw, hw, "tile size {t}");
+            assert_eq!(sw_stats, hw_stats);
+        }
+    }
+
+    #[test]
+    fn empty_dag_closes_to_identity() {
+        let (m, stats) = tiled_dag_closure(10, &[], 4);
+        assert_eq!(m, BitMatrix::identity(10));
+        // Only diagonal tiles occupied; every off-diagonal product skipped.
+        assert_eq!(stats.occupied_input_tiles, stats.grid);
+        assert_eq!(stats.occupied_output_tiles, stats.grid);
+        assert_eq!(stats.tile_muls, 0);
+    }
+
+    #[test]
+    fn fully_dense_dag_fills_lower_triangle() {
+        // Complete reverse-topological DAG: every (a, b) with a > b.
+        let c = 13;
+        let mut edges = Vec::new();
+        for a in 0..c as u32 {
+            for b in 0..a {
+                edges.push((a, b));
+            }
+        }
+        let (m, stats) = tiled_dag_closure(c, &edges, 4);
+        let mut want = BitMatrix::identity(c);
+        for &(a, b) in &edges {
+            want.set(a as usize, b as usize, true);
+        }
+        assert_eq!(m, want);
+        assert_eq!(stats.occupied_output_tiles, stats.total_tiles);
+        assert_eq!(stats.skipped_muls, 0);
+        assert!((stats.output_occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skips_are_counted_on_sparse_input() {
+        // A single long-range edge leaves almost every tile empty.
+        let (m, stats) = tiled_dag_closure(64, &[(63, 0)], 8);
+        assert!(m.get(63, 0));
+        assert_eq!(stats.tile_muls, 2); // A[7][0] ⊗ C[0][0], then D[7] ⊗ S
+        assert!(stats.skipped_muls > 0);
+        assert_eq!(stats.occupied_output_tiles, stats.grid + 1);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let (m, stats) = tiled_dag_closure(0, &[], 4);
+        assert_eq!(m.n(), 0);
+        assert_eq!(stats.total_tiles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reverse-topological")]
+    fn forward_edge_panics() {
+        tiled_dag_closure(4, &[(1, 2)], 2);
+    }
+}

@@ -43,6 +43,6 @@ pub mod wal;
 pub use chaos::{ChaosPlan, ChaosReader, ChaosWriter};
 pub use protocol::{parse_command, Command, Response};
 pub use server::{serve, serve_tcp, ServeSummary, SessionLimits, SharedService};
-pub use service::{ReachService, ServiceError, ServiceStats};
+pub use service::{ReachService, ServiceError, ServiceStats, MAX_LOAD_VERTICES};
 pub use stream::seeded_stream;
 pub use wal::{Durability, RecoveryReport, WalOp, WalRecord};

@@ -8,7 +8,9 @@
 use std::fmt;
 
 /// One parsed protocol command.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// (`Clone` but no longer `Copy`: `LOAD` carries its file path.)
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
     /// `REACH u v` — is `v` reachable from `u` (reflexively)?
     Reach(usize, usize),
@@ -16,6 +18,10 @@ pub enum Command {
     Insert(usize, usize),
     /// `DELETE u v` — remove edge `u → v`.
     Delete(usize, usize),
+    /// `LOAD <path>` — replace the graph with a Matrix-Market edge list
+    /// read server-side from `path` (bulk initial load; rejected on
+    /// durable services, where it would bypass the WAL).
+    Load(String),
     /// `STATS` — one line of service counters.
     Stats,
     /// `QUIT` — end the session.
@@ -58,6 +64,13 @@ pub enum Response {
         /// Whether the edge was present.
         removed: bool,
     },
+    /// `OK LOAD n=<vertices> edges=<edges>`
+    Loaded {
+        /// Vertex count of the loaded graph.
+        n: usize,
+        /// Edge count of the loaded graph.
+        edges: usize,
+    },
     /// `STATS <key=value ...>`
     Stats(String),
     /// `BYE`
@@ -85,6 +98,7 @@ impl fmt::Display for Response {
             Response::Deleted { u, v, removed } => {
                 write!(f, "OK DELETE {u} {v} removed={removed}")
             }
+            Response::Loaded { n, edges } => write!(f, "OK LOAD n={n} edges={edges}"),
             Response::Stats(s) => write!(f, "STATS {s}"),
             Response::Bye => write!(f, "BYE"),
             Response::Err(msg) => write!(f, "ERR {msg}"),
@@ -139,6 +153,10 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
             let (u, v) = parse_pair(&mut it, "DELETE")?;
             Command::Delete(u, v)
         }
+        "LOAD" => {
+            let path = it.next().ok_or("LOAD needs a file path")?;
+            Command::Load(path.to_string())
+        }
         "STATS" => Command::Stats,
         "QUIT" => Command::Quit,
         other => return Err(format!("unknown command '{other}'")),
@@ -163,6 +181,20 @@ mod tests {
         );
         assert_eq!(parse_command("stats"), Ok(Some(Command::Stats)));
         assert_eq!(parse_command("QUIT"), Ok(Some(Command::Quit)));
+    }
+
+    #[test]
+    fn parses_load_with_path() {
+        assert_eq!(
+            parse_command("LOAD /tmp/web.mtx"),
+            Ok(Some(Command::Load("/tmp/web.mtx".into())))
+        );
+        assert!(parse_command("LOAD").is_err(), "missing path");
+        assert!(parse_command("LOAD a b").is_err(), "trailing token");
+        assert_eq!(
+            Response::Loaded { n: 10, edges: 42 }.to_string(),
+            "OK LOAD n=10 edges=42"
+        );
     }
 
     #[test]

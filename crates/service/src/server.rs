@@ -189,7 +189,7 @@ impl SharedService {
                     None => self.degraded_reach(u, v),
                 }
             }
-            Command::Insert(..) | Command::Delete(..) => {
+            Command::Insert(..) | Command::Delete(..) | Command::Load(..) => {
                 let mut svc = self.write();
                 let resp = svc.execute(cmd);
                 self.publish(&svc);

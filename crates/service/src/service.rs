@@ -7,6 +7,14 @@ use std::sync::Arc;
 use systolic_closure::{DiGraph, IncrementalClosure, RecomputeJob};
 use systolic_partition::{AdmissionBatcher, EngineError, Ticket};
 
+/// Largest graph `LOAD` accepts. The served closure is a dense `n×n`
+/// bitset so each rank-1 insert costs `O(n²/64)` words; at 32 768
+/// vertices that is a 128 MiB closure and ~16 M words per insert —
+/// roughly the point where staying dense per-SCC stops paying for
+/// interactive update latencies. Beyond it, the sparse offline path
+/// (`systolic closure --sparse`) is the right tool.
+pub const MAX_LOAD_VERTICES: usize = 32_768;
+
 /// Service-level counters (superset of the closure's own update stats).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -387,6 +395,37 @@ impl ReachService {
                 }
                 Ok(Response::Deleted { u, v, removed })
             }
+            Command::Load(path) => {
+                // A bulk load is not WAL-logged edge-by-edge, so on a
+                // durable service it would silently diverge from the
+                // recovery path — refuse instead of corrupting history.
+                if self.durability.is_some() {
+                    return Err(EngineError::BadInput(
+                        "LOAD is not supported on a durable service (bulk loads bypass the WAL)"
+                            .into(),
+                    )
+                    .into());
+                }
+                let g = systolic_closure::CsrGraph::load(std::path::Path::new(&path))
+                    .map_err(|e| EngineError::BadInput(format!("LOAD {path}: {e}")))?;
+                // The served closure stays dense n×n so rank-1 updates
+                // remain O(n²/64); cap bulk loads where that stops being
+                // reasonable (see DESIGN §17 for the cutoff argument).
+                if g.n() > MAX_LOAD_VERTICES {
+                    return Err(EngineError::BadInput(format!(
+                        "LOAD {path}: {} vertices exceeds the dense service cap of {} \
+                         (use `systolic closure --sparse` for offline queries at this scale)",
+                        g.n(),
+                        MAX_LOAD_VERTICES
+                    ))
+                    .into());
+                }
+                let edges = g.edge_count();
+                let n = g.n();
+                self.inc = IncrementalClosure::new(g.to_digraph());
+                self.pending_depth = 0;
+                Ok(Response::Loaded { n, edges })
+            }
             Command::Stats => {
                 self.ensure_fresh()?;
                 Ok(Response::Stats(self.stats_line()))
@@ -421,6 +460,56 @@ mod tests {
             Some(c) => svc.execute(c).to_string(),
             None => String::new(),
         }
+    }
+
+    #[test]
+    fn load_replaces_graph_then_serves_and_mutates() {
+        let path =
+            std::env::temp_dir().join(format!("systolic-svc-load-{}.mtx", std::process::id()));
+        let g = systolic_closure::CsrGraph::from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        g.save(&path).unwrap();
+        let mut svc = ReachService::new(DiGraph::new(2));
+        assert_eq!(
+            line(&mut svc, &format!("LOAD {}", path.display())),
+            "OK LOAD n=6 edges=3"
+        );
+        assert_eq!(line(&mut svc, "REACH 0 2"), "REACH 0 2 true");
+        assert_eq!(line(&mut svc, "REACH 2 0"), "REACH 2 0 false");
+        // Incremental updates keep working on the loaded graph.
+        assert!(line(&mut svc, "INSERT 2 4").starts_with("OK INSERT"));
+        assert_eq!(line(&mut svc, "REACH 0 5"), "REACH 0 5 true");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_errors_are_not_fatal() {
+        let mut svc = ReachService::new(DiGraph::new(3));
+        let resp = line(&mut svc, "LOAD /nonexistent/systolic.mtx");
+        assert!(resp.starts_with("ERR"), "{resp}");
+        // Session stays usable after the failed load.
+        assert_eq!(line(&mut svc, "REACH 0 0"), "REACH 0 0 true");
+    }
+
+    #[test]
+    fn load_rejected_on_durable_service() {
+        let wal = std::env::temp_dir().join(format!(
+            "systolic-svc-load-durable-{}.wal",
+            std::process::id()
+        ));
+        std::fs::remove_file(&wal).ok();
+        let mtx = std::env::temp_dir().join(format!(
+            "systolic-svc-load-durable-{}.mtx",
+            std::process::id()
+        ));
+        systolic_closure::CsrGraph::from_edges(3, &[(0, 1)])
+            .save(&mtx)
+            .unwrap();
+        let (d, g, _report) = Durability::open(&wal, None, DiGraph::new(3)).unwrap();
+        let mut svc = ReachService::new(g).with_durability(d);
+        let resp = line(&mut svc, &format!("LOAD {}", mtx.display()));
+        assert!(resp.contains("bypass the WAL"), "{resp}");
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(&mtx).ok();
     }
 
     #[test]
@@ -593,7 +682,11 @@ mod tests {
                     let q = crate::protocol::parse_command(&format!("REACH {u} {v}"))
                         .unwrap()
                         .unwrap();
-                    assert_eq!(svc.execute(q), soft.execute(q), "tenant {t} {u}->{v}");
+                    assert_eq!(
+                        svc.execute(q.clone()),
+                        soft.execute(q),
+                        "tenant {t} {u}->{v}"
+                    );
                 }
             }
         }

@@ -23,10 +23,12 @@
 
 pub mod bench;
 pub mod check;
+pub mod mem;
 pub mod pool;
 pub mod rng;
 
 pub use bench::{black_box, Bench};
 pub use check::Checker;
+pub use mem::peak_rss_bytes;
 pub use pool::{JobPanic, WaitGroup, WorkerPool};
 pub use rng::Rng;

@@ -1,0 +1,38 @@
+//! Process memory introspection for benchmark reporting.
+//!
+//! Linux-only (reads `/proc/self/status`); returns `None` elsewhere so
+//! callers degrade to analytic byte accounting instead of failing.
+
+/// Peak resident set size (`VmHWM`) of this process in bytes, if the
+/// platform exposes it.
+///
+/// Note the high-water mark is monotonic over the process lifetime:
+/// benches that want a per-phase figure must run phases smallest-first
+/// and snapshot between them.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_nonzero_on_linux() {
+        if cfg!(target_os = "linux") {
+            let peak = peak_rss_bytes().expect("VmHWM available on Linux");
+            assert!(peak > 0);
+            // Growing the heap must not shrink the reading (monotone).
+            let v = vec![1u8; 8 << 20];
+            std::hint::black_box(&v);
+            assert!(peak_rss_bytes().unwrap() >= peak);
+        }
+    }
+}

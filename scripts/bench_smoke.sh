@@ -30,6 +30,11 @@
 #   * the chaos smoke must record the 4-client concurrent run and the
 #     kill-and-recover run (recover_ms), both ok=true — a daemon that
 #     loses a session or recovers a wrong closure fails here,
+#   * the sparse data plane must close the pinned n=4096 power-law graph
+#     >= 20x faster than the dense BitMatrix sweep (same-run ratio), all
+#     three sparse_scale rows (10^4, 10^5, 10^6) must be recorded, and
+#     peak resident memory after the 10^5 row must stay under a hard
+#     128 MiB ceiling (the whole point of never materializing n x n),
 #   * a gate whose key is missing from the output FAILS — a bench that
 #     never printed its line must not pass vacuously.
 set -euo pipefail
@@ -53,7 +58,9 @@ BASELINE_MS="${PRIOR_MS:-$ORIGINAL_BASELINE_MS}"
 lines=$(
   cargo bench -p systolic-bench --bench batched_closure 2>/dev/null
   cargo bench -p systolic-bench --bench plan_reuse 2>/dev/null
+  cargo bench -p systolic-bench --bench sparse_closure 2>/dev/null
   cargo run --release -q -p systolic-bench --bin serve_bench "$SERVE_CMDS"
+  cargo run --release -q -p systolic-bench --bin sparse_bench
 )
 printf '%s\n' "$lines"
 
@@ -117,6 +124,28 @@ printf '%s\n' "$lines" | awk \
     crows[nc] = sprintf("    {\"id\": \"%s\", \"ops\": %d, \"wal_bytes\": %d, \"recover_ms\": %.2f, \"ok\": %s}", \
       $1, kv["ops"], kv["wal_bytes"], kv["recover_ms"], kv["ok"])
   }
+  /^sparse_scale\// {
+    delete kv
+    for (i = 2; i <= NF; i++) {
+      split($(i), pair, "=")
+      kv[pair[1]] = pair[2]
+    }
+    nsc++
+    nsp++
+    sprows[nsp] = sprintf("    {\"id\": \"%s\", \"edges\": %d, \"scc\": %d, \"dag_edges\": %d, \"mode\": \"%s\", \"fill_pairs\": %.3e, \"fill_exact\": %s, \"mem_bytes\": %d, \"peak_rss_bytes\": %d, \"gen_ms\": %.1f, \"close_ms\": %.1f}", \
+      $1, kv["edges"], kv["scc"], kv["dag_edges"], kv["mode"], kv["fill_pairs"], kv["fill_exact"], kv["mem_bytes"], kv["peak_rss_bytes"], kv["gen_ms"], kv["close_ms"])
+    if ($1 == "sparse_scale/100000") peak1e5 = kv["peak_rss_bytes"]
+  }
+  /^sparse_tiles\// {
+    delete kv
+    for (i = 2; i <= NF; i++) {
+      split($(i), pair, "=")
+      kv[pair[1]] = pair[2]
+    }
+    nsp++
+    sprows[nsp] = sprintf("    {\"id\": \"%s\", \"tile\": %d, \"grid\": %d, \"total\": %d, \"occupied_in\": %d, \"occupied_out\": %d, \"muls\": %d, \"skipped\": %d}", \
+      $1, kv["tile"], kv["grid"], kv["total"], kv["occupied_in"], kv["occupied_out"], kv["muls"], kv["skipped"])
+  }
   END {
     if (bad) exit 1
     if (n == 0) {
@@ -154,6 +183,14 @@ printf '%s\n' "$lines" | awk \
     printf "  \"bitmatrix_blocked_speedup_2048\": %s,\n", \
       ratio_or_null(med_of["batched_closure/bitmatrix_unblocked/2048"], \
                     med_of["batched_closure/bitmatrix_blocked/2048"])
+    printf "  \"sparse_speedup_vs_dense_4096\": %s,\n", \
+      ratio_or_null(med_of["sparse_closure/dense_4096"], \
+                    med_of["sparse_closure/sparse_4096"])
+    printf "  \"sparse_scale_rows\": %d,\n", nsc
+    printf "  \"sparse_peak_bytes_1e5\": %s,\n", (peak1e5 != "" ? peak1e5 : "null")
+    print "  \"sparse\": ["
+    for (i = 1; i <= nsp; i++) printf "%s%s\n", sprows[i], (i < nsp ? "," : "")
+    print "  ],"
     print "  \"serve\": ["
     for (i = 1; i <= ns; i++) printf "%s%s\n", srows[i], (i < ns ? "," : "")
     print "  ],"
@@ -165,7 +202,7 @@ printf '%s\n' "$lines" | awk \
 mv "$OUT.tmp" "$OUT"
 
 echo "bench_smoke: wrote $OUT (informational baseline ${BASELINE_MS} ms)"
-grep -E 'speedup|serve_stream|serve_concurrent|serve_recover' "$OUT"
+grep -E 'speedup|sparse_|serve_stream|serve_concurrent|serve_recover' "$OUT"
 
 # gate KEY MIN — the JSON key must exist and its value must be a number
 # >= MIN. null or a missing key fails: a gate must never pass because the
@@ -176,6 +213,26 @@ gate() {
       found = 1; gsub(/[,"]/, ""); v = $2
       if (v == "null" || v + 0 < min + 0) {
         printf "bench_smoke: FAIL %s gate (%s < %s)\n", key, v, min
+        exit 1
+      }
+    }
+    END {
+      if (!found) {
+        printf "bench_smoke: FAIL gate key %s missing from output\n", key
+        exit 1
+      }
+    }' "$OUT"
+}
+
+# gate_max KEY MAX — the JSON key must exist and its value must be a
+# number in (0, MAX]. Zero fails too: for a resource ceiling, 0 means the
+# measurement is missing, and a ceiling must never pass unmeasured.
+gate_max() {
+  awk -v key="\"$1\"" -v max="$2" '
+    $0 ~ key {
+      found = 1; gsub(/[,"]/, ""); v = $2
+      if (v == "null" || v + 0 <= 0 || v + 0 > max + 0) {
+        printf "bench_smoke: FAIL %s ceiling (%s not in (0, %s])\n", key, v, max
         exit 1
       }
     }
@@ -206,7 +263,15 @@ gate minplus_packed_speedup 4.0
 gate bitmatrix_blocked_speedup_256 0.95
 gate bitmatrix_blocked_speedup_2048 1.02
 
-# Gate 5: both serve streams recorded, and every answer matched the oracle.
+# Gate 5: the sparse data plane. Same-run ratio vs the dense BitMatrix
+# sweep on the pinned n=4096 power-law graph (>= 20x), all three scaling
+# rows recorded, and peak resident memory after the 10^5 row under a hard
+# 128 MiB ceiling (dense n^2/8 alone would be 1.16 GiB).
+gate sparse_speedup_vs_dense_4096 20.0
+gate sparse_scale_rows 3
+gate_max sparse_peak_bytes_1e5 134217728
+
+# Gate 6: both serve streams recorded, and every answer matched the oracle.
 awk '
   /"id": "serve_stream\// {
     n++
@@ -222,7 +287,7 @@ awk '
     }
   }' "$OUT"
 
-# Gate 6: the chaos smoke recorded both runs — four concurrent sessions
+# Gate 7: the chaos smoke recorded both runs — four concurrent sessions
 # all oracle-correct with none failed, and kill-and-recover rebuilding the
 # exact committed closure (recover_ms present). Missing keys fail.
 awk '

@@ -11,9 +11,12 @@ cargo fmt --all --check
 cargo test -q --workspace
 
 # The widened data plane's equivalence suites, named explicitly so a
-# failure points straight at the lane plane that diverged (they also run
-# as part of the workspace suite above).
-cargo test -q --test proptest_lanes --test proptest_swar --test proptest_laws
+# failure points straight at the plane that diverged (they also run
+# as part of the workspace suite above). proptest_sparse pins the sparse
+# CSR pipeline to the dense oracle and the tiled bridge to the untiled
+# closure.
+cargo test -q --test proptest_lanes --test proptest_swar --test proptest_laws \
+    --test proptest_sparse
 
 # Perf smoke (non-gating: wall-clock numbers are machine-dependent).
 ./scripts/bench_smoke.sh || echo "check.sh: bench_smoke failed (non-gating)"

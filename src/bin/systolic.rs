@@ -19,7 +19,8 @@
 use std::io::Read;
 use systolic::arraysim::render_gantt;
 use systolic::closure::{
-    shortest_paths_with_routes, Backend, ClosureSolver, DiGraph, WeightedDiGraph,
+    shortest_paths_with_routes, Backend, ClosureSolver, CsrGraph, DiGraph, SparseClosure,
+    SparseOptions, WeightedDiGraph,
 };
 use systolic::metrics::LinearModel;
 use systolic::partition::{ClosureEngine, GsetSchedule, LinearEngine, PackedEngine};
@@ -30,6 +31,8 @@ fn fail(msg: &str) -> ! {
     eprintln!();
     eprintln!("usage:");
     eprintln!("  systolic closure  [--backend linear:M|grid:S|lsgp:M|fixed|fixed-linear|reference|bit|blocked:B] [--mapping lpgs:M|lsgp:M|grid:S|fixed|fixed-linear] [--threads T] [--show] <file|->");
+    eprintln!("                    [--load mtx-file] [--gen powerlaw:n=N,d=D,seed=S | gnp:n=N,p=P,seed=S | bowtie:n=N,seed=S]");
+    eprintln!("                    [--sparse] [--tile T] [--stats]   (sparse path auto-selected above 4096 vertices)");
     eprintln!("  systolic paths    <file> <src> <dst>");
     eprintln!("  systolic schedule <n> <m> [--grid]");
     eprintln!("  systolic gantt    <n> <m>");
@@ -164,11 +167,52 @@ fn parse_mapping(spec: &str) -> Backend {
     }
 }
 
+/// Parses a `--gen` spec: `kind:key=val,key=val` with kinds `powerlaw`
+/// (keys n, d, seed), `gnp` (n, p, seed) and `bowtie` (n, seed).
+fn parse_gen(spec: &str) -> CsrGraph {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    let mut n = 0usize;
+    let mut d = 4usize;
+    let mut p = 0.01f64;
+    let mut seed = 1u64;
+    for kv in rest.split(',').filter(|s| !s.is_empty()) {
+        let Some((k, v)) = kv.split_once('=') else {
+            fail(&format!("--gen: `{kv}` is not key=value"));
+        };
+        let bad = || -> ! { fail(&format!("--gen: bad value in `{kv}`")) };
+        match k {
+            "n" => n = v.parse().unwrap_or_else(|_| bad()),
+            "d" => d = v.parse().unwrap_or_else(|_| bad()),
+            "p" => p = v.parse().unwrap_or_else(|_| bad()),
+            "seed" => seed = v.parse().unwrap_or_else(|_| bad()),
+            _ => fail(&format!("--gen: unknown key `{k}`")),
+        }
+    }
+    let n = positive("--gen vertex count n", n);
+    match kind {
+        "powerlaw" => systolic::closure::powerlaw(n, d, seed),
+        "gnp" => systolic::closure::gnp_csr(n, p, seed),
+        "bowtie" => systolic::closure::bowtie(n, seed),
+        _ => fail(&format!(
+            "--gen: unknown kind `{kind}` (expected powerlaw, gnp, bowtie)"
+        )),
+    }
+}
+
+/// Above this vertex count, `closure` routes through the sparse plane
+/// unless an explicit dense `--backend`/`--mapping` pins it down.
+const SPARSE_AUTO_THRESHOLD: usize = 4096;
+
 fn cmd_closure(args: &[String]) {
     let mut backend = Backend::Linear { cells: 4 };
+    let mut backend_explicit = false;
     let mut threads = 1usize;
     let mut show = false;
+    let mut stats = false;
+    let mut sparse = false;
+    let mut tile: Option<usize> = None;
     let mut file = None;
+    let mut graph: Option<CsrGraph> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -179,6 +223,7 @@ fn cmd_closure(args: &[String]) {
                         .map(String::as_str)
                         .unwrap_or_else(|| fail("--backend needs a value")),
                 );
+                backend_explicit = true;
             }
             "--mapping" => {
                 i += 1;
@@ -187,6 +232,7 @@ fn cmd_closure(args: &[String]) {
                         .map(String::as_str)
                         .unwrap_or_else(|| fail("--mapping needs a value")),
                 );
+                backend_explicit = true;
             }
             "--threads" => {
                 i += 1;
@@ -196,17 +242,59 @@ fn cmd_closure(args: &[String]) {
                     .filter(|&t| t >= 1)
                     .unwrap_or_else(|| fail("--threads needs a positive integer"));
             }
+            "--load" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("--load needs a Matrix-Market file"));
+                graph = Some(
+                    CsrGraph::load(std::path::Path::new(path))
+                        .unwrap_or_else(|e| fail(&format!("loading {path}: {e}"))),
+                );
+            }
+            "--gen" => {
+                i += 1;
+                graph = Some(parse_gen(
+                    args.get(i)
+                        .map(String::as_str)
+                        .unwrap_or_else(|| fail("--gen needs a spec")),
+                ));
+            }
+            "--tile" => {
+                i += 1;
+                tile = Some(positive(
+                    "--tile size",
+                    args.get(i)
+                        .and_then(|a| a.parse().ok())
+                        .unwrap_or_else(|| fail("--tile needs a positive integer")),
+                ));
+            }
+            "--sparse" => sparse = true,
+            "--stats" => stats = true,
             "--show" => show = true,
             other => file = Some(other.to_string()),
         }
         i += 1;
     }
-    let file = file.unwrap_or_else(|| fail("closure needs an input file (or -)"));
-    let (n, edges) = parse_edges(&read_input(&file), false);
-    let mut g = DiGraph::new(n);
-    for (u, v, _) in edges {
-        g.add_edge(u, v);
+    let graph = graph.unwrap_or_else(|| {
+        let file =
+            file.unwrap_or_else(|| fail("closure needs an input (file, -, --load or --gen)"));
+        let (n, edges) = parse_edges(&read_input(&file), false);
+        let pairs: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v, _)| (u as u32, v as u32))
+            .collect();
+        CsrGraph::from_edges(n, &pairs)
+    });
+    if stats {
+        println!("graph: {}", graph.stats());
     }
+    let use_sparse = sparse || (!backend_explicit && graph.n() > SPARSE_AUTO_THRESHOLD);
+    if use_sparse {
+        closure_sparse(&graph, tile, stats, show);
+        return;
+    }
+    let g = graph.to_digraph();
     let solver = ClosureSolver::new(backend).with_threads(threads);
     let (reach, report) = solver
         .transitive_closure_with_report(&g)
@@ -231,6 +319,76 @@ fn cmd_closure(args: &[String]) {
         for u in 0..g.n() {
             let row: String = (0..g.n())
                 .map(|v| if reach.reachable(u, v) { '1' } else { '.' })
+                .collect();
+            println!("{row}");
+        }
+    }
+}
+
+/// The sparse closure path: condensation + component-DAG closure, no
+/// dense `n×n` matrix at any point.
+fn closure_sparse(graph: &CsrGraph, tile: Option<usize>, stats: bool, show: bool) {
+    let start = std::time::Instant::now();
+    let sc = SparseClosure::with_options(
+        graph,
+        SparseOptions {
+            tile,
+            ..SparseOptions::default()
+        },
+    );
+    let elapsed = start.elapsed();
+    let s = sc.stats(1000, 42);
+    println!(
+        "{} vertices, {} edges → {} SCCs, {} DAG edges (sparse, {:?} mode, {:.1} ms)",
+        s.n,
+        s.edges,
+        s.scc_count,
+        s.dag_edges,
+        s.mode,
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "fill-in: {:.3e} reachable pairs ({}), resident {:.1} MiB",
+        s.fill.pairs,
+        if s.fill.exact { "exact" } else { "sampled" },
+        s.memory_bytes as f64 / (1024.0 * 1024.0)
+    );
+    if stats {
+        println!(
+            "condensation: {} nontrivial SCCs, largest row {:.3e} of {} vertices",
+            s.nontrivial_sccs,
+            (0..sc.n().min(64))
+                .map(|u| sc.row_len(u))
+                .max()
+                .unwrap_or(0) as f64,
+            s.n
+        );
+        if let Some(t) = tile {
+            let edges: Vec<(u32, u32)> = sc.condensation().dag.edges().collect();
+            let (_, ts) =
+                systolic::partition::tiled_dag_closure(sc.condensation().len(), &edges, t);
+            println!(
+                "tiles: {}x{} grid of t={}, {}/{} input occupied, {}/{} output occupied ({:.1}%), {} muls, {} skipped",
+                ts.grid,
+                ts.grid,
+                ts.tile,
+                ts.occupied_input_tiles,
+                ts.total_tiles,
+                ts.occupied_output_tiles,
+                ts.total_tiles,
+                ts.output_occupancy() * 100.0,
+                ts.tile_muls,
+                ts.skipped_muls
+            );
+        }
+    }
+    if show {
+        if graph.n() > 256 {
+            fail("--show is capped at 256 vertices (use queries instead)");
+        }
+        for u in 0..graph.n() {
+            let row: String = (0..graph.n())
+                .map(|v| if sc.reachable(u, v) { '1' } else { '.' })
                 .collect();
             println!("{row}");
         }

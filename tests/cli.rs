@@ -291,6 +291,140 @@ fn serve_runs_a_session_over_stdio() {
 }
 
 #[test]
+fn closure_sparse_on_generated_graph() {
+    let out = bin()
+        .args([
+            "closure",
+            "--gen",
+            "powerlaw:n=2000,d=4,seed=7",
+            "--sparse",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("graph: n=2000"), "{text}");
+    assert!(text.contains("SCCs"), "{text}");
+    assert!(text.contains("(sparse, Exact mode"), "{text}");
+    assert!(text.contains("fill-in:"), "{text}");
+    assert!(text.contains("condensation:"), "{text}");
+}
+
+#[test]
+fn closure_sparse_matches_dense_rows_via_load() {
+    // The same 4-vertex graph as `closure_on_edge_file`, shipped as a
+    // 1-based Matrix-Market file through --load --sparse: the --show
+    // grid must be identical to the dense backend's.
+    let mtx = write_temp(
+        "load-roundtrip.mtx",
+        "%%MatrixMarket matrix coordinate pattern general\n4 4 4\n1 2\n2 3\n3 1\n3 4\n",
+    );
+    let out = bin()
+        .args(["closure", "--load"])
+        .arg(&mtx)
+        .args(["--sparse", "--show"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1111"), "{text}");
+    assert!(text.contains("...1"), "{text}");
+    std::fs::remove_file(mtx).ok();
+}
+
+#[test]
+fn closure_sparse_tile_stats_line() {
+    let out = bin()
+        .args([
+            "closure",
+            "--gen",
+            "gnp:n=300,p=0.01,seed=3",
+            "--sparse",
+            "--tile",
+            "32",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tiles:"), "{text}");
+    assert!(text.contains("t=32"), "{text}");
+}
+
+#[test]
+fn closure_bad_gen_and_load_exit_cleanly() {
+    for spec in ["powerlaw:n=0", "mesh:n=5", "powerlaw:n=ten", "powerlaw:q=1"] {
+        let out = bin().args(["closure", "--gen", spec]).output().unwrap();
+        assert!(!out.status.success(), "--gen {spec} must fail");
+        assert_eq!(out.status.code(), Some(2), "--gen {spec}: clean exit");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!err.contains("panicked"), "--gen {spec}: {err}");
+    }
+    let out = bin()
+        .args(["closure", "--load", "/nonexistent/graph.mtx"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+}
+
+#[test]
+fn serve_loads_a_matrix_market_file() {
+    let mtx = write_temp(
+        "serve-load.mtx",
+        "%%MatrixMarket matrix coordinate pattern general\n4 4 4\n1 2\n2 3\n3 1\n3 4\n",
+    );
+    let mut child = bin()
+        .args(["serve", "--vertices", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    stdin
+        .write_all(
+            format!(
+                "LOAD {}\nREACH 0 3\nLOAD /nonexistent.mtx\nREACH 0 3\nQUIT\n",
+                mtx.display()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "OK LOAD n=4 edges=4", "{text}");
+    assert_eq!(lines[1], "REACH 0 3 true", "{text}");
+    assert!(lines[2].starts_with("ERR "), "{text}");
+    // A failed LOAD leaves the previous graph serving.
+    assert_eq!(lines[3], "REACH 0 3 true", "{text}");
+    std::fs::remove_file(mtx).ok();
+}
+
+#[test]
 fn serve_seeds_from_an_edge_file() {
     let f = write_temp("edges-serve", "0 1\n1 2\n2 0\n");
     let mut child = bin()

@@ -51,8 +51,8 @@ impl Oracle {
 /// oracle is passed in so a crash/restart test can carry one oracle
 /// across two service lifetimes.
 fn replay_with(svc: &mut ReachService, cmds: &[Command], oracle: &mut Oracle) {
-    for (step, &cmd) in cmds.iter().enumerate() {
-        match (cmd, svc.execute(cmd)) {
+    for (step, cmd) in cmds.iter().enumerate() {
+        match (cmd.clone(), svc.execute(cmd.clone())) {
             (Command::Reach(u, v), Response::Reach { reachable, .. }) => {
                 assert_eq!(
                     reachable,
