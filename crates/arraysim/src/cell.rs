@@ -24,6 +24,16 @@ pub enum TaskKind {
     Fuse,
     /// Consume the pivot stream, emit it rotated as a column.
     DelayTail,
+    /// Gaussian-elimination pivot head: consume one matrix column, latch its
+    /// head `x_kk`, emit the head unchanged then `x_ik / x_kk` for the rest
+    /// of the stream (`pivot_out`). Requires a semiring overriding
+    /// [`systolic_semiring::Semiring::div`].
+    DivHead,
+    /// Gaussian-elimination fuse: like `Fuse` but the update is
+    /// `x − p ⊗ q` ([`systolic_semiring::Semiring::elim`]) and the latched
+    /// head (the finished `u_kh` element) is re-emitted on `head_out` when
+    /// set, else on `col_out`.
+    ElimFuse,
     /// Pure pass-through of a column stream (used by coalescing baselines
     /// and unload chains).
     Pass,
@@ -61,6 +71,12 @@ pub struct Task {
     pub col_out: Option<StreamDst>,
     /// Pivot output (required by `PivotHead`; `Fuse` forwards when set).
     pub pivot_out: Option<StreamDst>,
+    /// Where the deferred (rotated) head word goes for `ElimFuse` tasks;
+    /// `None` falls back to `col_out` (the closure behaviour).
+    pub head_out: Option<StreamDst>,
+    /// Cycles the cell stays busy per stream element (the §4.3 varying
+    /// G-node computation time; `1` is the classical single-cycle task).
+    pub duration: u32,
     /// Useful primitive operations performed (`n-2` for a fuse G-node).
     pub useful_ops: u64,
     /// Traceability label.
@@ -95,6 +111,9 @@ pub enum Step {
     Worked,
     /// Required input or output was unavailable.
     Stalled,
+    /// Still executing a multi-cycle element (fired earlier, finishes at
+    /// `busy_until`); the cell neither consumed nor stalled this cycle.
+    Busy,
     /// No tasks remain.
     Done,
 }
@@ -298,6 +317,9 @@ pub struct Cell<S: Semiring> {
     /// one word per cycle; the slack is what the paper's delay column
     /// absorbs.
     deferred: Option<(StreamDst, S::Elem)>,
+    /// First cycle at which the cell is free again after a multi-cycle
+    /// element step (`0` when idle or running single-cycle tasks).
+    pub busy_until: u64,
     /// Cycles in which this cell consumed or produced words.
     pub busy_cycles: u64,
     /// Cycles in which this cell had a task but could not fire.
@@ -319,6 +341,7 @@ impl<S: Semiring> Cell<S> {
             pos: 0,
             latch: None,
             deferred: None,
+            busy_until: 0,
             busy_cycles: 0,
             stall_cycles: 0,
             useful_ops: 0,
@@ -352,6 +375,19 @@ impl<S: Semiring> Cell<S> {
         (self.program.tasks().len() - self.cursor) + usize::from(self.deferred.is_some())
     }
 
+    /// Longest per-element duration in this cell's program (`1` when the
+    /// program is empty). Bounds how long a busy cell can stay silent, so
+    /// the run loops fold it into their deadlock grace period.
+    pub fn max_task_duration(&self) -> u64 {
+        self.program
+            .tasks()
+            .iter()
+            .map(|t| u64::from(t.duration))
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
     /// Rewinds the program and clears all dynamic state and counters,
     /// keeping the program itself (shared or owned) and allocations.
     pub fn reset(&mut self) {
@@ -359,6 +395,7 @@ impl<S: Semiring> Cell<S> {
         self.pos = 0;
         self.latch = None;
         self.deferred = None;
+        self.busy_until = 0;
         self.busy_cycles = 0;
         self.stall_cycles = 0;
         self.useful_ops = 0;
@@ -396,6 +433,14 @@ impl<S: Semiring> Cell<S> {
 
     /// Executes at most one stream element of the current task.
     pub fn step(&mut self, fab: &mut Fabric<'_, S>) -> Step {
+        // A multi-cycle element occupies the ALU until `busy_until`; the
+        // cell cannot consume, stall or flush before then.
+        if fab.now < self.busy_until {
+            if self.pending() == 0 {
+                return Step::Done;
+            }
+            return Step::Busy;
+        }
         // Flush the previous task's trailing head first; it uses the output
         // port this cycle, so a failed flush stalls the cell.
         if let Some((dst, _)) = &self.deferred {
@@ -427,23 +472,25 @@ impl<S: Semiring> Cell<S> {
             task.kind,
             TaskKind::PivotHead
                 | TaskKind::Fuse
+                | TaskKind::DivHead
+                | TaskKind::ElimFuse
                 | TaskKind::Pass
                 | TaskKind::LoadAcc
                 | TaskKind::Mac
         );
         let need_piv = matches!(
             task.kind,
-            TaskKind::Fuse | TaskKind::DelayTail | TaskKind::Mac
+            TaskKind::Fuse | TaskKind::ElimFuse | TaskKind::DelayTail | TaskKind::Mac
         );
         let emits_col = match task.kind {
-            TaskKind::Fuse | TaskKind::DelayTail => r >= 1, // slot r-1; head deferred
+            TaskKind::Fuse | TaskKind::ElimFuse | TaskKind::DelayTail => r >= 1, // head deferred
             TaskKind::Pass | TaskKind::EmitAcc => true,
             TaskKind::Mac => task.col_out.is_some(),
-            TaskKind::PivotHead | TaskKind::LoadAcc => false,
+            TaskKind::PivotHead | TaskKind::DivHead | TaskKind::LoadAcc => false,
         };
         let emits_piv = match task.kind {
-            TaskKind::PivotHead => true,
-            TaskKind::Fuse | TaskKind::Mac => task.pivot_out.is_some(),
+            TaskKind::PivotHead | TaskKind::DivHead => true,
+            TaskKind::Fuse | TaskKind::ElimFuse | TaskKind::Mac => task.pivot_out.is_some(),
             _ => false,
         };
 
@@ -463,6 +510,8 @@ impl<S: Semiring> Cell<S> {
 
         let kind = task.kind;
         let useful = task.useful_ops;
+        let dur = task.duration.max(1);
+        let head_dst = task.head_out.or(task.col_out);
         let c = if need_col {
             Some(fab.src_take(col_in.as_ref().expect("col_in required"), cell))
         } else {
@@ -481,15 +530,20 @@ impl<S: Semiring> Cell<S> {
                     fab.dst_put(d, c, cell);
                 }
             }
-            TaskKind::Fuse => {
+            TaskKind::Fuse | TaskKind::ElimFuse => {
                 let c = c.expect("fuse consumes the column");
                 let p = p.expect("fuse consumes the pivot");
                 if r == 0 {
-                    // Latch the pivot-row element q = x[k][j].
+                    // Latch the pivot-row element q = x[k][j] (for the
+                    // elimination variant: the finished element u_kh).
                     self.latch = Some(c);
                 } else {
                     let q = self.latch.as_ref().expect("head latched at r=0");
-                    let v = S::fuse(&c, &p, q);
+                    let v = if kind == TaskKind::ElimFuse {
+                        S::elim(&c, &p, q)
+                    } else {
+                        S::fuse(&c, &p, q)
+                    };
                     if let Some(d) = &col_out {
                         fab.dst_put(d, v, cell);
                     }
@@ -498,12 +552,31 @@ impl<S: Semiring> Cell<S> {
                     // Re-emit the latched head as the final (rotated) slot,
                     // one cycle later (deferred write).
                     let q = self.latch.take().expect("head latched at r=0");
-                    if let Some(d) = &col_out {
+                    if let Some(d) = &head_dst {
                         self.deferred = Some((*d, q));
                     }
                 }
                 if let Some(d) = &piv_out {
                     fab.dst_put(d, p, cell);
+                }
+            }
+            TaskKind::DivHead => {
+                let c = c.expect("div head consumes the column");
+                if r == 0 {
+                    // Latch the pivot element x_kk and echo it unchanged.
+                    self.latch = Some(c.clone());
+                    if let Some(d) = &piv_out {
+                        fab.dst_put(d, c, cell);
+                    }
+                } else {
+                    let q = self.latch.as_ref().expect("pivot latched at r=0");
+                    let v = S::div(&c, q);
+                    if let Some(d) = &piv_out {
+                        fab.dst_put(d, v, cell);
+                    }
+                }
+                if last {
+                    self.latch = None;
                 }
             }
             TaskKind::DelayTail => {
@@ -549,7 +622,10 @@ impl<S: Semiring> Cell<S> {
             }
         }
 
-        self.busy_cycles += 1;
+        self.busy_cycles += u64::from(dur);
+        if dur > 1 {
+            self.busy_until = fab.now + u64::from(dur);
+        }
         let _ = kind;
         if self.pos == 0 {
             self.cur_start = fab.now;
@@ -562,7 +638,7 @@ impl<S: Semiring> Cell<S> {
                 spans.push(crate::trace::TaskSpan {
                     cell: self.id,
                     start: self.cur_start,
-                    end: fab.now + 1,
+                    end: fab.now + u64::from(dur),
                     label,
                 });
             }
@@ -616,6 +692,8 @@ mod tests {
             pivot_in: None,
             col_out: Some(StreamDst::Sink),
             pivot_out: None,
+            head_out: None,
+            duration: 1,
             useful_ops: 0,
             label: TaskLabel::default(),
         }]

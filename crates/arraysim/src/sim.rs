@@ -264,7 +264,18 @@ impl<S: Semiring> ArraySim<S> {
         let mut first_fire: Option<u64> = None;
         let mut last_fire: Option<u64> = None;
         let max_link_delay = self.links.iter().map(Link::delay).max().unwrap_or(1);
-        let grace = self.host.max_latency().max(max_link_delay) + 2;
+        let max_task_dur = self
+            .cells
+            .iter()
+            .map(Cell::max_task_duration)
+            .max()
+            .unwrap_or(1);
+        let grace = self
+            .host
+            .max_latency()
+            .max(max_link_delay)
+            .max(max_task_dur)
+            + 2;
 
         // Scheduling state: `sched[c]` is the cycle cell `c` will next be
         // stepped (IDLE = parked or retired); `sleep_from[c]` is the cycle
@@ -354,9 +365,20 @@ impl<S: Semiring> ArraySim<S> {
                                 remaining -= 1;
                                 sched[ci] = IDLE;
                             } else {
-                                sched[ci] = now + 1;
-                                heap.push(Reverse((now + 1, c)));
+                                // A multi-cycle element keeps the cell busy
+                                // until `busy_until`; stepping earlier would
+                                // only observe `Step::Busy`.
+                                let next = (now + 1).max(self.cells[ci].busy_until);
+                                sched[ci] = next;
+                                heap.push(Reverse((next, c)));
                             }
+                        }
+                        Step::Busy => {
+                            // Spurious wake (e.g. a stream event) while the
+                            // ALU is occupied: try again when it frees.
+                            let next = self.cells[ci].busy_until;
+                            sched[ci] = next;
+                            heap.push(Reverse((next, c)));
                         }
                         Step::Stalled => {
                             sched[ci] = IDLE;
@@ -433,7 +455,18 @@ impl<S: Semiring> ArraySim<S> {
         let mut first_fire: Option<u64> = None;
         let mut last_fire: Option<u64> = None;
         let max_link_delay = self.links.iter().map(Link::delay).max().unwrap_or(1);
-        let grace = self.host.max_latency().max(max_link_delay) + 2;
+        let max_task_dur = self
+            .cells
+            .iter()
+            .map(Cell::max_task_duration)
+            .max()
+            .unwrap_or(1);
+        let grace = self
+            .host
+            .max_latency()
+            .max(max_link_delay)
+            .max(max_task_dur)
+            + 2;
         let mut wakes: Vec<(u64, u32)> = Vec::new();
 
         loop {
@@ -610,6 +643,8 @@ mod tests {
             pivot_in: None,
             col_out: None,
             pivot_out: None,
+            head_out: None,
+            duration: 1,
             useful_ops: 0,
             label: TaskLabel::default(),
         }
@@ -835,6 +870,65 @@ mod tests {
         assert_eq!(rs, ds);
         assert_eq!(rs.stalls, ds.stalls, "lazy stall accounting must match");
         assert_eq!(rs.peak_bank_resident, ds.peak_bank_resident);
+    }
+
+    #[test]
+    fn multi_cycle_duration_throttles_and_matches_dense() {
+        let build = || {
+            let mut sim = ArraySim::<MinPlus>::new(1);
+            let b = sim.add_bank();
+            let o = sim.add_outputs(1);
+            for w in [1u64, 2, 3, 4] {
+                sim.bank_mut(b).preload(0, w);
+            }
+            let mut t = task(TaskKind::Pass, 4);
+            t.duration = 3;
+            t.col_in = Some(StreamSrc::Bank { bank: b, slot: 0 });
+            t.col_out = Some(StreamDst::Output { stream: o });
+            sim.push_task(0, t);
+            sim
+        };
+        let mut ready = build();
+        let mut dense = build();
+        let rs = ready.run().unwrap();
+        let ds = dense.run_dense().unwrap();
+        assert_eq!(ready.outputs(), dense.outputs());
+        assert_eq!(rs, ds);
+        assert_eq!(ready.outputs()[0], vec![1, 2, 3, 4]);
+        // Each of the 4 elements holds the ALU for 3 cycles.
+        assert_eq!(rs.busy[0], 12);
+        // Elements fire 3 cycles apart, so the makespan stretches past the
+        // single-cycle case (which finishes in ~5 cycles).
+        assert!(rs.cycles >= 10, "cycles = {}", rs.cycles);
+    }
+
+    #[test]
+    fn div_head_and_elim_fuse_run_an_elimination_step() {
+        use systolic_semiring::Real;
+        // One LU step on [[2, 5], [6, 7]]: l10 = 6/2 = 3, u11 = 7 − 3·5.
+        let mut sim = ArraySim::<Real>::new(2);
+        let b = sim.add_bank();
+        let l = sim.add_link();
+        let o = sim.add_outputs(2);
+        for w in [2.0, 6.0] {
+            sim.bank_mut(b).preload(0, w);
+        }
+        for w in [5.0, 7.0] {
+            sim.bank_mut(b).preload(1, w);
+        }
+        let mut head = task(TaskKind::DivHead, 2);
+        head.col_in = Some(StreamSrc::Bank { bank: b, slot: 0 });
+        head.pivot_out = Some(StreamDst::Link(l));
+        sim.push_task(0, head);
+        let mut fuse = task(TaskKind::ElimFuse, 2);
+        fuse.col_in = Some(StreamSrc::Bank { bank: b, slot: 1 });
+        fuse.pivot_in = Some(StreamSrc::Link(l));
+        fuse.col_out = Some(StreamDst::Output { stream: o });
+        fuse.head_out = Some(StreamDst::Output { stream: o + 1 });
+        sim.push_task(1, fuse);
+        sim.run().unwrap();
+        assert_eq!(sim.outputs()[0], vec![7.0 - 3.0 * 5.0]);
+        assert_eq!(sim.outputs()[1], vec![5.0], "finished head on head_out");
     }
 
     #[test]

@@ -114,6 +114,8 @@ impl MatmulArray {
             pivot_in: None,
             col_out: None,
             pivot_out: None,
+            head_out: None,
+            duration: 1,
             useful_ops: 0,
             label: TaskLabel::default(),
         };

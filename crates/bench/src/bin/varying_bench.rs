@@ -1,0 +1,30 @@
+//! Perf-smoke driver for the §4.3 varying-time utilization comparison
+//! (experiment E30): prints one machine-parseable line consumed by
+//! `scripts/bench_smoke.sh`, which records the utilization keys in
+//! `BENCH_partition.json` and gates linear ≥ grid.
+
+use systolic_bench::varying_measurement;
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("usage: varying_bench [n]"))
+        .unwrap_or(24);
+    let m = varying_measurement(n);
+    println!(
+        "varying_utilization/lu_n{} cells={} linear={:.4} grid={:.4} \
+         analytic_linear={:.4} analytic_grid={:.4} interior_linear={:.4} \
+         interior_grid={:.4} cycles_linear={} cycles_grid={} ok={}",
+        m.n,
+        m.cells,
+        m.measured_linear,
+        m.measured_grid,
+        m.analytic_linear,
+        m.analytic_grid,
+        m.interior_linear,
+        m.interior_grid,
+        m.cycles_linear,
+        m.cycles_grid,
+        m.gates_hold()
+    );
+}

@@ -70,7 +70,7 @@ impl Default for CampaignConfig {
     }
 }
 
-/// Names of the per-kind tally rows, in [`kind_index`] order.
+/// Names of the per-kind tally rows, in `kind_index` order.
 pub const KIND_NAMES: [&str; 5] = [
     "corrupt-emit",
     "drop-word",

@@ -27,8 +27,9 @@ use systolic_metrics::{
     FixedModel, LinearModel, MappingKind, MetricRow,
 };
 use systolic_partition::{
-    ClosureEngine, FixedArrayEngine, FixedLinearEngine, GridEngine, GsetSchedule, LinearEngine,
-    LsgpEngine, PackedEngine, ParallelEngine,
+    elimination_input, level_durations, run_elimination_timed, Algo, ClosureEngine,
+    EliminationMapping, FixedArrayEngine, FixedLinearEngine, GridEngine, GsetSchedule,
+    LinearEngine, LsgpEngine, PackedEngine, ParallelEngine,
 };
 use systolic_semiring::{warshall, Bool, DenseMatrix};
 use systolic_transform::{lu_time_grid, pipelined, regular, unidirectional, validate_stage};
@@ -1166,41 +1167,167 @@ pub fn e28() -> String {
     out
 }
 
+/// The §4.3 numbers behind E30 and the perf smoke's
+/// `varying_utilization/` line: LU with per-level durations `n - k` run on
+/// a 4-cell linear chain and a 2×2 grid, measured cell occupancy next to
+/// the lock-step analytic model over the same time grid.
+#[derive(Clone, Debug)]
+pub struct VaryingMeasurement {
+    /// LU problem size.
+    pub n: usize,
+    /// Cells in both arrays (m = s² = 4).
+    pub cells: usize,
+    /// Measured occupancy of the linear chain (m = 4).
+    pub measured_linear: f64,
+    /// Measured occupancy of the 2×2 grid.
+    pub measured_grid: f64,
+    /// Lock-step analytic utilization, linear mapping.
+    pub analytic_linear: f64,
+    /// Lock-step analytic utilization, two-dimensional mapping.
+    pub analytic_grid: f64,
+    /// Analytic interior utilization (boundary raggedness excluded),
+    /// linear mapping — 1.0, since equal-time paths never mix.
+    pub interior_linear: f64,
+    /// Analytic interior utilization, two-dimensional mapping.
+    pub interior_grid: f64,
+    /// Simulated cycles, linear chain.
+    pub cycles_linear: u64,
+    /// Simulated cycles, 2×2 grid.
+    pub cycles_grid: u64,
+}
+
+/// Pinned tolerance between measured occupancy and the lock-step analytic
+/// model: the simulator pays pipeline fill/drain and link latency the
+/// closed form ignores, which lands within ±0.02 for n ≥ 16.
+pub const E30_TOLERANCE: f64 = 0.02;
+
+impl VaryingMeasurement {
+    /// True when the §4.3 claims hold on this run: linear occupancy is at
+    /// least the grid's, and both measurements sit within
+    /// [`E30_TOLERANCE`] of their analytic predictions.
+    pub fn gates_hold(&self) -> bool {
+        self.measured_linear >= self.measured_grid
+            && (self.measured_linear - self.analytic_linear).abs() <= E30_TOLERANCE
+            && (self.measured_grid - self.analytic_grid).abs() <= E30_TOLERANCE
+    }
+}
+
+/// Runs the E30 workload at problem size `n` and cross-checks that both
+/// mappings produce bit-identical factors before reporting utilization.
+pub fn varying_measurement(n: usize) -> VaryingMeasurement {
+    let durs = level_durations(Algo::Lu, n);
+    let a = elimination_input(n, 24);
+    let (f_lin, lin) =
+        run_elimination_timed(Algo::Lu, EliminationMapping::Linear { m: 4 }, &a, &durs)
+            .expect("linear elimination runs clean");
+    let (f_grid, grid) =
+        run_elimination_timed(Algo::Lu, EliminationMapping::Grid { s: 2 }, &a, &durs)
+            .expect("grid elimination runs clean");
+    assert_eq!(f_lin, f_grid, "mappings must agree bit-for-bit");
+    let tg = Algo::Lu.graph(n).with_row_durations(&durs).time_grid();
+    let a_lin = mapping_utilization(&tg, 4, MappingKind::Linear);
+    let a_grid = mapping_utilization(&tg, 4, MappingKind::TwoDimensional);
+    VaryingMeasurement {
+        n,
+        cells: 4,
+        measured_linear: lin.occupancy(),
+        measured_grid: grid.occupancy(),
+        analytic_linear: a_lin.utilization,
+        analytic_grid: a_grid.utilization,
+        interior_linear: a_lin.interior_utilization(),
+        interior_grid: a_grid.interior_utilization(),
+        cycles_linear: lin.cycles,
+        cycles_grid: grid.cycles,
+    }
+}
+
+/// E30 — §4.3 linear vs grid utilization under varying G-node times,
+/// measured on the simulated LU pipeline and cross-validated against the
+/// lock-step analytic model of `systolic_metrics::varying`.
+pub fn e30() -> String {
+    let mut out = String::from(
+        "## E30 — varying G-node times: measured linear vs grid utilization (§4.3, LU)\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "| n | cells | measured linear | measured grid | analytic linear | analytic grid | interior linear | interior grid | within ±{E30_TOLERANCE} |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---:|---:|---|");
+    for n in [16usize, 24, 32] {
+        let m = varying_measurement(n);
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.4} | {:.4} | {:.4} | {:.4} | {:.4} | {:.4} | {} |",
+            m.n,
+            m.cells,
+            m.measured_linear,
+            m.measured_grid,
+            m.analytic_linear,
+            m.analytic_grid,
+            m.interior_linear,
+            m.interior_grid,
+            m.gates_hold()
+        );
+        assert!(
+            m.gates_hold(),
+            "E30 gate failed at n={n}: measured ({:.4}, {:.4}) vs analytic ({:.4}, {:.4})",
+            m.measured_linear,
+            m.measured_grid,
+            m.analytic_linear,
+            m.analytic_grid
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nLevel k of LU still works on an (n−k)×(n−k) trailing submatrix, so its \
+         per-word duration is n−k: rows of the G-graph are equal-time paths. The \
+         linear chain maps each G-set inside one row (zero time mixing — analytic \
+         interior utilization exactly 1.0), while a 2×2 grid block chains a fast \
+         row behind a slow one and idles for the rate difference. The measured \
+         occupancy of the event-driven simulator lands within ±{E30_TOLERANCE} of the \
+         lock-step closed form for both mappings, and the linear array wins at \
+         equal cell count — the §4.3 conclusion, measured. Both runs produce \
+         bit-identical L\\U factors. Reproduce with `systolic algo lu --timed` and \
+         `cargo run --release -p systolic-bench --bin experiments e30`.\n"
+    );
+    out
+}
+
 /// Runs every experiment, returning the full Markdown report body.
 pub fn run_all() -> String {
     let mut out = String::new();
-    for (i, f) in [
-        e01 as fn() -> String,
-        e02,
-        e03,
-        e04,
-        e05,
-        e06,
-        e07,
-        e08,
-        e09,
-        e10,
-        e11,
-        e12,
-        e13,
-        e14,
-        e15,
-        e16,
-        e17,
-        e18,
-        e19,
-        e20,
-        e21,
-        e22,
-        e23,
-        e24,
-        e25,
-        e26,
-    ]
-    .iter()
-    .enumerate()
-    {
-        eprintln!("running E{:02}…", i + 1);
+    for (name, f) in [
+        ("E01", e01 as fn() -> String),
+        ("E02", e02),
+        ("E03", e03),
+        ("E04", e04),
+        ("E05", e05),
+        ("E06", e06),
+        ("E07", e07),
+        ("E08", e08),
+        ("E09", e09),
+        ("E10", e10),
+        ("E11", e11),
+        ("E12", e12),
+        ("E13", e13),
+        ("E14", e14),
+        ("E15", e15),
+        ("E16", e16),
+        ("E17", e17),
+        ("E18", e18),
+        ("E19", e19),
+        ("E20", e20),
+        ("E21", e21),
+        ("E22", e22),
+        ("E23", e23),
+        ("E24", e24),
+        ("E25", e25),
+        ("E26", e26),
+        ("E28", e28),
+        ("E29", e29),
+        ("E30", e30),
+    ] {
+        eprintln!("running {name}…");
         out.push_str(&f());
     }
     out

@@ -1,0 +1,78 @@
+//! Guards against the missing-dispatch bug class: every `pub fn eNN`
+//! experiment exported by the bench library must be reachable both from
+//! the `experiments` binary's by-name dispatch and from `run_all`'s
+//! labeled list. Two earlier PRs each shipped an experiment that silently
+//! fell out of one of those two paths; this test scans the sources so the
+//! third never lands.
+
+use std::process::Command;
+
+fn source(rel: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/src/").to_string() + rel;
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Every `pub fn eNN` in the library sources, sorted and deduplicated.
+fn exported_experiments() -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for file in ["lib.rs", "sparse.rs"] {
+        let text = source(file);
+        for line in text.lines() {
+            let Some(rest) = line.trim_start().strip_prefix("pub fn e") else {
+                continue;
+            };
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if digits.len() == 2 && rest[digits.len()..].starts_with('(') {
+                names.push(format!("e{digits}"));
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[test]
+fn every_experiment_is_dispatched_by_name_and_listed_in_run_all() {
+    let names = exported_experiments();
+    assert!(
+        names.len() >= 29,
+        "expected at least 29 experiments, found {names:?}"
+    );
+    let dispatch = source("bin/experiments.rs");
+    let lib = source("lib.rs");
+    for name in &names {
+        assert!(
+            dispatch.contains(&format!("\"{name}\" => exp::{name}()")),
+            "{name} has no by-name arm in src/bin/experiments.rs"
+        );
+        let label = name.to_uppercase();
+        assert!(
+            lib.contains(&format!("(\"{label}\"")),
+            "{label} is missing from run_all's labeled list in lib.rs"
+        );
+    }
+}
+
+#[test]
+fn experiments_binary_runs_e30_and_rejects_unknown_names() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("e30")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("## E30"), "{text}");
+    assert!(text.contains("varying"), "{text}");
+
+    let bad = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("e99")
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown experiment"));
+}

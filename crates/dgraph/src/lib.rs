@@ -38,6 +38,9 @@ pub use builders::{
     closure_full, closure_lean, faddeev_graph, givens_graph, lu_graph, matmul_graph,
 };
 pub use dot::{to_dot, DotOptions};
-pub use eval::{eval_closure_graph, EvalError};
+pub use eval::{
+    eval_closure_graph, eval_elimination_graph, eval_givens_graph, eval_two_operand_graph,
+    EvalError,
+};
 pub use graph::{DependenceGraph, Edge, Node};
 pub use ids::{Coord, NodeId, OpKind, Port, Pos};

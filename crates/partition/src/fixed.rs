@@ -113,6 +113,8 @@ impl Mapping for FixedArrayMapping {
                         pivot_in,
                         col_out,
                         pivot_out,
+                        head_out: None,
+                        duration: 1,
                         useful_ops: gg.useful_ops(id) as u64,
                         label: TaskLabel {
                             k: k as u32,
@@ -216,6 +218,8 @@ impl Mapping for FixedLinearMapping {
                         pivot_in,
                         col_out,
                         pivot_out,
+                        head_out: None,
+                        duration: 1,
                         useful_ops: gg.useful_ops(id) as u64,
                         label: TaskLabel {
                             k: k as u32,

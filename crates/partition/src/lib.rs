@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod algo;
 pub mod engine;
 pub mod fault;
 pub mod fixed;
@@ -71,6 +72,10 @@ pub mod tiled;
 pub mod verify;
 
 pub use admission::{AdmissionBatcher, AdmissionStats, FlushReport, Ticket};
+pub use algo::{
+    elimination_input, elimination_plan, elimination_plan_timed, level_durations, run_elimination,
+    run_elimination_timed, Algo, EliminationMapping,
+};
 pub use engine::{ClosureEngine, EngineError};
 pub use fault::{grid_fault_capacity, linear_fault_capacity, FaultyLinearEngine};
 pub use fixed::{FixedArrayEngine, FixedArrayMapping, FixedLinearEngine, FixedLinearMapping};

@@ -173,6 +173,8 @@ impl Mapping for LpgsMapping {
                                 pivot_in,
                                 col_out,
                                 pivot_out,
+                                head_out: None,
+                                duration: 1,
                                 useful_ops,
                                 label: TaskLabel {
                                     k: k as u32,

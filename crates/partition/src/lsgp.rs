@@ -149,6 +149,8 @@ impl Mapping for LsgpMapping {
                             pivot_in,
                             col_out,
                             pivot_out,
+                            head_out: None,
+                            duration: 1,
                             useful_ops: gg.useful_ops(id) as u64,
                             label: TaskLabel {
                                 k: k as u32,

@@ -4,9 +4,9 @@
 //! demand order, the stream wiring — depends only on the problem *shape*
 //! `(n, batch_len)` plus the engine's own geometry, never on the matrix
 //! entries. [`CompiledPlan`] captures that shape-dependent work once:
-//! engines memoize plans per shape (see [`PlanCache`]), instantiate a
+//! engines memoize plans per shape (see `PlanCache`), instantiate a
 //! simulator from a plan, and on later calls [`ArraySim::reset`] the cached
-//! simulator (see [`SimSlot`]) and merely re-[`load`](CompiledPlan::load)
+//! simulator (see `SimSlot`) and merely re-[`load`](CompiledPlan::load)
 //! the new matrices, entering the hot loop with zero schedule rebuilding.
 //!
 //! At plan-build time every logical `stream_key(inst, k, h)` is **interned**
@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use systolic_arraysim::{ArraySim, StreamDst, StreamSrc, Task};
-use systolic_semiring::{DenseMatrix, PathSemiring, Semiring};
+use systolic_semiring::{DenseMatrix, Semiring};
 
 /// One input-stream binding: which column of which batch instance enters
 /// the array where. Feeds replay in recorded order, which for host feeds
@@ -106,10 +106,39 @@ impl CompiledPlan {
         sim
     }
 
+    /// Returns a copy of this plan whose task durations are overridden per
+    /// G-graph row: the task labelled `k` gets duration `durs[k]` — the
+    /// §4.3 varying-computation-time knob, applicable to any mapping's
+    /// plan. With all durations `1` the copy is identical to the original
+    /// (the classical single-cycle G-node).
+    ///
+    /// # Panics
+    /// When a task's row label is not covered by `durs` or a duration is 0.
+    #[must_use]
+    pub fn with_row_durations(&self, durs: &[u32]) -> CompiledPlan {
+        assert!(durs.iter().all(|&d| d >= 1), "durations must be ≥ 1");
+        let mut plan = self.clone();
+        plan.programs = self
+            .programs
+            .iter()
+            .map(|prog| {
+                prog.iter()
+                    .map(|t| {
+                        let mut t = t.clone();
+                        t.duration = durs[t.label.k as usize];
+                        t
+                    })
+                    .collect::<Vec<_>>()
+                    .into()
+            })
+            .collect();
+        plan
+    }
+
     /// Feeds a batch's matrices into a (fresh or reset) simulator, in the
     /// order the plan recorded — for host streams that is the schedule's
     /// demand order.
-    pub fn load<S: PathSemiring>(&self, sim: &mut ArraySim<S>, batch: &[DenseMatrix<S>]) {
+    pub fn load<S: Semiring>(&self, sim: &mut ArraySim<S>, batch: &[DenseMatrix<S>]) {
         debug_assert_eq!(batch.len(), self.batch_len);
         for feed in &self.feeds {
             match *feed {
@@ -411,6 +440,8 @@ mod tests {
                 pivot_in: None,
                 col_out: Some(StreamDst::Output { stream: out }),
                 pivot_out: None,
+                head_out: None,
+                duration: 1,
                 useful_ops: 0,
                 label: TaskLabel::default(),
             },

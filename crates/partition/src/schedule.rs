@@ -189,6 +189,62 @@ impl GsetSchedule {
             .map(|i| (i * self.n) as u64)
             .collect()
     }
+
+    /// Lock-step start times under **varying** G-node computation times
+    /// (§4.3): entry `i + 1` starts once entry `i`'s slowest member has
+    /// finished. With the uniform closure time `n` this reduces to
+    /// [`GsetSchedule::analytic_starts`]; when a G-set mixes times, the
+    /// fast members idle for the difference — the *time mixing* the Fig. 22
+    /// analysis charges against two-dimensional G-sets.
+    pub fn varying_starts(&self, time_of: impl Fn(GnodeId) -> u64) -> Vec<u64> {
+        let mut starts = Vec::with_capacity(self.entries.len());
+        let mut t = 0u64;
+        for e in &self.entries {
+            starts.push(t);
+            t += e.members.iter().map(|&m| time_of(m)).max().unwrap_or(0);
+        }
+        starts
+    }
+
+    /// [`GsetSchedule::verify_legal`] extended to varying computation
+    /// times: additionally proves that, under the lock-step
+    /// [`GsetSchedule::varying_starts`], every dependence has *finished*
+    /// (start of its entry plus its own time) before the dependent entry
+    /// starts. The intra-set pivot chain rides neighbor links and is
+    /// exempt, as in the untimed check.
+    ///
+    /// # Errors
+    /// Describes the first violated dependence.
+    pub fn verify_legal_timed(&self, time_of: impl Fn(GnodeId) -> u64) -> Result<(), String> {
+        self.verify_legal()?;
+        let starts = self.varying_starts(&time_of);
+        let gg = GGraph::new(self.n);
+        let mut order_of = std::collections::HashMap::new();
+        for e in &self.entries {
+            for &m in &e.members {
+                order_of.insert(m, e.order);
+            }
+        }
+        for e in &self.entries {
+            for &m in &e.members {
+                for dep in [gg.column_dep(m), gg.pivot_dep(m)].into_iter().flatten() {
+                    let d = order_of[&dep];
+                    if d == e.order {
+                        continue; // intra-set pivot chain
+                    }
+                    let finish = starts[d] + time_of(dep);
+                    if finish > starts[e.order] {
+                        return Err(format!(
+                            "G-node ({},{}) in entry {} (start {}) depends on ({},{}) \
+                             finishing at {} in entry {}",
+                            m.k, m.g, e.order, starts[e.order], dep.k, dep.g, finish, d
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -250,5 +306,39 @@ mod tests {
         let starts = s.analytic_starts();
         assert_eq!(starts[0], 0);
         assert!(starts.windows(2).all(|w| w[1] - w[0] == 5));
+    }
+
+    #[test]
+    fn varying_starts_reduce_to_analytic_for_uniform_times() {
+        for (n, m) in [(5usize, 2usize), (6, 3), (7, 4)] {
+            let s = GsetSchedule::linear(n, m);
+            assert_eq!(
+                s.varying_starts(|_| n as u64),
+                s.analytic_starts(),
+                "n={n} m={m}"
+            );
+            s.verify_legal_timed(|_| n as u64)
+                .unwrap_or_else(|e| panic!("n={n} m={m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn varying_starts_accumulate_the_slowest_member() {
+        // §4.3-style monotone row times: time of row k is n - k (uniform
+        // within a row), so linear G-sets never mix times while grid G-sets
+        // do; both remain legal under the lock-step timed schedule.
+        let n = 6;
+        let time = |id: GnodeId| (n - id.k) as u64;
+        for sched in [GsetSchedule::linear(n, 3), GsetSchedule::grid(n, 2)] {
+            sched
+                .verify_legal_timed(time)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let starts = sched.varying_starts(time);
+            for (i, e) in sched.entries().iter().enumerate().skip(1) {
+                let prev = &sched.entries()[i - 1];
+                let slowest = prev.members.iter().map(|&m| time(m)).max().unwrap();
+                assert_eq!(starts[i] - starts[i - 1], slowest, "entry {}", e.order);
+            }
+        }
     }
 }

@@ -110,7 +110,7 @@ impl BitMatrix {
 
     /// In-place transitive closure by bit-parallel Warshall.
     /// `O(n³/64)` word operations either way; dispatches to the
-    /// cache-blocked sweep above [`BLOCKED_MIN_N`] (where the classic
+    /// cache-blocked sweep above `BLOCKED_MIN_N` (where the classic
     /// per-pivot sweep streams the whole `n²/8`-byte matrix once per pivot
     /// and falls out of cache) and keeps the classic loop below it, where
     /// the matrix is cache-resident and the simpler loop is never slower.
@@ -151,7 +151,7 @@ impl BitMatrix {
     }
 
     /// Cache-blocked bit-parallel Warshall: pivots are processed in panels
-    /// of [`PIVOT_BLOCK`] rows. Per panel `K = [k0, k1)`:
+    /// of `PIVOT_BLOCK` rows. Per panel `K = [k0, k1)`:
     ///
     /// 1. **Close the panel**: ordinary Warshall restricted to the panel's
     ///    own rows and pivots. Because pivot `k`'s row evolves only under
@@ -269,7 +269,7 @@ impl BitMatrix {
     ///
     /// Uses the same panel decomposition as
     /// [`BitMatrix::warshall_in_place_blocked`]: each round closes one
-    /// [`PIVOT_BLOCK`]-pivot panel sequentially (a local, L1-resident
+    /// `PIVOT_BLOCK`-pivot panel sequentially (a local, L1-resident
     /// Warshall), then fans the one-pass fold of that closed panel out
     /// over disjoint row bands, one band per pool worker. Blocking cuts
     /// the number of `scoped_run` barriers from `n` to `⌈n/64⌉` — at

@@ -171,6 +171,48 @@ impl Semiring for Counting {
     }
 }
 
+/// The reals `(f64, +, ×, 0, 1)` — the numeric plane for the
+/// Gaussian-elimination algorithms of §4.3 (LU decomposition, Faddeev).
+///
+/// Floating-point addition is not associative, so `Real` is deliberately
+/// excluded from the algebraic law tests and is **not** a [`PathSemiring`]:
+/// Warshall's recurrence is meaningless over it and the type system keeps it
+/// out of the closure engines. It is the only instance overriding
+/// [`Semiring::elim`] and [`Semiring::div`], the two extra scalar operations
+/// elimination tasks need.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Real;
+
+impl Semiring for Real {
+    type Elem = f64;
+    const NAME: &'static str = "real";
+
+    #[inline]
+    fn zero() -> f64 {
+        0.0
+    }
+    #[inline]
+    fn one() -> f64 {
+        1.0
+    }
+    #[inline]
+    fn add(a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+    #[inline]
+    fn mul(a: &f64, b: &f64) -> f64 {
+        a * b
+    }
+    #[inline]
+    fn elim(x: &f64, p: &f64, q: &f64) -> f64 {
+        x - p * q
+    }
+    #[inline]
+    fn div(x: &f64, q: &f64) -> f64 {
+        x / q
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +263,20 @@ mod tests {
         assert_eq!(Counting::add(&1, &1), 2);
         assert_eq!(Counting::add(&u64::MAX, &1), u64::MAX);
         assert_eq!(Counting::mul(&u64::MAX, &2), u64::MAX);
+    }
+
+    #[test]
+    fn real_elimination_ops() {
+        assert_eq!(Real::fuse(&1.0, &2.0, &3.0), 7.0);
+        assert_eq!(Real::elim(&10.0, &2.0, &3.0), 4.0);
+        assert_eq!(Real::div(&9.0, &2.0), 4.5);
+        assert!(Real::is_zero(&0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support Gaussian-elimination")]
+    fn path_semirings_reject_elim() {
+        let _ = Bool::elim(&true, &false, &true);
     }
 
     #[test]

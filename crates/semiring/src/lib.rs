@@ -53,7 +53,7 @@ pub mod swar;
 pub mod traits;
 
 pub use bitmatrix::BitMatrix;
-pub use instances::{Bool, Counting, MaxMin, MinMax, MinPlus};
+pub use instances::{Bool, Counting, MaxMin, MinMax, MinPlus, Real};
 pub use kernels::{
     closure_by_squaring, matmul, matmul_acc, reflexive, warshall, warshall_blocked,
     warshall_inplace,

@@ -53,6 +53,32 @@ pub trait Semiring: Copy + Clone + Debug + Default + Send + Sync + 'static {
         *a == Self::zero()
     }
 
+    /// The Gaussian-elimination update `x − p ⊗ q` — what one `MulSub` node
+    /// of the LU/Faddeev dependence graphs computes. Only semirings with
+    /// additive inverses can support it, so the default panics: a path
+    /// semiring fed an elimination task is a programming error, not a
+    /// silently-wrong answer.
+    #[inline]
+    fn elim(x: &Self::Elem, p: &Self::Elem, q: &Self::Elem) -> Self::Elem {
+        let _ = (x, p, q);
+        panic!(
+            "semiring {} does not support Gaussian-elimination tasks",
+            Self::NAME
+        );
+    }
+
+    /// The pivot division `x / q` — what one `Div` node of the LU/Faddeev
+    /// dependence graphs computes. Panics by default for the same reason as
+    /// [`Semiring::elim`].
+    #[inline]
+    fn div(x: &Self::Elem, q: &Self::Elem) -> Self::Elem {
+        let _ = (x, q);
+        panic!(
+            "semiring {} does not support Gaussian-elimination tasks",
+            Self::NAME
+        );
+    }
+
     /// Number of independent value lanes one `Elem` carries.
     ///
     /// Scalar semirings are the 1-lane case. Packed semirings

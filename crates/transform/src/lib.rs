@@ -19,11 +19,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod generic;
 pub mod ggraph;
 pub mod grouping;
 pub mod stages;
 pub mod validate;
 
+pub use generic::{GRowSpec, GenRole, GenericGGraph};
 pub use ggraph::{GGraph, GNodeRole, GnodeId};
 pub use grouping::{
     faddeev_time_grid, givens_time_grid, grouping_profile, lu_time_grid,

@@ -11,7 +11,7 @@
 //!   scoped-thread usage);
 //! * [`check`] — a tiny property-test harness running seeded random cases
 //!   with failure reproduction instructions (replaces `proptest`);
-//! * [`bench`] — a wall-clock micro-benchmark harness with warm-up,
+//! * [`mod@bench`] — a wall-clock micro-benchmark harness with warm-up,
 //!   median/mean reporting and a stable text output format (replaces
 //!   `criterion` for the `harness = false` benches).
 //!

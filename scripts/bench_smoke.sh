@@ -35,6 +35,10 @@
 #     three sparse_scale rows (10^4, 10^5, 10^6) must be recorded, and
 #     peak resident memory after the 10^5 row must stay under a hard
 #     128 MiB ceiling (the whole point of never materializing n x n),
+#   * the §4.3 varying-time comparison (E30) must record both
+#     varying_utilization keys, the linear chain must be at least as
+#     utilized as the equal-cell grid, and the measured-vs-analytic
+#     tolerance check inside varying_bench must pass (ok=true),
 #   * a gate whose key is missing from the output FAILS — a bench that
 #     never printed its line must not pass vacuously.
 set -euo pipefail
@@ -61,6 +65,7 @@ lines=$(
   cargo bench -p systolic-bench --bench sparse_closure 2>/dev/null
   cargo run --release -q -p systolic-bench --bin serve_bench "$SERVE_CMDS"
   cargo run --release -q -p systolic-bench --bin sparse_bench
+  cargo run --release -q -p systolic-bench --bin varying_bench
 )
 printf '%s\n' "$lines"
 
@@ -136,6 +141,15 @@ printf '%s\n' "$lines" | awk \
       $1, kv["edges"], kv["scc"], kv["dag_edges"], kv["mode"], kv["fill_pairs"], kv["fill_exact"], kv["mem_bytes"], kv["peak_rss_bytes"], kv["gen_ms"], kv["close_ms"])
     if ($1 == "sparse_scale/100000") peak1e5 = kv["peak_rss_bytes"]
   }
+  /^varying_utilization\// {
+    delete kv
+    for (i = 2; i <= NF; i++) {
+      split($(i), pair, "=")
+      kv[pair[1]] = pair[2]
+    }
+    vlin = kv["linear"]; vgrid = kv["grid"]; vok = kv["ok"]
+    valin = kv["analytic_linear"]; vagrid = kv["analytic_grid"]
+  }
   /^sparse_tiles\// {
     delete kv
     for (i = 2; i <= NF; i++) {
@@ -188,6 +202,12 @@ printf '%s\n' "$lines" | awk \
                     med_of["sparse_closure/sparse_4096"])
     printf "  \"sparse_scale_rows\": %d,\n", nsc
     printf "  \"sparse_peak_bytes_1e5\": %s,\n", (peak1e5 != "" ? peak1e5 : "null")
+    printf "  \"varying_utilization_linear\": %s,\n", (vlin != "" ? vlin : "null")
+    printf "  \"varying_utilization_grid\": %s,\n", (vgrid != "" ? vgrid : "null")
+    printf "  \"varying_analytic_linear\": %s,\n", (valin != "" ? valin : "null")
+    printf "  \"varying_analytic_grid\": %s,\n", (vagrid != "" ? vagrid : "null")
+    printf "  \"varying_linear_over_grid\": %s,\n", ratio_or_null(vlin, vgrid)
+    printf "  \"varying_ok\": %s,\n", (vok != "" ? vok : "null")
     print "  \"sparse\": ["
     for (i = 1; i <= nsp; i++) printf "%s%s\n", sprows[i], (i < nsp ? "," : "")
     print "  ],"
@@ -202,7 +222,7 @@ printf '%s\n' "$lines" | awk \
 mv "$OUT.tmp" "$OUT"
 
 echo "bench_smoke: wrote $OUT (informational baseline ${BASELINE_MS} ms)"
-grep -E 'speedup|sparse_|serve_stream|serve_concurrent|serve_recover' "$OUT"
+grep -E 'speedup|sparse_|serve_stream|serve_concurrent|serve_recover|varying_' "$OUT"
 
 # gate KEY MIN — the JSON key must exist and its value must be a number
 # >= MIN. null or a missing key fails: a gate must never pass because the
@@ -271,7 +291,30 @@ gate sparse_speedup_vs_dense_4096 20.0
 gate sparse_scale_rows 3
 gate_max sparse_peak_bytes_1e5 134217728
 
-# Gate 6: both serve streams recorded, and every answer matched the oracle.
+# Gate 6: the §4.3 varying-time comparison (E30). Both utilization keys
+# must be recorded (a missing key fails), the linear chain must be at
+# least as utilized as the equal-cell grid, and the in-binary tolerance
+# check against the lock-step analytic model must have passed (ok=true —
+# the binary compares measured occupancy to the closed form within ±0.02).
+gate varying_utilization_linear 0.5
+gate varying_utilization_grid 0.5
+gate varying_linear_over_grid 1.0
+awk '
+  /"varying_ok"/ {
+    found = 1
+    if ($0 !~ /true/) {
+      printf "bench_smoke: FAIL varying-time analytic tolerance: %s\n", $0
+      exit 1
+    }
+  }
+  END {
+    if (!found) {
+      print "bench_smoke: FAIL varying_ok key missing from output"
+      exit 1
+    }
+  }' "$OUT"
+
+# Gate 7: both serve streams recorded, and every answer matched the oracle.
 awk '
   /"id": "serve_stream\// {
     n++
@@ -287,7 +330,7 @@ awk '
     }
   }' "$OUT"
 
-# Gate 7: the chaos smoke recorded both runs — four concurrent sessions
+# Gate 8: the chaos smoke recorded both runs — four concurrent sessions
 # all oracle-correct with none failed, and kill-and-recover rebuilding the
 # exact committed closure (recover_ms present). Missing keys fail.
 awk '

@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace --all-targets
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 cargo test -q --workspace
 
 # The widened data plane's equivalence suites, named explicitly so a
@@ -16,7 +17,7 @@ cargo test -q --workspace
 # CSR pipeline to the dense oracle and the tiled bridge to the untiled
 # closure.
 cargo test -q --test proptest_lanes --test proptest_swar --test proptest_laws \
-    --test proptest_sparse
+    --test proptest_sparse --test proptest_durations
 
 # Perf smoke (non-gating: wall-clock numbers are machine-dependent).
 ./scripts/bench_smoke.sh || echo "check.sh: bench_smoke failed (non-gating)"

@@ -8,6 +8,7 @@
 //! systolic gantt    <n> <m>                                 cell-occupancy chart
 //! systolic info     <n> [m]                                 paper's analytic measures
 //! systolic campaign [--seed S] [--rate R] [--instances K] …  fault-injection campaign
+//! systolic algo     <lu|faddeev> [--mapping M] [-n N]       elimination pipeline vs reference
 //! systolic plancache [--n N] [--cells M] [--instances K]    plan-cache reuse check
 //! systolic packed   [--n N] [--cells M] [--instances K]     lane-packed identity check
 //! systolic serve    [--vertices N|--file F] [--socket ADDR] long-running reachability server
@@ -37,6 +38,9 @@ fn fail(msg: &str) -> ! {
     eprintln!("  systolic schedule <n> <m> [--grid]");
     eprintln!("  systolic gantt    <n> <m>");
     eprintln!("  systolic info     <n> [m]");
+    eprintln!(
+        "  systolic algo     <lu|faddeev> [--mapping lpgs:M|grid:S] [-n N] [--seed S] [--timed]"
+    );
     eprintln!("  systolic campaign [--seed S] [--n N] [--cells M] [--instances K] [--rate R] [--retries T] [--hot CELL:WEIGHT] [--packed-lane L]");
     eprintln!("  systolic plancache [--n N] [--cells M] [--instances K] [--iters I]");
     eprintln!("  systolic packed   [--n N] [--cells M] [--instances K] [--iters I]");
@@ -506,6 +510,117 @@ fn cmd_info(args: &[String]) {
         model.memory_connections()
     );
     println!("  partitioning overhead               : 0");
+}
+
+/// Runs an elimination algorithm (LU or Faddeev) through the simulated
+/// partitioned array and cross-checks every output word bit-for-bit
+/// against the fully-parallel dependence-graph evaluation.
+fn cmd_algo(args: &[String]) {
+    use systolic::partition::{
+        elimination_input, level_durations, run_elimination, run_elimination_timed, Algo,
+        EliminationMapping,
+    };
+    let mut algo: Option<Algo> = None;
+    let mut mapping = EliminationMapping::Linear { m: 4 };
+    let mut n = 8usize;
+    let mut seed = 1u64;
+    let mut timed = false;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i)
+                .map(String::as_str)
+                .unwrap_or_else(|| fail(&format!("{} needs a value", args[i - 1])))
+        };
+        match args[i].as_str() {
+            "lu" => algo = Some(Algo::Lu),
+            "faddeev" => algo = Some(Algo::Faddeev),
+            "--mapping" => {
+                i += 1;
+                let spec = value(i);
+                let (name, arg) = spec.split_once(':').unwrap_or((spec, "4"));
+                let c = positive(
+                    "algo mapping size",
+                    arg.parse().unwrap_or_else(|_| fail("bad mapping argument")),
+                );
+                mapping = match name {
+                    "lpgs" => EliminationMapping::Linear { m: c },
+                    "grid" => EliminationMapping::Grid { s: c },
+                    _ => fail(&format!(
+                        "unknown algo mapping `{spec}` (expected lpgs[:M] or grid[:S])"
+                    )),
+                };
+            }
+            "-n" | "--n" => {
+                i += 1;
+                n = positive("-n", value(i).parse().unwrap_or_else(|_| fail("bad -n")));
+            }
+            "--seed" => {
+                i += 1;
+                seed = value(i).parse().unwrap_or_else(|_| fail("bad --seed"));
+            }
+            "--timed" => timed = true,
+            other => fail(&format!("unknown algo argument `{other}`")),
+        }
+        i += 1;
+    }
+    let algo = algo.unwrap_or_else(|| fail("algo needs `lu` or `faddeev`"));
+    if n < 2 {
+        fail("algo needs n ≥ 2");
+    }
+    let msize = algo.msize(n);
+    let a = elimination_input(msize, seed);
+    let (got, stats) = if timed {
+        run_elimination_timed(algo, mapping, &a, &level_durations(algo, n))
+    } else {
+        run_elimination(algo, mapping, &a)
+    }
+    .unwrap_or_else(|e| fail(&e.to_string()));
+    let graph = match algo {
+        Algo::Lu => systolic::dgraph::lu_graph(n),
+        Algo::Faddeev => systolic::dgraph::faddeev_graph(n),
+    };
+    let want = systolic::dgraph::eval_elimination_graph::<systolic::semiring::Real>(&graph, &a)
+        .unwrap_or_else(|e| fail(&format!("reference evaluation: {e:?}")));
+    let mut mismatches = 0usize;
+    for i in 0..msize {
+        for j in 0..msize {
+            if got.get(i, j) != want.get(i, j) {
+                mismatches += 1;
+            }
+        }
+    }
+    println!(
+        "{} n = {n} ({msize}×{msize} matrix, {} levels) on {} ({} cells{})",
+        algo.name(),
+        algo.levels(n),
+        mapping.name(),
+        mapping.cells(),
+        if timed {
+            ", §4.3 varying G-node times"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "simulated: {} cycles, occupancy {:.3}, useful utilization {:.3}, {} useful ops",
+        stats.cycles,
+        stats.occupancy(),
+        stats.useful_utilization(),
+        stats.useful_ops
+    );
+    if algo == Algo::Faddeev {
+        println!("lower-right n×n block is the Schur complement D + C·A⁻¹·B");
+    }
+    println!(
+        "all {} output words bit-identical to the dependence-graph reference: {}",
+        msize * msize,
+        mismatches == 0
+    );
+    if mismatches > 0 {
+        eprintln!("error: {mismatches} words diverged from the reference");
+        std::process::exit(1);
+    }
 }
 
 fn cmd_campaign(args: &[String]) {
@@ -1003,6 +1118,7 @@ fn main() {
             "schedule" => cmd_schedule(rest),
             "gantt" => cmd_gantt(rest),
             "info" => cmd_info(rest),
+            "algo" => cmd_algo(rest),
             "campaign" => cmd_campaign(rest),
             "plancache" => cmd_plancache(rest),
             "packed" => cmd_packed(rest),

@@ -450,3 +450,78 @@ fn serve_seeds_from_an_edge_file() {
     );
     std::fs::remove_file(f).ok();
 }
+
+#[test]
+fn algo_lu_matches_the_dependence_graph_reference() {
+    let out = bin()
+        .args(["algo", "lu", "-n", "16", "--mapping", "lpgs:4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("lu n = 16"), "{text}");
+    assert!(text.contains("lpgs-linear"), "{text}");
+    assert!(
+        text.contains("bit-identical to the dependence-graph reference: true"),
+        "{text}"
+    );
+}
+
+#[test]
+fn algo_faddeev_runs_on_the_grid_mapping() {
+    let out = bin()
+        .args(["algo", "faddeev", "-n", "16", "--mapping", "grid:4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("faddeev"), "{text}");
+    assert!(text.contains("grid-partitioned"), "{text}");
+    assert!(text.contains("Schur complement"), "{text}");
+    assert!(
+        text.contains("bit-identical to the dependence-graph reference: true"),
+        "{text}"
+    );
+}
+
+#[test]
+fn algo_timed_runs_vary_the_gnode_durations() {
+    let out = bin()
+        .args(["algo", "lu", "-n", "12", "--mapping", "grid:3", "--timed"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("varying"), "{text}");
+    assert!(
+        text.contains("bit-identical to the dependence-graph reference: true"),
+        "{text}"
+    );
+}
+
+#[test]
+fn algo_bad_usage_exits_cleanly() {
+    for args in [
+        vec!["algo"],
+        vec!["algo", "cholesky"],
+        vec!["algo", "lu", "--mapping", "torus:4"],
+        vec!["algo", "lu", "-n", "1"],
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!err.contains("panicked"), "{args:?}: {err}");
+    }
+}

@@ -13,6 +13,8 @@ fn task(kind: TaskKind, len: usize) -> Task {
         pivot_in: None,
         col_out: None,
         pivot_out: None,
+        head_out: None,
+        duration: 1,
         useful_ops: 0,
         label: TaskLabel::default(),
     }

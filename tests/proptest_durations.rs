@@ -1,0 +1,125 @@
+//! Property tests for the varying-duration plan transform (§4.3): a plan
+//! rewritten with all durations = 1 must be *byte-identical* to the
+//! original — same `Debug` rendering, same results, same `RunStats` — for
+//! every closure mapping, and a varying-duration plan must replay exactly
+//! on a recycled simulator (reset + reload) and change results never,
+//! only timing.
+
+use systolic::partition::{
+    CompiledPlan, FixedArrayMapping, FixedLinearMapping, GridMapping, LpgsMapping, LsgpMapping,
+    Mapping,
+};
+use systolic_arraysim::RunStats;
+use systolic_semiring::{Bool, DenseMatrix};
+use systolic_util::{Checker, Rng};
+
+fn bool_batch(rng: &mut Rng, n: usize, len: usize) -> Vec<DenseMatrix<Bool>> {
+    (0..len)
+        .map(|_| DenseMatrix::from_fn(n, n, |_, _| rng.gen_bool(0.3)))
+        .collect()
+}
+
+fn run_plan(plan: &CompiledPlan, batch: &[DenseMatrix<Bool>]) -> (Vec<Vec<bool>>, RunStats) {
+    let mut sim = plan.instantiate::<Bool>(false);
+    plan.load(&mut sim, batch);
+    let stats = sim.run().expect("plan runs clean");
+    (sim.outputs().to_vec(), stats)
+}
+
+/// Every closure mapping's plan, rewritten with the identity duration
+/// vector, must be byte-identical: the `Debug` rendering of the plan, the
+/// output streams, and the full `RunStats` all match the original.
+#[test]
+fn unit_durations_are_byte_identical_across_all_mappings() {
+    Checker::new("unit durations are the identity on plans", 12).run(|rng| {
+        let n = 3 + rng.gen_usize(8);
+        let len = 1 + rng.gen_usize(2);
+        let batch = bool_batch(rng, n, len);
+        let plans: Vec<(String, CompiledPlan)> = vec![
+            (
+                format!("linear m=3 n={n}"),
+                LpgsMapping::new(3).build_plan(n, batch.len()),
+            ),
+            (
+                format!("lsgp m=4 n={n}"),
+                LsgpMapping::new(4).build_plan(n, batch.len()),
+            ),
+            (
+                format!("grid s=2 n={n}"),
+                GridMapping::new(2).build_plan(n, batch.len()),
+            ),
+            (
+                format!("fixed n={n}"),
+                FixedArrayMapping.build_plan(n, batch.len()),
+            ),
+            (
+                format!("fixed-linear n={n}"),
+                FixedLinearMapping.build_plan(n, batch.len()),
+            ),
+        ];
+        for (what, plan) in plans {
+            let unit = plan.with_row_durations(&vec![1; n]);
+            assert_eq!(
+                format!("{plan:?}"),
+                format!("{unit:?}"),
+                "{what}: unit durations must not rewrite the plan"
+            );
+            let (out_a, stats_a) = run_plan(&plan, &batch);
+            let (out_b, stats_b) = run_plan(&unit, &batch);
+            assert_eq!(out_a, out_b, "{what}: outputs diverged");
+            assert_eq!(stats_a, stats_b, "{what}: stats diverged");
+        }
+        Ok(())
+    });
+}
+
+/// Varying durations change timing, never values: a §4.3-profile plan
+/// produces the same output streams as the unit plan while costing
+/// strictly more cycles, and replaying it on a recycled simulator
+/// (reset + reload) reproduces the fresh run bit-for-bit.
+#[test]
+fn varying_duration_plans_replay_exactly_and_preserve_results() {
+    Checker::new("varying durations replay exactly", 8).run(|rng| {
+        let n = 3 + rng.gen_usize(6);
+        let batch = bool_batch(rng, n, 1);
+        // Monotone §4.3-style profile plus a random bump.
+        let durs: Vec<u32> = (0..n)
+            .map(|k| (n - k) as u32 + rng.gen_usize(3) as u32)
+            .collect();
+        for (what, plan) in [
+            ("linear m=2", LpgsMapping::new(2).build_plan(n, 1)),
+            ("grid s=2", GridMapping::new(2).build_plan(n, 1)),
+        ] {
+            let timed = plan.with_row_durations(&durs);
+            let (out_unit, stats_unit) = run_plan(&plan, &batch);
+            let (out_fresh, stats_fresh) = run_plan(&timed, &batch);
+            assert_eq!(out_unit, out_fresh, "{what}: durations changed the results");
+            assert!(
+                stats_fresh.cycles > stats_unit.cycles,
+                "{what}: durations must cost cycles ({} vs {})",
+                stats_fresh.cycles,
+                stats_unit.cycles
+            );
+            // Recycled replay: reset the simulator, reload, run again.
+            let mut sim = timed.instantiate::<Bool>(false);
+            timed.load(&mut sim, &batch);
+            let first = sim.run().expect("first run");
+            let first_out = sim.outputs().to_vec();
+            sim.reset();
+            timed.load(&mut sim, &batch);
+            let replay = sim.run().expect("replayed run");
+            let replay_out = sim.outputs().to_vec();
+            assert_eq!(
+                first_out, replay_out,
+                "{what}: recycled replay changed outputs"
+            );
+            assert_eq!(first, replay, "{what}: recycled replay changed stats");
+            assert_eq!(
+                (out_fresh, stats_fresh),
+                (first_out, first),
+                "{what}: fresh and recycled sims disagree"
+            );
+        }
+        Ok(())
+    });
+}
